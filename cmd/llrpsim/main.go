@@ -1,0 +1,129 @@
+// Command llrpsim runs the reader emulator as an LLRP server: an
+// Impinj-style endpoint that hosts can connect to over TCP, configure,
+// and stream low-level tag reports from — the role the physical R420
+// plays in the paper's prototype (Fig. 11).
+//
+// Usage:
+//
+//	llrpsim [-listen :5084] [-users N] [-distance D] [-rate R] [-pace F]
+//
+// Port 5084 is the standard LLRP port. Each started ROSpec replays a
+// fresh simulation of the configured scenario; -pace controls how fast
+// simulated time advances relative to wall time (0 = as fast as
+// possible, 1 = realtime).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"tagbreathe"
+	"tagbreathe/internal/llrp"
+	"tagbreathe/internal/reader"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":5084", "TCP listen address (5084 is the standard LLRP port)")
+		users    = flag.Int("users", 1, "simulated users")
+		distance = flag.Float64("distance", 4, "distance in meters")
+		rate     = flag.Float64("rate", 10, "breathing rate in bpm")
+		duration = flag.Duration("duration", 10*time.Minute, "simulated duration per ROSpec run")
+		pace     = flag.Float64("pace", 1, "simulated-to-wall time ratio (0 = unpaced)")
+		seed     = flag.Int64("seed", 1, "base random seed; each ROSpec run increments it")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "llrpsim: ", log.LstdFlags)
+
+	var runCounter atomic.Int64
+	runCounter.Store(*seed)
+
+	srv, err := llrp.NewServer(llrp.ServerConfig{
+		KeepaliveEvery: 10 * time.Second,
+		Logf:           logger.Printf,
+		NewSource: func() llrp.ReportSource {
+			runSeed := runCounter.Add(1)
+			return llrp.ReportSourceFunc(func(ctx context.Context, emit func(reader.TagReport) error) error {
+				return streamScenario(ctx, *users, *distance, *rate, *duration, *pace, runSeed, emit)
+			})
+		},
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("listening on %s (%d users at %.1f m, %.0f bpm, pace %gx)",
+		ln.Addr(), *users, *distance, *rate, *pace)
+
+	// Graceful shutdown on SIGINT/SIGTERM.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		logger.Print("shutting down")
+		srv.Close()
+	}()
+
+	if err := srv.Serve(ln); err != nil && err != net.ErrClosed {
+		if opErr, ok := err.(*net.OpError); !ok || opErr.Err.Error() != "use of closed network connection" {
+			logger.Printf("serve: %v", err)
+		}
+	}
+}
+
+// streamScenario runs one simulation and replays its reports paced
+// against the wall clock.
+func streamScenario(ctx context.Context, users int, distance, rate float64,
+	duration time.Duration, pace float64, seed int64,
+	emit func(reader.TagReport) error) error {
+
+	rates := make([]float64, users)
+	for i := range rates {
+		rates[i] = rate + float64(i)*3
+	}
+	sc := tagbreathe.DefaultScenario()
+	sc.Users = tagbreathe.SideBySide(users, distance, rates...)
+	sc.Duration = duration
+	sc.Seed = seed
+
+	// The simulation generates the full trace synchronously and very
+	// fast; pacing happens at emission time so the client sees a
+	// realtime stream.
+	res, err := sc.Run()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	for _, r := range res.Reports {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if pace > 0 {
+			due := start.Add(time.Duration(float64(r.Timestamp) / pace))
+			if d := time.Until(due); d > 0 {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(d):
+				}
+			}
+		}
+		if err := emit(r); err != nil {
+			return fmt.Errorf("emit: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package tagbreathe_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tagbreathe"
+)
+
+// ExampleEstimate runs the Table I default experiment and estimates
+// the breathing rate — the library's quickstart path.
+func ExampleEstimate() {
+	scenario := tagbreathe.DefaultScenario()
+	scenario.Seed = 1
+	result, err := scenario.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	estimates, err := tagbreathe.Estimate(result.Reports, tagbreathe.Config{
+		Users: result.UserIDs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est := estimates[result.UserIDs[0]]
+	fmt.Printf("estimated %.1f bpm from %d tags\n", est.RateBPM, est.TagsSeen)
+	// Output: estimated 9.9 bpm from 3 tags
+}
+
+// ExampleAccuracy shows the paper's Eq. 8 metric.
+func ExampleAccuracy() {
+	fmt.Printf("%.2f\n", tagbreathe.Accuracy(9.5, 10))
+	fmt.Printf("%.2f\n", tagbreathe.Accuracy(20, 10))
+	// Output:
+	// 0.95
+	// 0.00
+}
+
+// ExampleNewUserTagEPC shows the Fig. 9 EPC layout: 64-bit user ID
+// followed by a 32-bit tag ID.
+func ExampleNewUserTagEPC() {
+	e := tagbreathe.NewUserTagEPC(0xCAFE, 3)
+	fmt.Println(e.UserID(), e.TagID())
+	fmt.Println(e)
+	// Output:
+	// 51966 3
+	// 000000000000cafe00000003
+}
+
+// ExampleMonitorStream replays a simulated session through the
+// realtime monitor, the way a live deployment consumes an LLRP stream.
+func ExampleMonitorStream() {
+	scenario := tagbreathe.DefaultScenario()
+	scenario.Duration = 40 * time.Second
+	scenario.Seed = 1
+	result, err := scenario.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	updates, err := tagbreathe.MonitorStream(result.Reports, tagbreathe.MonitorConfig{
+		Pipeline:    tagbreathe.Config{Users: result.UserIDs},
+		UpdateEvery: 10 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("received %d realtime updates\n", len(updates))
+	fmt.Printf("last estimate %.1f bpm\n", updates[len(updates)-1].RateBPM)
+	// Output:
+	// received 3 realtime updates
+	// last estimate 9.6 bpm
+}
+
+// ExampleSummarizeVitals derives per-breath analytics from an
+// extracted breathing signal.
+func ExampleSummarizeVitals() {
+	scenario := tagbreathe.DefaultScenario()
+	scenario.Duration = time.Minute
+	scenario.Seed = 1
+	result, err := scenario.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := tagbreathe.EstimateUser(result.Reports, result.UserIDs[0], tagbreathe.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	summary := tagbreathe.SummarizeVitals(est.Signal, 0)
+	fmt.Printf("%d breaths, %d apneas\n", summary.Breaths, len(summary.Apneas))
+	// Output: 9 breaths, 0 apneas
+}

@@ -1,0 +1,91 @@
+// Multiuser: monitor four people breathing at different rates
+// simultaneously with one reader — the capability (Fig. 13) that
+// separates TagBreathe from radar-style sensing, whose reflections mix
+// in the air. The example runs both systems over the same subjects and
+// prints the contrast.
+//
+// Run with:
+//
+//	go run ./examples/multiuser
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"tagbreathe"
+	"tagbreathe/internal/body"
+)
+
+func main() {
+	const users = 4
+	rates := []float64{8, 11, 14, 17} // each person breathes differently
+
+	// Four subjects shoulder to shoulder, 4 m from the antenna, three
+	// tags each (12 tags total contending under Gen2 arbitration).
+	scenario := tagbreathe.DefaultScenario()
+	scenario.Users = tagbreathe.SideBySide(users, 4, rates...)
+	scenario.Duration = 2 * time.Minute
+	scenario.Seed = 42
+
+	result, err := scenario.Run()
+	if err != nil {
+		log.Fatalf("simulate: %v", err)
+	}
+	fmt.Printf("%d users, %d tags, %d reads (%.1f/s aggregate)\n\n",
+		users, 3*users, len(result.Reports), result.Stats.AggregateReadRate())
+
+	estimates, err := tagbreathe.Estimate(result.Reports, tagbreathe.Config{
+		Users: result.UserIDs,
+	})
+	if err != nil {
+		log.Fatalf("estimate: %v", err)
+	}
+
+	fmt.Println("TagBreathe (per-user streams separated by the EPC Gen2 MAC):")
+	for _, uid := range result.UserIDs {
+		truth := result.TrueRateBPM[uid]
+		if est, ok := estimates[uid]; ok {
+			fmt.Printf("  user %x: %.2f bpm (truth %.2f, accuracy %.1f%%)\n",
+				uid, est.RateBPM, truth, tagbreathe.Accuracy(est.RateBPM, truth)*100)
+		} else {
+			fmt.Printf("  user %x: no signal (truth %.2f)\n", uid, truth)
+		}
+	}
+
+	// The radar arm: the same four chests reflect one carrier into one
+	// receiver; the superposed baseband yields a single dominant rate
+	// that every user inherits.
+	rng := rand.New(rand.NewSource(42))
+	breathers := make([]body.Breather, users)
+	distances := make([]float64, users)
+	horizon := scenario.Duration.Seconds()
+	for i := range breathers {
+		br, err := body.NewMetronome(rates[i], 0.005, 0.03, horizon, rng)
+		if err != nil {
+			log.Fatalf("breather: %v", err)
+		}
+		breathers[i] = br
+		distances[i] = 4
+	}
+	radar := tagbreathe.RadarScenario{
+		Breathers: breathers,
+		Distances: distances,
+		Duration:  horizon,
+		Seed:      42,
+	}
+	radarEstimates, err := radar.Run()
+	if err != nil {
+		log.Fatalf("radar: %v", err)
+	}
+
+	fmt.Println("\nCW Doppler radar (all reflections mixed in the air):")
+	for i, bpm := range radarEstimates {
+		truth := breathers[i].AverageRateBPM(0, horizon)
+		fmt.Printf("  user %d: %.2f bpm (truth %.2f, accuracy %.1f%%)\n",
+			i+1, bpm, truth, tagbreathe.Accuracy(bpm, truth)*100)
+	}
+	fmt.Println("\nthe radar reports one rate for everyone; TagBreathe tracks each user.")
+}

@@ -1,0 +1,3 @@
+module tagbreathe
+
+go 1.22

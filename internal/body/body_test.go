@@ -1,0 +1,332 @@
+package body
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tagbreathe/internal/geom"
+)
+
+func TestMetronomeRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, err := NewMetronome(12, 0.005, 0.03, 120, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.AverageRateBPM(0, 120)
+	if math.Abs(got-12) > 0.5 {
+		t.Errorf("average rate %v bpm, want ≈12", got)
+	}
+}
+
+func TestMetronomeNoJitterIsExact(t *testing.T) {
+	m, err := NewMetronome(10, 0.005, 0, 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.AverageRateBPM(0, 60); math.Abs(got-10) > 1e-9 {
+		t.Errorf("jitter-free rate %v, want exactly 10", got)
+	}
+	// Perfect periodicity: displacement repeats every 6 s.
+	for _, tt := range []float64{0.5, 1.7, 3.2, 5.9} {
+		a, b := m.Displacement(tt), m.Displacement(tt+6)
+		if math.Abs(a-b) > 1e-9 {
+			t.Errorf("displacement not periodic at t=%v: %v vs %v", tt, a, b)
+		}
+	}
+}
+
+func TestMetronomeDisplacementBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const amp = 0.006
+	m, err := NewMetronome(15, amp, 0.05, 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0.0; tt < 60; tt += 0.01 {
+		if d := math.Abs(m.Displacement(tt)); d > amp*1.05 {
+			t.Fatalf("|displacement| = %v at t=%v exceeds amplitude %v", d, tt, amp)
+		}
+	}
+}
+
+func TestMetronomeDeterministic(t *testing.T) {
+	a, err := NewMetronome(10, 0.005, 0.03, 60, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMetronome(10, 0.005, 0.03, 60, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0.0; tt < 60; tt += 0.37 {
+		if a.Displacement(tt) != b.Displacement(tt) {
+			t.Fatalf("same seed diverged at t=%v", tt)
+		}
+	}
+}
+
+func TestMetronomeValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewMetronome(0, 0.005, 0, 60, rng); err == nil {
+		t.Error("expected error for zero rate")
+	}
+	if _, err := NewMetronome(10, 0, 0, 60, rng); err == nil {
+		t.Error("expected error for zero amplitude")
+	}
+	if _, err := NewMetronome(10, 0.005, 0, 0, rng); err == nil {
+		t.Error("expected error for zero horizon")
+	}
+}
+
+func TestNaturalRateWander(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, err := NewNatural(14, 2, 0.005, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := n.AverageRateBPM(0, 300)
+	if math.Abs(got-14) > 2.5 {
+		t.Errorf("natural mean rate %v, want ≈14", got)
+	}
+	// Rates in different windows should differ (wander), unlike a
+	// metronome.
+	r1 := n.AverageRateBPM(0, 60)
+	r2 := n.AverageRateBPM(120, 180)
+	if r1 == r2 {
+		t.Error("natural pattern shows no rate wander")
+	}
+}
+
+func TestIrregularPausesReduceRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ir, err := NewIrregular(24, 9, 0.005, 5, 0.9, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := ir.AverageRateBPM(0, 300)
+	// Alternating 24/9 without pauses would average ≈14-16; heavy
+	// pauses must pull it well below that band.
+	if rate >= 14 {
+		t.Errorf("rate with heavy pauses %v, want < 14", rate)
+	}
+	// During a pause the displacement is flat; verify some flat
+	// stretch exists.
+	flat := false
+	for tt := 0.0; tt < 290; tt += 0.5 {
+		if ir.Displacement(tt) == ir.Displacement(tt+0.5) && ir.Displacement(tt) == ir.Displacement(tt+1) {
+			flat = true
+			break
+		}
+	}
+	if !flat {
+		t.Error("no pause plateau found in irregular pattern")
+	}
+}
+
+func TestBreathingStyleSiteGains(t *testing.T) {
+	chest := BreathingStyle{ChestFraction: 1}
+	if chest.siteGain(SiteChest) <= chest.siteGain(SiteAbdomen) {
+		t.Error("chest breather should move chest more than abdomen")
+	}
+	abdominal := BreathingStyle{ChestFraction: 0}
+	if abdominal.siteGain(SiteAbdomen) <= abdominal.siteGain(SiteChest) {
+		t.Error("abdominal breather should move abdomen more than chest")
+	}
+	// All gains positive for any mix: fusion stays constructive.
+	f := func(cf float64) bool {
+		if math.IsNaN(cf) || math.IsInf(cf, 0) {
+			return true
+		}
+		s := BreathingStyle{ChestFraction: cf}
+		for _, site := range DefaultSites {
+			if s.siteGain(site) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func newTestUser(t *testing.T, posture Posture, facingDeg float64) *User {
+	t.Helper()
+	br, err := NewMetronome(10, 0.005, 0, 120, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &User{
+		ID:        1,
+		Position:  geom.Vec3{X: 4, Z: 1.1},
+		FacingDeg: facingDeg,
+		Posture:   posture,
+		Style:     BreathingStyle{ChestFraction: 0.6},
+		Breather:  br,
+	}
+}
+
+func TestTagPoseSitesAreDistinct(t *testing.T) {
+	u := newTestUser(t, Sitting, 180)
+	seen := map[geom.Vec3]bool{}
+	for _, site := range DefaultSites {
+		p := u.TagPose(site, 0).Position
+		if seen[p] {
+			t.Fatalf("duplicate tag position %v", p)
+		}
+		seen[p] = true
+	}
+	// Chest is above abdomen for upright postures.
+	chest := u.TagPose(SiteChest, 0).Position
+	abdomen := u.TagPose(SiteAbdomen, 0).Position
+	if chest.Z <= abdomen.Z {
+		t.Errorf("chest z %v not above abdomen z %v", chest.Z, abdomen.Z)
+	}
+}
+
+func TestTagPoseBreathingMovesTag(t *testing.T) {
+	u := newTestUser(t, Sitting, 180) // facing -X, toward an antenna at origin
+	inhale := u.TagPose(SiteChest, 1.5)
+	exhale := u.TagPose(SiteChest, 4.5)
+	if inhale.Position == exhale.Position {
+		t.Fatal("breathing does not move the tag")
+	}
+	// Motion magnitude is millimetric, not larger.
+	d := inhale.Position.Distance(exhale.Position)
+	if d < 1e-4 || d > 0.03 {
+		t.Errorf("breath excursion %v m, want millimetric", d)
+	}
+}
+
+func TestTagPoseRadialSignAllSites(t *testing.T) {
+	// All three sites move toward/away from the antenna together
+	// (§IV-D.1: constructive fusion).
+	u := newTestUser(t, Sitting, 180)
+	antenna := geom.Vec3{Z: 1}
+	d0 := make(map[TagSite]float64)
+	for _, site := range DefaultSites {
+		d0[site] = u.TagPose(site, 0.2).Position.Distance(antenna)
+	}
+	for _, tt := range []float64{1.1, 2.3, 3.8, 5.2} {
+		var sign int
+		for _, site := range DefaultSites {
+			d := u.TagPose(site, tt).Position.Distance(antenna)
+			delta := d - d0[site]
+			if math.Abs(delta) < 1e-7 {
+				continue
+			}
+			s := 1
+			if delta < 0 {
+				s = -1
+			}
+			if sign == 0 {
+				sign = s
+			} else if sign != s {
+				t.Fatalf("sites move in opposite radial directions at t=%v", tt)
+			}
+		}
+	}
+}
+
+func TestOrientationTo(t *testing.T) {
+	u := newTestUser(t, Sitting, 180) // faces -X
+	antennaFront := geom.Vec3{X: 0, Z: 1.1}
+	if psi := u.OrientationTo(antennaFront); psi > 0.01 {
+		t.Errorf("facing antenna: ψ = %v, want ≈0", psi)
+	}
+	antennaBehind := geom.Vec3{X: 8, Z: 1.1}
+	if psi := u.OrientationTo(antennaBehind); math.Abs(psi-math.Pi) > 0.01 {
+		t.Errorf("antenna behind: ψ = %v, want ≈π", psi)
+	}
+	antennaSide := geom.Vec3{X: 4, Y: 5, Z: 1.1}
+	if psi := u.OrientationTo(antennaSide); math.Abs(psi-math.Pi/2) > 0.01 {
+		t.Errorf("antenna to the side: ψ = %v, want ≈π/2", psi)
+	}
+}
+
+func TestBodyLoss(t *testing.T) {
+	if l := BodyLoss(0); l != 0 {
+		t.Errorf("loss at 0° = %v, want 0", l)
+	}
+	if l := BodyLoss(math.Pi / 2); l != 0 {
+		t.Errorf("loss at 90° = %v, want 0 (LOS edge)", l)
+	}
+	if l := BodyLoss(math.Pi); l < 40 {
+		t.Errorf("loss at 180° = %v, want ≥ 40 dB (through body)", l)
+	}
+	// Monotone non-decreasing through the transition.
+	prev := BodyLoss(0)
+	for deg := 5.0; deg <= 180; deg += 5 {
+		l := BodyLoss(deg * math.Pi / 180)
+		if l < prev {
+			t.Fatalf("BodyLoss not monotone at %v°", deg)
+		}
+		prev = l
+	}
+}
+
+func TestTagPatternLoss(t *testing.T) {
+	if l := TagPatternLoss(0); l != 0 {
+		t.Errorf("pattern loss at boresight = %v, want 0", l)
+	}
+	l90 := TagPatternLoss(math.Pi / 2)
+	if l90 < 5 || l90 > 15 {
+		t.Errorf("pattern loss at 90° = %v, want mid single digits to low tens", l90)
+	}
+	// Clamped beyond 90°.
+	if TagPatternLoss(2.5) != l90 {
+		t.Error("pattern loss should clamp past 90°")
+	}
+}
+
+func TestLyingPoseTilted(t *testing.T) {
+	u := newTestUser(t, Lying, 180)
+	u.Position = geom.Vec3{X: 4, Z: 0.75}
+	// The supine normal keeps a horizontal component toward the
+	// antenna (pillow tilt), so ψ to a bedside antenna stays under 90°
+	// and breathing remains radially visible.
+	antenna := geom.Vec3{Z: 1}
+	psi := u.OrientationTo(antenna)
+	if psi >= math.Pi/2 {
+		t.Errorf("lying ψ = %v (%.0f°), want < 90°", psi, psi*180/math.Pi)
+	}
+	inhale := u.TagPose(SiteChest, 1.5).Position.Distance(antenna)
+	exhale := u.TagPose(SiteChest, 4.5).Position.Distance(antenna)
+	if math.Abs(inhale-exhale) < 5e-4 {
+		t.Errorf("lying radial excursion %v m, want ≥ 0.5 mm", math.Abs(inhale-exhale))
+	}
+}
+
+func TestPostureStrings(t *testing.T) {
+	if Sitting.String() != "sitting" || Standing.String() != "standing" || Lying.String() != "lying" {
+		t.Error("posture String() mismatch")
+	}
+	if SiteChest.String() != "chest" || SiteMid.String() != "mid" || SiteAbdomen.String() != "abdomen" {
+		t.Error("site String() mismatch")
+	}
+	if Posture(99).String() == "" || TagSite(99).String() == "" {
+		t.Error("unknown values should still print")
+	}
+}
+
+func TestAverageRateBPMPartialWindows(t *testing.T) {
+	m, err := NewMetronome(10, 0.005, 0, 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rate over any sub-window of a jitter-free metronome is 10.
+	for _, w := range [][2]float64{{0, 30}, {10, 50}, {5.5, 42.25}} {
+		if got := m.AverageRateBPM(w[0], w[1]); math.Abs(got-10) > 1e-9 {
+			t.Errorf("rate over [%v,%v] = %v, want 10", w[0], w[1], got)
+		}
+	}
+	if got := m.AverageRateBPM(30, 30); got != 0 {
+		t.Errorf("empty window rate = %v, want 0", got)
+	}
+	if got := m.AverageRateBPM(50, 10); got != 0 {
+		t.Errorf("inverted window rate = %v, want 0", got)
+	}
+}

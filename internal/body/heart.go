@@ -1,0 +1,89 @@
+package body
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Heartbeat models the millimetric chest-wall motion of the cardiac
+// cycle (the apex beat): a sub-millimeter, ~1–1.5 Hz component riding
+// on top of breathing. RF vital-sign systems in the paper's related
+// work (Vital-Radio, emotion recognition via RF) extract it; the
+// cardiac extension of this repository estimates it from the same tag
+// phase stream, with honestly limited range — the amplitude sits near
+// the commodity reader's phase-noise floor.
+type Heartbeat struct {
+	rateBPM   float64
+	amplitude float64
+	beats     []float64 // beat start times
+	periods   []float64
+}
+
+// NewHeartbeat builds a cardiac motion model at the given mean rate
+// (beats per minute) and chest-wall amplitude in meters (typical apex
+// beat: 0.2–0.5 mm). hrvFrac is the per-beat period variability
+// (healthy resting HRV is a few percent). horizon bounds sampling.
+func NewHeartbeat(rateBPM, amplitude, hrvFrac, horizon float64, rng *rand.Rand) (*Heartbeat, error) {
+	if rateBPM < 30 || rateBPM > 220 {
+		return nil, fmt.Errorf("body: heart rate %v bpm outside [30, 220]", rateBPM)
+	}
+	if amplitude <= 0 || amplitude > 0.002 {
+		return nil, fmt.Errorf("body: cardiac amplitude %v m outside (0, 2 mm]", amplitude)
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("body: non-positive horizon %v", horizon)
+	}
+	h := &Heartbeat{rateBPM: rateBPM, amplitude: amplitude}
+	nominal := 60 / rateBPM
+	t := 0.0
+	for t < horizon+2*nominal {
+		p := nominal
+		if hrvFrac > 0 && rng != nil {
+			p *= 1 + hrvFrac*rng.NormFloat64()
+			if p < 0.5*nominal {
+				p = 0.5 * nominal
+			}
+		}
+		h.beats = append(h.beats, t)
+		h.periods = append(h.periods, p)
+		t += p
+	}
+	return h, nil
+}
+
+// Displacement returns the cardiac chest-wall excursion at time t. The
+// waveform is a sharpened pulse (fundamental plus second harmonic),
+// matching the impulsive character of the apex beat.
+func (h *Heartbeat) Displacement(t float64) float64 {
+	i := indexFor(h.beats, t)
+	phase := (t - h.beats[i]) / h.periods[i]
+	if phase < 0 {
+		phase = 0
+	} else if phase >= 1 {
+		phase = math.Mod(phase, 1)
+	}
+	x := 2 * math.Pi * phase
+	return h.amplitude * (math.Sin(x) + 0.5*math.Sin(2*x+0.8)) / 1.5
+}
+
+// AverageRateBPM reports the true mean heart rate over [t0, t1].
+func (h *Heartbeat) AverageRateBPM(t0, t1 float64) float64 {
+	return averageRate(h.beats, h.periods, t0, t1)
+}
+
+// cardiacSiteGain scales the apex-beat amplitude by tag site: the
+// chest tag sits nearest the apex, the abdomen barely moves with the
+// heart.
+func cardiacSiteGain(site TagSite) float64 {
+	switch site {
+	case SiteChest:
+		return 1.0
+	case SiteMid:
+		return 0.4
+	case SiteAbdomen:
+		return 0.1
+	default:
+		return 0.3
+	}
+}

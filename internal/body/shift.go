@@ -1,0 +1,91 @@
+package body
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tagbreathe/internal/geom"
+)
+
+// TorsoShifts models non-respiratory body motion: a monitored subject
+// periodically fidgets — leans, reaches, re-settles — moving the torso
+// by centimeters over a second or so. Such shifts are an order of
+// magnitude larger than breathing excursion and corrupt naive
+// breathing extraction; the pipeline's motion-artifact rejection
+// exists to survive them.
+type TorsoShifts struct {
+	times     []float64
+	durations []float64
+	offsets   []geom.Vec3
+}
+
+// NewTorsoShifts draws shift events at mean intervals of everySec
+// seconds over the horizon. Each shift moves the torso by up to
+// maxShiftM meters in a random horizontal direction over ~1 s and
+// settles there (a random walk of postural adjustments).
+func NewTorsoShifts(everySec, maxShiftM, horizon float64, rng *rand.Rand) (*TorsoShifts, error) {
+	if everySec <= 2 {
+		return nil, fmt.Errorf("body: shift interval %v s too short", everySec)
+	}
+	if maxShiftM <= 0 || maxShiftM > 0.5 {
+		return nil, fmt.Errorf("body: shift magnitude %v m outside (0, 0.5]", maxShiftM)
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("body: non-positive horizon %v", horizon)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("body: rng is required")
+	}
+	ts := &TorsoShifts{}
+	t := everySec * (0.5 + rng.Float64())
+	for t < horizon {
+		mag := maxShiftM * (0.3 + 0.7*rng.Float64())
+		dir := rng.Float64() * 2 * math.Pi
+		ts.times = append(ts.times, t)
+		ts.durations = append(ts.durations, 0.6+0.8*rng.Float64())
+		ts.offsets = append(ts.offsets, geom.Vec3{
+			X: mag * math.Cos(dir),
+			Y: mag * math.Sin(dir),
+		})
+		t += everySec * (0.5 + rng.Float64())
+	}
+	return ts, nil
+}
+
+// Offset returns the accumulated positional offset at time t. During a
+// shift the offset ramps smoothly (smoothstep) from the previous
+// resting position to the next.
+func (ts *TorsoShifts) Offset(t float64) geom.Vec3 {
+	var acc geom.Vec3
+	for i, start := range ts.times {
+		if t < start {
+			break
+		}
+		end := start + ts.durations[i]
+		if t >= end {
+			acc = acc.Add(ts.offsets[i])
+			continue
+		}
+		frac := (t - start) / ts.durations[i]
+		s := frac * frac * (3 - 2*frac) // smoothstep
+		acc = acc.Add(ts.offsets[i].Scale(s))
+	}
+	return acc
+}
+
+// Count reports how many shifts occur before the horizon.
+func (ts *TorsoShifts) Count() int {
+	return len(ts.times)
+}
+
+// InShift reports whether t falls inside a shift transient (with a
+// small guard margin), used by tests to check rejection alignment.
+func (ts *TorsoShifts) InShift(t, margin float64) bool {
+	for i, start := range ts.times {
+		if t >= start-margin && t <= start+ts.durations[i]+margin {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,142 @@
+package body
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTorsoShiftsValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewTorsoShifts(1, 0.05, 60, rng); err == nil {
+		t.Error("expected error for too-short interval")
+	}
+	if _, err := NewTorsoShifts(20, 0, 60, rng); err == nil {
+		t.Error("expected error for zero magnitude")
+	}
+	if _, err := NewTorsoShifts(20, 0.6, 60, rng); err == nil {
+		t.Error("expected error for implausible magnitude")
+	}
+	if _, err := NewTorsoShifts(20, 0.05, 0, rng); err == nil {
+		t.Error("expected error for zero horizon")
+	}
+	if _, err := NewTorsoShifts(20, 0.05, 60, nil); err == nil {
+		t.Error("expected error for nil rng")
+	}
+}
+
+func TestTorsoShiftsOffsetEvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ts, err := NewTorsoShifts(15, 0.06, 120, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Count() == 0 {
+		t.Fatal("no shifts drawn over 120 s at 15 s intervals")
+	}
+	// Before the first shift: zero offset.
+	if o := ts.Offset(0); o.Norm() != 0 {
+		t.Errorf("offset at t=0 is %v, want zero", o)
+	}
+	// Offsets are piecewise constant between shifts and bounded.
+	prev := ts.Offset(0)
+	moves := 0
+	for tt := 0.0; tt < 120; tt += 0.25 {
+		o := ts.Offset(tt)
+		if o.Norm() > 0.06*float64(ts.Count())+1e-9 {
+			t.Fatalf("offset %v exceeds accumulated bound", o.Norm())
+		}
+		if o.Sub(prev).Norm() > 1e-12 {
+			moves++
+		}
+		prev = o
+	}
+	if moves == 0 {
+		t.Error("offset never moved")
+	}
+	// Monotone within a single shift: ramp is smooth, no overshoot.
+	start := ts.times[0]
+	dur := ts.durations[0]
+	before := ts.Offset(start - 0.01)
+	after := ts.Offset(start + dur + 0.01)
+	mid := ts.Offset(start + dur/2)
+	d1 := mid.Sub(before).Norm()
+	d2 := after.Sub(before).Norm()
+	if d1 <= 0 || d1 >= d2 {
+		t.Errorf("shift ramp not progressive: mid %v, full %v", d1, d2)
+	}
+}
+
+func TestTorsoShiftsInShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ts, err := NewTorsoShifts(15, 0.05, 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := ts.times[0]
+	if !ts.InShift(start+0.1, 0) {
+		t.Error("InShift false during a shift")
+	}
+	if ts.InShift(start-5, 0) {
+		t.Error("InShift true well before a shift")
+	}
+	if !ts.InShift(start-1, 2) {
+		t.Error("InShift margin not honored")
+	}
+}
+
+func TestTorsoShiftsDeterministic(t *testing.T) {
+	mk := func() *TorsoShifts {
+		ts, err := NewTorsoShifts(10, 0.04, 60, rand.New(rand.NewSource(4)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ts
+	}
+	a, b := mk(), mk()
+	for tt := 0.0; tt < 60; tt += 0.5 {
+		if a.Offset(tt) != b.Offset(tt) {
+			t.Fatalf("same seed diverged at t=%v", tt)
+		}
+	}
+}
+
+func TestHeartbeatModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h, err := NewHeartbeat(72, 0.00035, 0.04, 120, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.AverageRateBPM(0, 120); math.Abs(got-72) > 2 {
+		t.Errorf("heart rate %v, want ≈72", got)
+	}
+	// Displacement bounded by amplitude.
+	for tt := 0.0; tt < 60; tt += 0.01 {
+		if d := math.Abs(h.Displacement(tt)); d > 0.00035*1.01 {
+			t.Fatalf("cardiac displacement %v exceeds amplitude", d)
+		}
+	}
+}
+
+func TestHeartbeatValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if _, err := NewHeartbeat(20, 0.00035, 0, 60, rng); err == nil {
+		t.Error("expected error for 20 bpm heart rate")
+	}
+	if _, err := NewHeartbeat(72, 0, 0, 60, rng); err == nil {
+		t.Error("expected error for zero amplitude")
+	}
+	if _, err := NewHeartbeat(72, 0.01, 0, 60, rng); err == nil {
+		t.Error("expected error for 1 cm cardiac amplitude")
+	}
+	if _, err := NewHeartbeat(72, 0.00035, 0, 0, rng); err == nil {
+		t.Error("expected error for zero horizon")
+	}
+}
+
+func TestCardiacSiteGainOrdering(t *testing.T) {
+	if !(cardiacSiteGain(SiteChest) > cardiacSiteGain(SiteMid) &&
+		cardiacSiteGain(SiteMid) > cardiacSiteGain(SiteAbdomen)) {
+		t.Error("cardiac gain must decrease with distance from the apex")
+	}
+}

@@ -1,0 +1,288 @@
+package body
+
+import (
+	"fmt"
+	"math"
+
+	"tagbreathe/internal/geom"
+	"tagbreathe/internal/units"
+)
+
+// TagSite identifies where on the torso a tag is attached. The paper
+// places three tags per user: chest, lower abdomen, and one in between
+// (§IV-D.1), because some users breathe with their chests and others
+// with their abdomens.
+type TagSite int
+
+// Tag attachment sites.
+const (
+	SiteChest TagSite = iota + 1
+	SiteMid
+	SiteAbdomen
+)
+
+// String implements fmt.Stringer.
+func (s TagSite) String() string {
+	switch s {
+	case SiteChest:
+		return "chest"
+	case SiteMid:
+		return "mid"
+	case SiteAbdomen:
+		return "abdomen"
+	default:
+		return fmt.Sprintf("TagSite(%d)", int(s))
+	}
+}
+
+// DefaultSites is the paper's three-tag placement.
+var DefaultSites = []TagSite{SiteChest, SiteMid, SiteAbdomen}
+
+// Posture is the subject's body position during monitoring (§VI-B.4).
+type Posture int
+
+// Supported postures.
+const (
+	Sitting Posture = iota + 1
+	Standing
+	Lying
+)
+
+// String implements fmt.Stringer.
+func (p Posture) String() string {
+	switch p {
+	case Sitting:
+		return "sitting"
+	case Standing:
+		return "standing"
+	case Lying:
+		return "lying"
+	default:
+		return fmt.Sprintf("Posture(%d)", int(p))
+	}
+}
+
+// BreathingStyle captures how breathing effort splits between chest and
+// abdomen. ChestFraction 1 is a pure chest breather, 0 a pure abdominal
+// breather. The site amplitude profile interpolates between the two.
+type BreathingStyle struct {
+	ChestFraction float64
+}
+
+// siteGain returns the relative excursion of a tag site for this style.
+// All sites move in the same direction during a breath (§IV-D.1), so
+// gains are always positive and fusion is constructive.
+func (b BreathingStyle) siteGain(site TagSite) float64 {
+	cf := b.ChestFraction
+	if cf < 0 {
+		cf = 0
+	} else if cf > 1 {
+		cf = 1
+	}
+	// Chest breather profile and abdominal breather profile, blended.
+	var chestProfile, abdomenProfile float64
+	switch site {
+	case SiteChest:
+		chestProfile, abdomenProfile = 1.0, 0.45
+	case SiteMid:
+		chestProfile, abdomenProfile = 0.75, 0.75
+	case SiteAbdomen:
+		chestProfile, abdomenProfile = 0.45, 1.0
+	default:
+		chestProfile, abdomenProfile = 0.5, 0.5
+	}
+	return cf*chestProfile + (1-cf)*abdomenProfile
+}
+
+// User is one monitored subject: identity, placement in the room,
+// posture and facing, breathing pattern, and style.
+type User struct {
+	// ID is the 64-bit user identity encoded into the high bits of each
+	// of the user's tag EPCs (Fig. 9 of the paper).
+	ID uint64
+	// Position is the torso reference point (sternum) in room
+	// coordinates, meters.
+	Position geom.Vec3
+	// FacingDeg is the horizontal direction the subject faces, in
+	// degrees in the room frame (0 = +X axis). The torso surface normal
+	// points along this direction for upright postures.
+	FacingDeg float64
+	Posture   Posture
+	Style     BreathingStyle
+	Breather  Breather
+	// Heart optionally adds the cardiac chest-wall component to tag
+	// motion; nil disables it.
+	Heart *Heartbeat
+	// Shifts optionally adds non-respiratory postural motion; nil
+	// keeps the subject still apart from breathing.
+	Shifts *TorsoShifts
+}
+
+// TagPose is the instantaneous geometry of one attached tag.
+type TagPose struct {
+	Site TagSite
+	// Position is the tag location in room coordinates at the sampled
+	// instant, including breathing excursion.
+	Position geom.Vec3
+	// Normal is the outward torso surface normal at the tag, the
+	// direction along which breathing moves the tag.
+	Normal geom.Vec3
+}
+
+// siteOffset returns the at-rest offset of a tag site from the torso
+// reference point, in the body frame (X outward from the torso, Z up
+// for upright postures).
+func siteOffset(site TagSite, p Posture) geom.Vec3 {
+	// Vertical spacing between chest and abdomen sites, meters.
+	var dz float64
+	switch site {
+	case SiteChest:
+		dz = 0
+	case SiteMid:
+		dz = -0.12
+	case SiteAbdomen:
+		dz = -0.24
+	}
+	if p == Lying {
+		// Lying on the back: the torso axis is horizontal (along body
+		// Y) and the surface normal points up.
+		return geom.Vec3{X: 0, Y: dz, Z: 0}
+	}
+	return geom.Vec3{X: 0, Y: 0, Z: dz}
+}
+
+// lyingTiltDeg is how far a supine subject's torso normal tilts from
+// vertical toward the feet: people monitored in bed rest with the
+// upper torso inclined on a pillow or backrest, so the chest normal
+// keeps a horizontal component. Without it an antenna near bed height
+// would sit exactly broadside to the chest motion and the radial
+// breathing signal would vanish — which is not what the paper's
+// lying-posture experiment observes (>90% accuracy, Fig. 17).
+const lyingTiltDeg = 25.0
+
+// facing returns the unit vector of the subject's torso normal in room
+// coordinates. Lying subjects face mostly up, tilted toward FacingDeg.
+func (u *User) facing() geom.Vec3 {
+	rad := float64(units.Degrees(u.FacingDeg).Radians())
+	horiz := geom.Vec3{X: math.Cos(rad), Y: math.Sin(rad)}
+	if u.Posture == Lying {
+		tilt := float64(units.Degrees(lyingTiltDeg).Radians())
+		return geom.Vec3{Z: math.Cos(tilt)}.Add(horiz.Scale(math.Sin(tilt)))
+	}
+	return horiz
+}
+
+// Torso expansion anisotropy: breathing moves the chest wall mostly
+// along the surface normal, but the ribcage also widens ("bucket
+// handle" rib rotation) and the torso lengthens slightly. The lateral
+// and vertical components keep breathing radially visible to an
+// antenna even when the subject stands side-on (ψ = 90°), which is why
+// Fig. 16 still measures 85% accuracy there.
+const (
+	lateralExpansion  = 0.55
+	verticalExpansion = 0.15
+)
+
+// TagPose returns the pose of the tag at the given site at time t. The
+// breathing excursion displaces the tag along the torso normal with
+// smaller lateral and vertical components, scaled by the style's site
+// gain and a posture scale.
+func (u *User) TagPose(site TagSite, t float64) TagPose {
+	normal := u.facing()
+	base := siteOffset(site, u.Posture)
+	// Rotate the body-frame offset into the room frame for upright
+	// postures (rotation about Z by the facing angle); lying offsets
+	// are already expressed in room axes.
+	if u.Posture != Lying {
+		rad := float64(units.Degrees(u.FacingDeg).Radians())
+		base = base.RotateZ(rad)
+	}
+	pos := u.Position.Add(base)
+	if u.Shifts != nil {
+		pos = pos.Add(u.Shifts.Offset(t))
+	}
+	if u.Breather != nil || u.Heart != nil {
+		var excursion float64
+		if u.Breather != nil {
+			excursion = u.Breather.Displacement(t) * u.Style.siteGain(site) * postureScale(u.Posture)
+		}
+		if u.Heart != nil {
+			excursion += u.Heart.Displacement(t) * cardiacSiteGain(site)
+		}
+		up := geom.Vec3{Z: 1}
+		if u.Posture == Lying {
+			// The torso axis is horizontal when supine: lengthening
+			// happens along the facing direction.
+			rad := float64(units.Degrees(u.FacingDeg).Radians())
+			up = geom.Vec3{X: math.Cos(rad), Y: math.Sin(rad)}
+		}
+		side := normal.Cross(up)
+		motion := normal.Scale(excursion).
+			Add(side.Scale(lateralExpansion * excursion)).
+			Add(up.Scale(verticalExpansion * excursion))
+		pos = pos.Add(motion)
+	}
+	return TagPose{Site: site, Position: pos, Normal: normal}
+}
+
+// postureScale captures how much total excursion each posture allows:
+// lying relaxes the diaphragm (slightly larger), sitting is the
+// reference, standing slightly shallower.
+func postureScale(p Posture) float64 {
+	switch p {
+	case Standing:
+		return 0.9
+	case Lying:
+		return 1.1
+	default:
+		return 1.0
+	}
+}
+
+// OrientationTo returns ψ, the angle in radians between the subject's
+// torso normal and the direction from the subject to the point p
+// (typically a reader antenna). ψ = 0 means the subject directly faces
+// the antenna; ψ = π means the antenna is behind the subject.
+func (u *User) OrientationTo(p geom.Vec3) float64 {
+	toAntenna := p.Sub(u.Position)
+	return u.facing().AngleBetween(toAntenna)
+}
+
+// BodyLoss returns the attenuation the subject's body inserts into the
+// tag-antenna path as a function of ψ (radians). With line of sight
+// (ψ < 90°) the body adds nothing; as the subject turns past 90° the
+// torso blocks the path and UHF through-body loss (tens of dB) makes
+// the tag unreadable, which is exactly the Fig. 15 behaviour: no reads
+// beyond 90°.
+func BodyLoss(psi float64) units.DB {
+	deg := psi * 180 / math.Pi
+	switch {
+	case deg <= 90:
+		return 0
+	case deg >= 120:
+		return 45
+	default:
+		// Ramp from 0 dB at 90° to 45 dB at 120° as the torso rotates
+		// through the Fresnel zone.
+		return units.DB(45 * (deg - 90) / 30)
+	}
+}
+
+// TagPatternLoss returns the off-boresight loss of a label tag mounted
+// on the torso, as a function of ψ (radians). A garment-mounted dipole
+// detunes and its pattern narrows against the body; the loss grows
+// smoothly to ~9 dB at 90°. Combined with the forward-link activation
+// margin this reproduces the Fig. 15 read-rate roll-off (50 Hz at 0°
+// to 10 Hz at 90°) while successful reads keep similar RSSI.
+func TagPatternLoss(psi float64) units.DB {
+	deg := psi * 180 / math.Pi
+	if deg < 0 {
+		deg = 0
+	}
+	if deg > 90 {
+		deg = 90
+	}
+	// Quadratic in angle: negligible near boresight, ~9 dB at 90°.
+	frac := deg / 90
+	return units.DB(9 * frac * frac)
+}

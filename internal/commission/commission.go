@@ -1,0 +1,192 @@
+// Package commission implements the tag-provisioning workflow of
+// §IV-C: before monitoring, each user's tags are either rewritten so
+// their 96-bit EPC carries the 64-bit user ID and 32-bit tag ID
+// (Fig. 9) — "a standard RFID operation supported by commodity RFID
+// systems" — or, when a deployment cannot rewrite tags, registered in
+// a mapping table that translates factory EPCs to (user, tag)
+// identities at ingest time.
+//
+// The package provides both paths plus the Gen2 Write mechanics the
+// rewrite path models: word-aligned writes with per-word success
+// probability and read-back verification, as a real commissioning
+// station performs them.
+package commission
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"tagbreathe/internal/epc"
+	"tagbreathe/internal/reader"
+)
+
+// Identity is the logical identity of a monitoring tag.
+type Identity struct {
+	UserID uint64
+	TagID  uint32
+}
+
+// Registry resolves tag reports to logical identities. The zero value
+// resolves EPCs that already encode identities (the overwrite path);
+// AddMapping teaches it factory EPCs (the mapping-table path). It is
+// safe for concurrent use — ingest pipelines resolve on the hot path
+// while commissioning adds mappings.
+type Registry struct {
+	mu sync.RWMutex
+	// mapped translates factory EPCs.
+	mapped map[epc.EPC96]Identity
+	// known marks user IDs that were commissioned via overwrite, so
+	// Resolve can distinguish monitoring tags from arbitrary item
+	// tags whose EPC high bits are accidental.
+	known map[uint64]bool
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		mapped: make(map[epc.EPC96]Identity),
+		known:  make(map[uint64]bool),
+	}
+}
+
+// RegisterUser marks a user ID as commissioned via the EPC-overwrite
+// path: any EPC whose high 64 bits equal userID resolves to it.
+func (r *Registry) RegisterUser(userID uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.known[userID] = true
+}
+
+// AddMapping teaches the registry a factory EPC (the fallback of
+// §IV-C: "the reader can build a mapping table to map and lookup
+// 96-bit tag IDs to user IDs and short tag IDs").
+func (r *Registry) AddMapping(factory epc.EPC96, id Identity) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mapped[factory] = id
+}
+
+// Resolve returns the logical identity for a report's EPC: mapping
+// table first, then the overwrite convention for registered users.
+// ok is false for tags that are not part of the monitoring deployment
+// (e.g. item-labelling tags), which ingest should ignore.
+func (r *Registry) Resolve(e epc.EPC96) (Identity, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if id, ok := r.mapped[e]; ok {
+		return id, true
+	}
+	if r.known[e.UserID()] {
+		return Identity{UserID: e.UserID(), TagID: e.TagID()}, true
+	}
+	return Identity{}, false
+}
+
+// Users returns the registered user IDs in ascending order, for
+// pipeline configuration.
+func (r *Registry) Users() []uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	set := make(map[uint64]bool, len(r.known)+len(r.mapped))
+	for uid := range r.known {
+		set[uid] = true
+	}
+	for _, id := range r.mapped {
+		set[id.UserID] = true
+	}
+	out := make([]uint64, 0, len(set))
+	for uid := range set {
+		out = append(out, uid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Rewrite translates a report's EPC in place using the mapping table,
+// producing the stream the rest of the pipeline expects (user ID in
+// the high bits). Reports whose EPCs are unknown pass through
+// unchanged with ok=false.
+func (r *Registry) Rewrite(rep *reader.TagReport) bool {
+	id, ok := r.Resolve(rep.EPC)
+	if !ok {
+		return false
+	}
+	rep.EPC = epc.NewUserTagEPC(id.UserID, id.TagID)
+	return true
+}
+
+// WritableTag models the EPC bank of one physical tag during
+// commissioning: Gen2 writes happen one 16-bit word at a time and can
+// fail per word (marginal power at the writing station), so a real
+// commissioning flow writes, verifies, and retries.
+type WritableTag struct {
+	// EPC is the current EPC bank content.
+	EPC epc.EPC96
+	// WordWriteSuccess is the per-word write success probability in
+	// [0, 1]; commissioning stations with the tag on a near-field pad
+	// sit near 1, conveyor setups lower.
+	WordWriteSuccess float64
+}
+
+// Writer is a commissioning station: it rewrites tag EPCs with
+// word-level Gen2 semantics and verifies by read-back.
+type Writer struct {
+	// MaxRetries bounds write attempts per tag before giving up.
+	MaxRetries int
+	rng        *rand.Rand
+}
+
+// NewWriter builds a commissioning station. rng drives per-word write
+// outcomes and must not be nil.
+func NewWriter(maxRetries int, rng *rand.Rand) (*Writer, error) {
+	if maxRetries < 1 {
+		return nil, fmt.Errorf("commission: MaxRetries must be ≥ 1, got %d", maxRetries)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("commission: rng is required")
+	}
+	return &Writer{MaxRetries: maxRetries, rng: rng}, nil
+}
+
+// WriteIdentity programs the Fig. 9 layout into the tag: the 96-bit
+// EPC becomes userID ‖ tagID. It performs word-aligned writes with
+// per-word failures, verifies the full bank afterwards, and retries
+// whole-bank on mismatch, as commissioning tools do. It returns the
+// number of attempts used or an error after MaxRetries.
+func (w *Writer) WriteIdentity(tag *WritableTag, id Identity) (attempts int, err error) {
+	want := epc.NewUserTagEPC(id.UserID, id.TagID)
+	p := tag.WordWriteSuccess
+	if p <= 0 {
+		return 0, fmt.Errorf("commission: tag is not writable (word success %v)", p)
+	}
+	for attempts = 1; attempts <= w.MaxRetries; attempts++ {
+		// Six 16-bit words per 96-bit EPC bank.
+		for word := 0; word < 6; word++ {
+			if w.rng.Float64() < p {
+				copy(tag.EPC[word*2:word*2+2], want[word*2:word*2+2])
+			}
+		}
+		// Verify by read-back (assumed reliable on the pad).
+		if tag.EPC == want {
+			return attempts, nil
+		}
+	}
+	return w.MaxRetries, fmt.Errorf("commission: EPC verify failed after %d attempts", w.MaxRetries)
+}
+
+// CommissionUser programs all of a user's tags with sequential tag IDs
+// starting at 1 and registers the user. It reports per-tag attempts.
+func (w *Writer) CommissionUser(reg *Registry, userID uint64, tags []*WritableTag) ([]int, error) {
+	attempts := make([]int, len(tags))
+	for i, tag := range tags {
+		a, err := w.WriteIdentity(tag, Identity{UserID: userID, TagID: uint32(i + 1)})
+		attempts[i] = a
+		if err != nil {
+			return attempts, fmt.Errorf("commission: tag %d of user %x: %w", i+1, userID, err)
+		}
+	}
+	reg.RegisterUser(userID)
+	return attempts, nil
+}

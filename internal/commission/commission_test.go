@@ -1,0 +1,189 @@
+package commission
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tagbreathe/internal/epc"
+	"tagbreathe/internal/reader"
+)
+
+func TestRegistryOverwritePath(t *testing.T) {
+	reg := NewRegistry()
+	reg.RegisterUser(0xABC)
+	id, ok := reg.Resolve(epc.NewUserTagEPC(0xABC, 7))
+	if !ok || id.UserID != 0xABC || id.TagID != 7 {
+		t.Errorf("resolve = %+v, %v", id, ok)
+	}
+	// Unregistered user IDs do not resolve: item tags are ignored.
+	if _, ok := reg.Resolve(epc.NewUserTagEPC(0xDEF, 1)); ok {
+		t.Error("unregistered EPC resolved")
+	}
+}
+
+func TestRegistryMappingPath(t *testing.T) {
+	reg := NewRegistry()
+	factory, err := epc.ParseEPC96("30f4000012345678deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.AddMapping(factory, Identity{UserID: 42, TagID: 2})
+	id, ok := reg.Resolve(factory)
+	if !ok || id.UserID != 42 || id.TagID != 2 {
+		t.Errorf("resolve = %+v, %v", id, ok)
+	}
+	// Rewrite produces the Fig. 9 layout in the stream.
+	rep := reader.TagReport{EPC: factory}
+	if !reg.Rewrite(&rep) {
+		t.Fatal("rewrite failed")
+	}
+	if rep.EPC.UserID() != 42 || rep.EPC.TagID() != 2 {
+		t.Errorf("rewritten EPC = %v", rep.EPC)
+	}
+	// Unknown EPCs pass through untouched.
+	other := reader.TagReport{EPC: epc.NewUserTagEPC(9, 9)}
+	if reg.Rewrite(&other) {
+		t.Error("unknown EPC rewritten")
+	}
+}
+
+func TestRegistryUsers(t *testing.T) {
+	reg := NewRegistry()
+	reg.RegisterUser(30)
+	reg.RegisterUser(10)
+	reg.AddMapping(epc.NewUserTagEPC(0, 1), Identity{UserID: 20, TagID: 1})
+	users := reg.Users()
+	want := []uint64{10, 20, 30}
+	if len(users) != 3 {
+		t.Fatalf("users = %v", users)
+	}
+	for i := range want {
+		if users[i] != want[i] {
+			t.Errorf("users[%d] = %v, want %v (sorted)", i, users[i], want[i])
+		}
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	reg := NewRegistry()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			reg.RegisterUser(uint64(i))
+			reg.AddMapping(epc.NewUserTagEPC(uint64(i), 0xFFFF), Identity{UserID: uint64(i), TagID: 1})
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		reg.Resolve(epc.NewUserTagEPC(uint64(i%100), 1))
+		reg.Users()
+	}
+	<-done
+}
+
+func TestWriterReliablePad(t *testing.T) {
+	w, err := NewWriter(5, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := &WritableTag{WordWriteSuccess: 1}
+	attempts, err := w.WriteIdentity(tag, Identity{UserID: 0x77, TagID: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 1 {
+		t.Errorf("attempts = %d, want 1 on a perfect pad", attempts)
+	}
+	if tag.EPC.UserID() != 0x77 || tag.EPC.TagID() != 3 {
+		t.Errorf("EPC = %v", tag.EPC)
+	}
+}
+
+func TestWriterRetriesOnMarginalLink(t *testing.T) {
+	w, err := NewWriter(50, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := &WritableTag{WordWriteSuccess: 0.5}
+	attempts, err := w.WriteIdentity(tag, Identity{UserID: 1, TagID: 1})
+	if err != nil {
+		t.Fatalf("write failed after %d attempts: %v", attempts, err)
+	}
+	if attempts < 2 {
+		t.Logf("note: lucky single attempt at 0.5 word success")
+	}
+	if tag.EPC != epc.NewUserTagEPC(1, 1) {
+		t.Errorf("EPC = %v after verified write", tag.EPC)
+	}
+}
+
+func TestWriterGivesUp(t *testing.T) {
+	w, err := NewWriter(3, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := &WritableTag{WordWriteSuccess: 0}
+	if _, err := w.WriteIdentity(tag, Identity{UserID: 1, TagID: 1}); err == nil {
+		t.Error("expected error for an unwritable tag")
+	}
+	// Partial writability with too few retries can also fail; the
+	// error must surface rather than silently leaving a torn EPC
+	// registered.
+	torn := &WritableTag{WordWriteSuccess: 0.05}
+	if _, err := w.WriteIdentity(torn, Identity{UserID: 1, TagID: 1}); err == nil {
+		t.Error("expected verify failure on a barely writable tag")
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	if _, err := NewWriter(0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("expected error for zero retries")
+	}
+	if _, err := NewWriter(3, nil); err == nil {
+		t.Error("expected error for nil rng")
+	}
+}
+
+func TestCommissionUser(t *testing.T) {
+	w, err := NewWriter(10, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	tags := []*WritableTag{
+		{WordWriteSuccess: 0.95},
+		{WordWriteSuccess: 0.95},
+		{WordWriteSuccess: 0.95},
+	}
+	attempts, err := w.CommissionUser(reg, 0x500, tags)
+	if err != nil {
+		t.Fatalf("commission: %v (attempts %v)", err, attempts)
+	}
+	for i, tag := range tags {
+		if tag.EPC.UserID() != 0x500 || tag.EPC.TagID() != uint32(i+1) {
+			t.Errorf("tag %d EPC = %v", i, tag.EPC)
+		}
+	}
+	if _, ok := reg.Resolve(tags[0].EPC); !ok {
+		t.Error("commissioned user not registered")
+	}
+}
+
+func TestWriteIdentityEventuallySucceedsProperty(t *testing.T) {
+	// For any word success probability ≥ 0.3 and generous retries, the
+	// write-verify loop converges.
+	f := func(seed int64, pRaw uint8) bool {
+		p := 0.3 + float64(pRaw%70)/100
+		w, err := NewWriter(200, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		tag := &WritableTag{WordWriteSuccess: p}
+		_, err = w.WriteIdentity(tag, Identity{UserID: 5, TagID: 5})
+		return err == nil && tag.EPC == epc.NewUserTagEPC(5, 5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

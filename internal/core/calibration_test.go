@@ -1,0 +1,133 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"tagbreathe/internal/core"
+	"tagbreathe/internal/sim"
+)
+
+// TestCalibrationShapes is a development aid: it sweeps the main
+// experiment axes at low repetition counts and logs the accuracy
+// shapes so model calibration against the paper's figures is visible
+// in test output. Assertions are loose; the experiments package holds
+// the tight ones.
+func TestCalibrationShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is slow")
+	}
+	rates := []float64{5, 8, 10, 14, 20} // paper sweeps 5-20 bpm per run
+	run := func(mutate func(*sim.Scenario), seed int64) (acc float64, reads int, ok bool) {
+		sc := sim.DefaultScenario()
+		sc.Duration = 2 * time.Minute
+		sc.Seed = seed
+		sc.Users[0].RateBPM = rates[int(seed)%len(rates)]
+		mutate(sc)
+		res, err := sc.Run()
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		uid := res.UserIDs[0]
+		est, err := core.EstimateUser(res.Reports, uid, core.Config{})
+		if err != nil {
+			return 0, len(res.Reports), false
+		}
+		return core.Accuracy(est.RateBPM, res.TrueRateBPM[uid]), len(res.Reports), true
+	}
+
+	t.Run("distance", func(t *testing.T) {
+		for _, d := range []float64{1, 2, 3, 4, 5, 6} {
+			var sum float64
+			var n int
+			for s := int64(0); s < 5; s++ {
+				a, reads, ok := run(func(sc *sim.Scenario) { sc.DefaultDistance = d }, 100+s)
+				if ok {
+					sum += a
+					n++
+				}
+				if s == 0 {
+					t.Logf("d=%.0fm reads=%d", d, reads)
+				}
+			}
+			if n == 0 {
+				t.Errorf("distance %.0f m: no signal in any run", d)
+				continue
+			}
+			mean := sum / float64(n)
+			t.Logf("distance %.0f m: mean accuracy %.3f over %d runs", d, mean, n)
+			if mean < 0.85 {
+				t.Errorf("distance %.0f m: mean accuracy %.3f below the Fig. 12 band", d, mean)
+			}
+		}
+	})
+
+	t.Run("orientation", func(t *testing.T) {
+		for _, deg := range []float64{0, 30, 60, 90, 120, 150, 180} {
+			var sum float64
+			var n int
+			var reads int
+			for s := int64(0); s < 5; s++ {
+				a, r, ok := run(func(sc *sim.Scenario) { sc.Users[0].OrientationDeg = deg }, 200+s)
+				reads = r
+				if ok {
+					sum += a
+					n++
+				}
+			}
+			if n > 0 {
+				t.Logf("orientation %3.0f°: mean accuracy %.3f (%d/5 runs, ~%d reads)", deg, sum/float64(n), n, reads)
+			} else {
+				t.Logf("orientation %3.0f°: no signal (~%d reads)", deg, reads)
+			}
+		}
+	})
+
+	t.Run("contention", func(t *testing.T) {
+		for _, c := range []int{0, 10, 20, 30} {
+			var sum float64
+			var n int
+			for s := int64(0); s < 5; s++ {
+				a, _, ok := run(func(sc *sim.Scenario) { sc.ContendingTags = c }, 300+s)
+				if ok {
+					sum += a
+					n++
+				}
+			}
+			t.Logf("contending %2d: mean accuracy %.3f (%d/5 runs)", c, sum/float64(max(n, 1)), n)
+		}
+	})
+
+	t.Run("users", func(t *testing.T) {
+		for _, u := range []int{1, 2, 3, 4} {
+			sc := sim.DefaultScenario()
+			sc.Duration = 2 * time.Minute
+			sc.Seed = 400
+			sc.Users = sim.SideBySide(u, 4, 10, 13, 8, 16)
+			res, err := sc.Run()
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			ests, err := core.Estimate(res.Reports, core.Config{Users: res.UserIDs})
+			if err != nil {
+				t.Fatalf("estimate: %v", err)
+			}
+			var sum float64
+			var n int
+			for _, uid := range res.UserIDs {
+				if est, ok := ests[uid]; ok {
+					sum += core.Accuracy(est.RateBPM, res.TrueRateBPM[uid])
+					n++
+				}
+			}
+			t.Logf("users=%d: %d/%d estimated, mean accuracy %.3f, agg rate %.0f/s",
+				u, n, u, sum/float64(max(n, 1)), res.Stats.AggregateReadRate())
+			if n < u {
+				t.Errorf("users=%d: only %d estimated", u, n)
+			}
+			if n > 0 && sum/float64(n) < 0.9 {
+				t.Errorf("users=%d: mean accuracy %.3f below the Fig. 13 band", u, sum/float64(n))
+			}
+		}
+	})
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tagbreathe/internal/reader"
+)
+
+// MonitorConfig tunes the streaming monitor.
+type MonitorConfig struct {
+	// Pipeline is the underlying pipeline configuration.
+	Pipeline Config
+	// Window is the sliding analysis window; the paper's
+	// characterization uses 25 s windows, the default.
+	Window time.Duration
+	// UpdateEvery is the stride between rate re-estimations; default
+	// one second, matching a realtime display cadence.
+	UpdateEvery time.Duration
+	// ApneaAlarmSec enables realtime pause detection: each update
+	// carries the [start, end) intervals (≥ this many seconds) where
+	// the user's breathing envelope collapsed within the window. Zero
+	// disables (no extra work per update).
+	ApneaAlarmSec float64
+}
+
+func (c *MonitorConfig) fillDefaults() {
+	c.Pipeline.fillDefaults()
+	if c.Window <= 0 {
+		c.Window = 25 * time.Second
+	}
+	if c.UpdateEvery <= 0 {
+		c.UpdateEvery = time.Second
+	}
+}
+
+// RateUpdate is one realtime output of the monitor: the current
+// breathing-rate estimate for one user, computed over the trailing
+// window ending at Time.
+type RateUpdate struct {
+	UserID uint64
+	// Time is the stream time the update was computed at.
+	Time time.Duration
+	// RateBPM is the Eq. 5 estimate over the window's buffered
+	// crossings.
+	RateBPM float64
+	// InstantBPM is the Eq. 5 estimate over the most recent
+	// CrossingBufferM crossings (the paper's realtime figure).
+	InstantBPM float64
+	// Crossings is how many zero crossings the window held.
+	Crossings int
+	// Reads is the number of low-level reads in the window for this
+	// user on its selected antenna.
+	Reads int
+	// AntennaPort is the antenna selected for this user this window.
+	AntennaPort int
+	// Pauses holds detected breathing pauses within the window when
+	// MonitorConfig.ApneaAlarmSec is set — the realtime apnea alarm.
+	Pauses [][2]float64
+}
+
+// Monitor is the streaming TagBreathe pipeline: feed it the reader's
+// report stream in timestamp order and receive per-user rate updates.
+// Internally it runs the paper's Fig. 10 workflow as two pipelined
+// stages — (1) grouping + phase differencing, which is incremental,
+// and (2) windowed fusion + extraction — connected by a channel, so
+// ingest never blocks on FFT work.
+//
+// The monitor is driven by stream time (report timestamps), not the
+// wall clock, so it serves live operation, accelerated simulation, and
+// trace replay identically.
+//
+// Close the input with Stop (or CloseInput after the final report) and
+// drain Updates until it closes; the monitor owns no goroutine past
+// that point (project style: no fire-and-forget goroutines).
+type Monitor struct {
+	cfg MonitorConfig
+
+	in      chan reader.TagReport
+	updates chan RateUpdate
+
+	stopOnce  sync.Once
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewMonitor starts a streaming monitor. Callers must eventually call
+// Stop (or CloseInput and drain Updates) to release its goroutines.
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	cfg.fillDefaults()
+	m := &Monitor{
+		cfg:     cfg,
+		in:      make(chan reader.TagReport, 256),
+		updates: make(chan RateUpdate, 64),
+	}
+	jobs := make(chan analysisJob, 1)
+	m.wg.Add(2)
+	go m.ingestLoop(jobs)
+	go m.analyzeLoop(jobs)
+	return m
+}
+
+// Ingest submits one report. Reports must arrive in timestamp order.
+// It returns false if the monitor has been stopped.
+func (m *Monitor) Ingest(r reader.TagReport) (ok bool) {
+	defer func() {
+		// Sending on a closed channel panics; translate the race with
+		// Stop into a clean false rather than crashing the producer.
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	m.in <- r
+	return true
+}
+
+// Updates returns the stream of rate updates. It is closed after Stop
+// (or CloseInput) once in-flight analysis drains.
+func (m *Monitor) Updates() <-chan RateUpdate {
+	return m.updates
+}
+
+// CloseInput signals that no further reports will arrive. Pending
+// analysis completes and Updates closes.
+func (m *Monitor) CloseInput() {
+	m.closeOnce.Do(func() { close(m.in) })
+}
+
+// Stop closes the input and waits for the pipeline to drain. Safe to
+// call multiple times and concurrently with Ingest.
+func (m *Monitor) Stop() {
+	m.stopOnce.Do(func() {
+		m.CloseInput()
+		// Drain updates so the analyze stage can finish.
+		go func() {
+			for range m.updates {
+			}
+		}()
+		m.wg.Wait()
+	})
+}
+
+// analysisJob is a snapshot handed from the ingest stage to the
+// analysis stage: all state needed to estimate every user at asOf.
+type analysisJob struct {
+	asOf    time.Duration
+	samples map[userAntennaKey][]DisplacementSample
+	meta    map[userAntennaKey]antennaMeta
+	final   bool
+}
+
+type userAntennaKey struct {
+	user    uint64
+	antenna int
+}
+
+type antennaMeta struct {
+	reads    int
+	rssiSum  float64
+	earliest float64
+	latest   float64
+}
+
+// ingestLoop is stage 1: grouping and differencing, plus window
+// bookkeeping. It snapshots state to the analysis stage every
+// UpdateEvery of stream time.
+func (m *Monitor) ingestLoop(jobs chan<- analysisJob) {
+	defer m.wg.Done()
+	defer close(jobs)
+
+	df := NewDifferencer(m.cfg.Pipeline)
+	samples := make(map[userAntennaKey][]DisplacementSample)
+	meta := make(map[userAntennaKey]antennaMeta)
+	var nextUpdate time.Duration
+	started := false
+
+	snapshot := func(asOf time.Duration, final bool) {
+		job := analysisJob{
+			asOf:    asOf,
+			samples: make(map[userAntennaKey][]DisplacementSample, len(samples)),
+			meta:    make(map[userAntennaKey]antennaMeta, len(meta)),
+			final:   final,
+		}
+		for k, v := range samples {
+			cp := make([]DisplacementSample, len(v))
+			copy(cp, v)
+			job.samples[k] = cp
+		}
+		for k, v := range meta {
+			job.meta[k] = v
+		}
+		jobs <- job
+	}
+
+	for r := range m.in {
+		uid := r.EPC.UserID()
+		if !m.cfg.Pipeline.allowsUser(uid) {
+			continue
+		}
+		if !started {
+			started = true
+			nextUpdate = r.Timestamp + m.cfg.Window
+		}
+		key := userAntennaKey{uid, r.AntennaPort}
+		mt := meta[key]
+		mt.reads++
+		mt.rssiSum += float64(r.RSSI)
+		if mt.earliest == 0 && mt.latest == 0 {
+			mt.earliest = r.Timestamp.Seconds()
+		}
+		mt.latest = r.Timestamp.Seconds()
+		meta[key] = mt
+
+		if d, ok := df.Ingest(r); ok {
+			samples[key] = append(samples[key], d.Sample)
+		}
+
+		// Evict state older than the window.
+		cutoff := (r.Timestamp - m.cfg.Window).Seconds()
+		if cutoff > 0 {
+			for k, v := range samples {
+				idx := sort.Search(len(v), func(i int) bool { return v[i].T >= cutoff })
+				if idx > 0 {
+					samples[k] = append(v[:0:0], v[idx:]...)
+				}
+			}
+		}
+
+		if r.Timestamp >= nextUpdate {
+			snapshot(r.Timestamp, false)
+			nextUpdate += m.cfg.UpdateEvery
+			// A long read gap can leave nextUpdate behind the stream;
+			// snap it forward so updates stay timely.
+			if nextUpdate <= r.Timestamp {
+				nextUpdate = r.Timestamp + m.cfg.UpdateEvery
+			}
+			// Metadata is windowed per snapshot: reset counters so the
+			// next update reflects the recent stream, not all history.
+			for k := range meta {
+				delete(meta, k)
+			}
+		}
+	}
+	if started {
+		snapshot(nextUpdate, true)
+	}
+}
+
+// analyzeLoop is stage 2: antenna selection, fusion, extraction, and
+// Eq. 5 per snapshot.
+func (m *Monitor) analyzeLoop(jobs <-chan analysisJob) {
+	defer m.wg.Done()
+	defer close(m.updates)
+
+	binSec := m.cfg.Pipeline.BinInterval.Seconds()
+	for job := range jobs {
+		// Per user, select the best antenna from this window's meta.
+		best := make(map[uint64]userAntennaKey)
+		bestScore := make(map[uint64]float64)
+		for k, mt := range job.meta {
+			span := mt.latest - mt.earliest
+			if span <= 0 {
+				span = 1
+			}
+			q := AntennaQuality{
+				UserID:   k.user,
+				Antenna:  k.antenna,
+				Reads:    mt.reads,
+				ReadRate: float64(mt.reads) / span,
+				MeanRSSI: mt.rssiSum / float64(mt.reads),
+			}
+			s := q.Score()
+			if prev, seen := best[k.user]; !seen || s > bestScore[k.user] ||
+				(s == bestScore[k.user] && k.antenna < prev.antenna) {
+				best[k.user] = k
+				bestScore[k.user] = s
+			}
+		}
+		for uid, key := range best {
+			ss := job.samples[key]
+			if len(ss) < 4 {
+				continue
+			}
+			t1 := job.asOf.Seconds()
+			t0 := t1 - m.cfg.Window.Seconds()
+			if t0 < 0 {
+				t0 = 0
+			}
+			bins := FuseBins(ss, binSec, t0, t1)
+			if m.cfg.Pipeline.LiteralBinning {
+				bins = FuseBinsLiteral(ss, binSec, t0, t1)
+			}
+			sig, err := ExtractBreath(bins, binSec, t0, m.cfg.Pipeline)
+			if err != nil {
+				continue
+			}
+			rate := sig.OverallRateBPM()
+			if rate <= 0 {
+				continue
+			}
+			instant := rate
+			if series := sig.InstantRateSeriesBPM(m.cfg.Pipeline.CrossingBufferM); len(series) > 0 {
+				instant = series[len(series)-1].V
+			}
+			var pauses [][2]float64
+			if m.cfg.ApneaAlarmSec > 0 {
+				pauses = sig.DetectPauses(m.cfg.ApneaAlarmSec)
+			}
+			m.updates <- RateUpdate{
+				UserID:      uid,
+				Time:        job.asOf,
+				RateBPM:     rate,
+				InstantBPM:  instant,
+				Crossings:   len(sig.Crossings),
+				Reads:       job.meta[key].reads,
+				AntennaPort: key.antenna,
+				Pauses:      pauses,
+			}
+		}
+	}
+}
+
+// MonitorStream is a convenience for trace replay: it pumps reports
+// into a fresh monitor, closes the input, and returns all updates.
+func MonitorStream(reports []reader.TagReport, cfg MonitorConfig) ([]RateUpdate, error) {
+	if len(reports) == 0 {
+		return nil, fmt.Errorf("core: empty report stream")
+	}
+	m := NewMonitor(cfg)
+	done := make(chan []RateUpdate)
+	go func() {
+		var out []RateUpdate
+		for u := range m.Updates() {
+			out = append(out, u)
+		}
+		done <- out
+	}()
+	for _, r := range reports {
+		m.Ingest(r)
+	}
+	m.CloseInput()
+	out := <-done
+	m.wg.Wait()
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"tagbreathe/internal/core"
+	"tagbreathe/internal/sim"
+)
+
+// fidgetScenario is a user who shifts posture every ~20 s.
+func fidgetScenario(seed int64) *sim.Scenario {
+	sc := sim.DefaultScenario()
+	sc.Duration = 2 * time.Minute
+	sc.Seed = seed
+	sc.Users[0].FidgetEverySec = 20
+	return sc
+}
+
+func TestMotionRejectionImprovesFidgetingAccuracy(t *testing.T) {
+	var plain, rejected float64
+	n := 0
+	for s := int64(60); s < 66; s++ {
+		res, err := fidgetScenario(s).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		uid := res.UserIDs[0]
+		truth := res.TrueRateBPM[uid]
+		p, err1 := core.EstimateUser(res.Reports, uid, core.Config{})
+		r, err2 := core.EstimateUser(res.Reports, uid, core.Config{MotionRejection: true})
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		plain += core.Accuracy(p.RateBPM, truth)
+		rejected += core.Accuracy(r.RateBPM, truth)
+		n++
+	}
+	if n < 4 {
+		t.Fatalf("only %d/6 trials produced estimates", n)
+	}
+	if rejected <= plain {
+		t.Errorf("rejection (%.3f) not better than plain (%.3f) under fidgeting",
+			rejected/float64(n), plain/float64(n))
+	}
+	if rejected/float64(n) < 0.75 {
+		t.Errorf("rejected-mode accuracy %.3f under fidgeting, want ≥ 0.75", rejected/float64(n))
+	}
+}
+
+func TestMotionRejectionReportsEvents(t *testing.T) {
+	res, err := fidgetScenario(70).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	uid := res.UserIDs[0]
+	est, err := core.EstimateUser(res.Reports, uid, core.Config{MotionRejection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est.Signal.MotionEvents) == 0 {
+		t.Fatal("no motion events reported for a fidgeting user")
+	}
+	// Events align with actual shifts (±3 s tolerance: guard plus
+	// settle expansion widen the blanked window).
+	shifts := res.Users[0].Shifts
+	if shifts == nil {
+		t.Fatal("scenario did not attach shifts")
+	}
+	matched := 0
+	for _, ev := range est.Signal.MotionEvents {
+		mid := (ev[0] + ev[1]) / 2
+		if shifts.InShift(mid, 3) {
+			matched++
+		}
+	}
+	if matched == 0 {
+		t.Error("no motion event aligned with a real shift")
+	}
+	// No crossings inside blanked windows.
+	for _, c := range est.Signal.Crossings {
+		for _, ev := range est.Signal.MotionEvents {
+			if c.T >= ev[0] && c.T < ev[1] {
+				t.Fatalf("crossing at %v inside blanked window %v", c.T, ev)
+			}
+		}
+	}
+}
+
+func TestMotionRejectionNoFalsePositivesOnStillUser(t *testing.T) {
+	sc := sim.DefaultScenario()
+	sc.Duration = 2 * time.Minute
+	sc.Seed = 71
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	uid := res.UserIDs[0]
+	plain, err := core.EstimateUser(res.Reports, uid, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected, err := core.EstimateUser(res.Reports, uid, core.Config{MotionRejection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a still subject the rejector must be (nearly) inert.
+	truth := res.TrueRateBPM[uid]
+	if core.Accuracy(rejected.RateBPM, truth) < core.Accuracy(plain.RateBPM, truth)-0.02 {
+		t.Errorf("rejection degraded a still subject: %v vs %v bpm (truth %v)",
+			rejected.RateBPM, plain.RateBPM, truth)
+	}
+}

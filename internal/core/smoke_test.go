@@ -1,0 +1,42 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"tagbreathe/internal/core"
+	"tagbreathe/internal/sim"
+)
+
+// TestEndToEndDefaultScenario is the pipeline's first integration
+// check: Table I defaults (one sitting user, 10 bpm paced, 4 m, three
+// tags) must yield a breathing-rate estimate within 1 bpm of truth —
+// the paper's headline "less than 1 breath per minute error".
+func TestEndToEndDefaultScenario(t *testing.T) {
+	sc := sim.DefaultScenario()
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatalf("scenario run: %v", err)
+	}
+	if len(res.Reports) == 0 {
+		t.Fatal("scenario produced no reads")
+	}
+	t.Logf("reads=%d rate=%.1f/s", len(res.Reports), res.Stats.AggregateReadRate())
+
+	ests, err := core.Estimate(res.Reports, core.Config{Users: res.UserIDs})
+	if err != nil {
+		t.Fatalf("estimate: %v", err)
+	}
+	uid := res.UserIDs[0]
+	est, ok := ests[uid]
+	if !ok {
+		t.Fatalf("no estimate for user %x", uid)
+	}
+	truth := res.TrueRateBPM[uid]
+	t.Logf("estimated=%.2f bpm truth=%.2f bpm accuracy=%.3f reads=%d tags=%d",
+		est.RateBPM, truth, core.Accuracy(est.RateBPM, truth), est.Reads, est.TagsSeen)
+	if diff := est.RateBPM - truth; diff > 1 || diff < -1 {
+		t.Errorf("rate error %.2f bpm exceeds 1 bpm (est %.2f, truth %.2f)", diff, est.RateBPM, truth)
+	}
+	_ = time.Second
+}

@@ -1,0 +1,148 @@
+package epc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestUserTagEPCRoundTrip(t *testing.T) {
+	f := func(user uint64, tag uint32) bool {
+		e := NewUserTagEPC(user, tag)
+		return e.UserID() == user && e.TagID() == tag
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEPCLayoutFig9(t *testing.T) {
+	// Fig. 9: 64-bit user ID occupies the high bytes, 32-bit tag ID
+	// the low bytes, big-endian as on air.
+	e := NewUserTagEPC(0x0102030405060708, 0x090A0B0C)
+	want := EPC96{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	if e != want {
+		t.Errorf("layout = %v, want %v", e, want)
+	}
+}
+
+func TestEPCStringParse(t *testing.T) {
+	e := NewUserTagEPC(0xDEADBEEF00000001, 42)
+	s := e.String()
+	if len(s) != 24 {
+		t.Fatalf("hex length %d, want 24", len(s))
+	}
+	if !strings.HasPrefix(s, "deadbeef00000001") {
+		t.Errorf("hex = %s", s)
+	}
+	back, err := ParseEPC96(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != e {
+		t.Errorf("parse round trip: %v != %v", back, e)
+	}
+}
+
+func TestParseEPC96Errors(t *testing.T) {
+	if _, err := ParseEPC96("zz"); err == nil {
+		t.Error("expected error for non-hex")
+	}
+	if _, err := ParseEPC96("0102"); err == nil {
+		t.Error("expected error for wrong length")
+	}
+	if _, err := ParseEPC96(strings.Repeat("00", 16)); err == nil {
+		t.Error("expected error for 128-bit input")
+	}
+}
+
+func TestCRC16RoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		msg := AppendCRC16(append([]byte(nil), data...))
+		return CheckCRC16(msg)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCRC16DetectsBitFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		data := make([]byte, 1+rng.Intn(32))
+		rng.Read(data)
+		msg := AppendCRC16(data)
+		// Flip one random bit anywhere in the message.
+		i := rng.Intn(len(msg))
+		bit := byte(1 << rng.Intn(8))
+		msg[i] ^= bit
+		if CheckCRC16(msg) {
+			t.Fatalf("single-bit flip at byte %d undetected", i)
+		}
+	}
+}
+
+func TestCRC16Known(t *testing.T) {
+	// CRC-16/CCITT-FALSE with final complement of "123456789":
+	// classic check value 0x29B1, complemented = 0xD64E.
+	got := CRC16([]byte("123456789"))
+	if got != 0xD64E {
+		t.Errorf("CRC16(check string) = %#04x, want 0xd64e", got)
+	}
+}
+
+func TestCheckCRC16Short(t *testing.T) {
+	if CheckCRC16(nil) || CheckCRC16([]byte{1}) {
+		t.Error("short messages must fail the CRC check")
+	}
+}
+
+func TestLinkParamsValidation(t *testing.T) {
+	good := DefaultLinkParams()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := good
+	bad.Tari = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for zero Tari")
+	}
+	bad = good
+	bad.BLF = 1e6
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for BLF out of range")
+	}
+	bad = good
+	bad.Miller = 3
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for Miller 3")
+	}
+	bad = good
+	bad.ReaderOverheadPerRound = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for negative overhead")
+	}
+}
+
+func TestTimingsOrdering(t *testing.T) {
+	tm := DefaultLinkParams().Timings()
+	if tm.Empty <= 0 || tm.Collision <= 0 || tm.Success <= 0 || tm.Query <= 0 {
+		t.Fatalf("non-positive slot durations: %+v", tm)
+	}
+	// Physical ordering: an empty slot is fastest, a collision costs
+	// a garbled RN16, a success costs the full EPC exchange.
+	if !(tm.Empty < tm.Collision && tm.Collision < tm.Success) {
+		t.Errorf("slot ordering violated: %+v", tm)
+	}
+}
+
+func TestTimingsScaleWithMiller(t *testing.T) {
+	fast := DefaultLinkParams()
+	fast.Miller = 1
+	slow := DefaultLinkParams()
+	slow.Miller = 8
+	if slow.Timings().Success <= fast.Timings().Success {
+		t.Error("higher Miller factor must lengthen tag replies")
+	}
+}

@@ -1,0 +1,241 @@
+package epc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Participant is one tag contending in an inventory round, as the MAC
+// layer sees it: an opaque index (the caller maps it back to a physical
+// tag) and the probability that one singulation attempt of this tag
+// completes successfully, which the RF layer computes from the link
+// state. A tag that is not powered at all is simply not passed in.
+type Participant struct {
+	// Index is the caller's identifier for the tag.
+	Index int
+	// SuccessProb is the per-attempt probability that the tag's reply
+	// chain (RN16, ACK, EPC) decodes, in [0, 1].
+	SuccessProb float64
+}
+
+// SlotOutcome classifies what happened in one inventory slot.
+type SlotOutcome int
+
+// Slot outcomes.
+const (
+	// SlotEmpty: no tag chose the slot.
+	SlotEmpty SlotOutcome = iota + 1
+	// SlotCollision: two or more tags replied and garbled each other.
+	SlotCollision
+	// SlotFailed: exactly one tag replied but the exchange did not
+	// decode (marginal link).
+	SlotFailed
+	// SlotSuccess: exactly one tag replied and was read.
+	SlotSuccess
+)
+
+// String implements fmt.Stringer.
+func (o SlotOutcome) String() string {
+	switch o {
+	case SlotEmpty:
+		return "empty"
+	case SlotCollision:
+		return "collision"
+	case SlotFailed:
+		return "failed"
+	case SlotSuccess:
+		return "success"
+	default:
+		return fmt.Sprintf("SlotOutcome(%d)", int(o))
+	}
+}
+
+// ReadEvent is one successful singulation: which participant was read
+// and when (seconds of simulation time, at the end of the EPC reply).
+type ReadEvent struct {
+	Index int
+	Time  float64
+}
+
+// RoundStats summarizes one inventory round for diagnostics and the
+// read-rate experiments (Figs. 14–15 depend on them).
+type RoundStats struct {
+	Slots      int
+	Empties    int
+	Collisions int
+	Failures   int
+	Successes  int
+	// Duration is the wall time the round consumed, seconds.
+	Duration float64
+	// Q is the (rounded) Q value the round was issued with.
+	Q int
+}
+
+// Inventory simulates the Gen2 framed-slotted-ALOHA arbitration with
+// the standard Q-adaptation algorithm. One Inventory instance carries
+// the floating-point Q state across rounds, as a real reader does.
+//
+// The simulation is slot-level, not bit-level: each slot consumes the
+// duration derived from the link parameters and resolves to empty,
+// collision, failed, or success. That is exactly the granularity the
+// paper's results depend on — read timestamps and per-tag read rates —
+// while staying fast enough to simulate hours of monitoring in
+// milliseconds.
+type Inventory struct {
+	params  LinkParams
+	timings SlotTimings
+	qfp     float64
+	c       float64
+	session *sessionState
+}
+
+// NewInventory builds an inventory MAC with the given link parameters
+// and S0 session semantics (continuous re-reading, the monitoring
+// default). initialQ seeds the Q adaptation (4.0 suits a handful of
+// tags; the algorithm converges regardless).
+func NewInventory(params LinkParams, initialQ float64) (*Inventory, error) {
+	return NewInventoryWithSession(params, initialQ, SessionConfig{})
+}
+
+// NewInventoryWithSession builds an inventory MAC with explicit Gen2
+// session semantics (see Session for why this matters to continuous
+// monitoring).
+func NewInventoryWithSession(params LinkParams, initialQ float64, sess SessionConfig) (*Inventory, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if initialQ < 0 || initialQ > 15 {
+		return nil, fmt.Errorf("epc: initial Q %v outside [0, 15]", initialQ)
+	}
+	if sess.Session < SessionS0 || sess.Session > SessionS3 {
+		return nil, fmt.Errorf("epc: invalid session %d", int(sess.Session))
+	}
+	return &Inventory{
+		params:  params,
+		timings: params.Timings(),
+		qfp:     initialQ,
+		c:       0.3, // Q adjustment step; Gen2 recommends 0.1–0.5
+		session: newSessionState(sess),
+	}, nil
+}
+
+// Params returns the inventory's link parameters.
+func (inv *Inventory) Params() LinkParams {
+	return inv.params
+}
+
+// maxFramesPerRound bounds the QueryAdjust re-framing inside one
+// round; pathological collision chains give up and defer to the next
+// round, as a real reader's duty cycle forces anyway.
+const maxFramesPerRound = 8
+
+// RunRound executes one inventory round starting at simulation time t
+// with the given contenders. A round is a Query followed by as many
+// QueryAdjust frames as collisions require: singulated tags leave the
+// round (session S0 — they rejoin at the next Query, so continuous
+// monitoring re-reads every tag every round), collided tags re-draw
+// slots in the next frame, and tags whose exchange fails (marginal
+// power-up) go dark until the next round. Q_fp adapts per slot, and a
+// frame re-issues as soon as the rounded Q departs from the frame's
+// issued Q, per the C1G2 Q-algorithm.
+func (inv *Inventory) RunRound(t float64, parts []Participant, rng *rand.Rand) ([]ReadEvent, RoundStats, float64) {
+	now := t + inv.timings.Query.Seconds()
+	stats := RoundStats{Q: clampQ(inv.qfp)}
+	var events []ReadEvent
+
+	// QueryAdjust costs about a QueryRep-sized command; reuse the
+	// empty-slot overhead as its price.
+	adjustCost := inv.timings.Empty.Seconds()
+
+	// Session filter: only tags whose inventoried flag matches the
+	// round's target respond to the Query at all.
+	active := make([]Participant, 0, len(parts))
+	for _, p := range parts {
+		if inv.session.eligible(p.Index, t) {
+			active = append(active, p)
+		}
+	}
+	inv.session.maybeFlipTarget(len(active) > 0)
+
+	for frame := 0; len(active) > 0 && frame < maxFramesPerRound; frame++ {
+		q := clampQ(inv.qfp)
+		numSlots := 1 << q
+		if frame > 0 {
+			now += adjustCost
+		}
+
+		slots := make(map[int][]Participant, len(active))
+		for _, p := range active {
+			s := rng.Intn(numSlots)
+			slots[s] = append(slots[s], p)
+		}
+
+		var carry []Participant
+		reframe := false
+		for s := 0; s < numSlots; s++ {
+			if clampQ(inv.qfp) != q {
+				// QueryAdjust: unprocessed tags re-draw slots in the
+				// next frame.
+				for ss := s; ss < numSlots; ss++ {
+					carry = append(carry, slots[ss]...)
+				}
+				reframe = true
+				break
+			}
+			stats.Slots++
+			occupants := slots[s]
+			switch {
+			case len(occupants) == 0:
+				stats.Empties++
+				now += inv.timings.Empty.Seconds()
+				inv.qfp = math.Max(0, inv.qfp-inv.c)
+			case len(occupants) == 1:
+				p := occupants[0]
+				now += inv.timings.Success.Seconds()
+				if rng.Float64() < p.SuccessProb {
+					stats.Successes++
+					events = append(events, ReadEvent{Index: p.Index, Time: now})
+					inv.session.recordRead(p.Index, now)
+				} else {
+					stats.Failures++
+				}
+			default:
+				stats.Collisions++
+				now += inv.timings.Collision.Seconds()
+				inv.qfp = math.Min(15, inv.qfp+inv.c)
+				carry = append(carry, occupants...)
+			}
+		}
+		active = carry
+		if !reframe && len(carry) == 0 {
+			break
+		}
+	}
+
+	now += inv.params.ReaderOverheadPerRound.Seconds()
+	stats.Duration = now - t
+	return events, stats, now
+}
+
+// clampQ rounds the floating-point Q state into the legal [0, 15].
+func clampQ(qfp float64) int {
+	q := int(math.Round(qfp))
+	if q < 0 {
+		return 0
+	}
+	if q > 15 {
+		return 15
+	}
+	return q
+}
+
+// ExpectedSingleTagRate estimates the steady-state read rate (reads per
+// second) for one well-powered tag, useful for configuration sanity
+// checks and documented against the paper's ≈64 Hz observation.
+func (inv *Inventory) ExpectedSingleTagRate() float64 {
+	// With one tag, Q converges to 0: one slot per round, always a
+	// (probable) success.
+	round := inv.timings.Query + inv.timings.Success + inv.params.ReaderOverheadPerRound
+	return 1 / round.Seconds()
+}

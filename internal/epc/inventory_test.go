@@ -1,0 +1,292 @@
+package epc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func newInv(t *testing.T) *Inventory {
+	t.Helper()
+	inv, err := NewInventory(DefaultLinkParams(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inv
+}
+
+// runSeconds drives rounds for the given simulated time and returns
+// per-participant read counts and aggregate stats.
+func runSeconds(t *testing.T, inv *Inventory, parts []Participant, seconds float64, seed int64) (map[int]int, RoundStats) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	counts := make(map[int]int)
+	var agg RoundStats
+	now := 0.0
+	for now < seconds {
+		events, stats, next := inv.RunRound(now, parts, rng)
+		if next <= now {
+			t.Fatal("round consumed no time")
+		}
+		for _, ev := range events {
+			if ev.Time < now || ev.Time > next {
+				t.Fatalf("event time %v outside round [%v, %v]", ev.Time, now, next)
+			}
+			counts[ev.Index]++
+		}
+		agg.Slots += stats.Slots
+		agg.Empties += stats.Empties
+		agg.Collisions += stats.Collisions
+		agg.Failures += stats.Failures
+		agg.Successes += stats.Successes
+		now = next
+	}
+	return counts, agg
+}
+
+func TestSingleTagRateMatchesPaper(t *testing.T) {
+	inv := newInv(t)
+	parts := []Participant{{Index: 0, SuccessProb: 1}}
+	counts, _ := runSeconds(t, inv, parts, 30, 1)
+	rate := float64(counts[0]) / 30
+	// §IV-A: ≈64 reads/s for one tag on the paper's R420.
+	if rate < 55 || rate > 75 {
+		t.Errorf("single-tag read rate %.1f/s, want ≈64", rate)
+	}
+	// The analytic estimate agrees with the simulation.
+	if est := inv.ExpectedSingleTagRate(); math.Abs(est-rate) > 10 {
+		t.Errorf("analytic %v vs simulated %v", est, rate)
+	}
+}
+
+func TestAggregateRateGrowsThenPerTagFalls(t *testing.T) {
+	mk := func(n int) []Participant {
+		parts := make([]Participant, n)
+		for i := range parts {
+			parts[i] = Participant{Index: i, SuccessProb: 1}
+		}
+		return parts
+	}
+	rate := func(n int) (agg, per float64) {
+		inv := newInv(t)
+		counts, _ := runSeconds(t, inv, mk(n), 20, int64(n))
+		var total int
+		for _, c := range counts {
+			total += c
+		}
+		return float64(total) / 20, float64(total) / 20 / float64(n)
+	}
+	agg1, per1 := rate(1)
+	agg12, per12 := rate(12)
+	agg33, per33 := rate(33)
+	// Fig. 13/14 behaviour: aggregate throughput grows with
+	// population (round overhead amortizes) while per-tag rate falls.
+	if agg12 < agg1*1.5 {
+		t.Errorf("aggregate rate with 12 tags %.0f, single %.0f: want ≥ 1.5×", agg12, agg1)
+	}
+	if per12 >= per1/2 {
+		t.Errorf("per-tag rate fell only %f -> %f with 12 tags", per1, per12)
+	}
+	if per33 >= per12 {
+		t.Errorf("per-tag rate should keep falling: 12 tags %f, 33 tags %f", per12, per33)
+	}
+	if agg33 < agg12*0.8 {
+		t.Errorf("aggregate collapsed at 33 tags: %f vs %f", agg33, agg12)
+	}
+}
+
+func TestInventoryFairness(t *testing.T) {
+	inv := newInv(t)
+	const n = 10
+	parts := make([]Participant, n)
+	for i := range parts {
+		parts[i] = Participant{Index: i, SuccessProb: 1}
+	}
+	counts, _ := runSeconds(t, inv, parts, 30, 3)
+	var minC, maxC int
+	minC = 1 << 30
+	for i := 0; i < n; i++ {
+		c := counts[i]
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	// Slotted ALOHA with Q adaptation is statistically fair: no tag
+	// starves and no tag dominates.
+	if minC == 0 {
+		t.Fatal("a tag starved completely")
+	}
+	if float64(maxC) > 1.5*float64(minC) {
+		t.Errorf("unfair read distribution: min %d, max %d", minC, maxC)
+	}
+}
+
+func TestSuccessProbabilityThinsReads(t *testing.T) {
+	inv := newInv(t)
+	parts := []Participant{
+		{Index: 0, SuccessProb: 1},
+		{Index: 1, SuccessProb: 0.2},
+	}
+	counts, agg := runSeconds(t, inv, parts, 30, 4)
+	if counts[1] == 0 {
+		t.Fatal("marginal tag never read")
+	}
+	ratio := float64(counts[1]) / float64(counts[0])
+	if ratio > 0.45 || ratio < 0.08 {
+		t.Errorf("marginal/strong read ratio %v, want ≈0.2", ratio)
+	}
+	if agg.Failures == 0 {
+		t.Error("marginal tag should produce failed slots")
+	}
+}
+
+func TestQAdaptationConverges(t *testing.T) {
+	inv := newInv(t)
+	const n = 20
+	parts := make([]Participant, n)
+	for i := range parts {
+		parts[i] = Participant{Index: i, SuccessProb: 1}
+	}
+	rng := rand.New(rand.NewSource(5))
+	now := 0.0
+	var lastQ int
+	for i := 0; i < 60; i++ {
+		var stats RoundStats
+		_, stats, now = inv.RunRound(now, parts, rng)
+		lastQ = stats.Q
+	}
+	// For 20 tags the efficient frame size is near 2^Q ≈ 20 → Q ≈ 4-5.
+	if lastQ < 3 || lastQ > 7 {
+		t.Errorf("Q converged to %d for 20 tags, want ≈4-5", lastQ)
+	}
+}
+
+func TestEmptyRound(t *testing.T) {
+	inv := newInv(t)
+	rng := rand.New(rand.NewSource(6))
+	events, stats, next := inv.RunRound(0, nil, rng)
+	if len(events) != 0 {
+		t.Errorf("events with no tags: %v", events)
+	}
+	if stats.Successes != 0 || stats.Collisions != 0 {
+		t.Errorf("stats with no tags: %+v", stats)
+	}
+	if next <= 0 {
+		t.Error("even an empty round consumes time")
+	}
+}
+
+func TestNewInventoryValidation(t *testing.T) {
+	if _, err := NewInventory(LinkParams{}, 4); err == nil {
+		t.Error("expected error for zero params")
+	}
+	if _, err := NewInventory(DefaultLinkParams(), -1); err == nil {
+		t.Error("expected error for negative Q")
+	}
+	if _, err := NewInventory(DefaultLinkParams(), 16); err == nil {
+		t.Error("expected error for Q > 15")
+	}
+}
+
+func TestSlotOutcomeStrings(t *testing.T) {
+	for _, o := range []SlotOutcome{SlotEmpty, SlotCollision, SlotFailed, SlotSuccess} {
+		if o.String() == "" || o.String()[0] == 'S' {
+			t.Errorf("unexpected String for %d: %q", int(o), o.String())
+		}
+	}
+	if SlotOutcome(99).String() == "" {
+		t.Error("unknown outcome should still print")
+	}
+}
+
+func TestInventoryDeterminism(t *testing.T) {
+	run := func() []int {
+		inv := newInv(t)
+		rng := rand.New(rand.NewSource(7))
+		parts := []Participant{{Index: 0, SuccessProb: 0.9}, {Index: 1, SuccessProb: 0.9}}
+		var order []int
+		now := 0.0
+		for i := 0; i < 50; i++ {
+			var events []ReadEvent
+			events, _, now = inv.RunRound(now, parts, rng)
+			for _, ev := range events {
+				order = append(order, ev.Index)
+			}
+		}
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at read %d", i)
+		}
+	}
+}
+
+func TestSessionS0ReReadsEveryRound(t *testing.T) {
+	inv, err := NewInventoryWithSession(DefaultLinkParams(), 0, SessionConfig{Session: SessionS0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, _ := runSeconds(t, inv, []Participant{{Index: 0, SuccessProb: 1}}, 10, 1)
+	if rate := float64(counts[0]) / 10; rate < 50 {
+		t.Errorf("S0 rate %v/s, want continuous re-reading", rate)
+	}
+}
+
+func TestSessionS1SingleTargetThrottles(t *testing.T) {
+	inv, err := NewInventoryWithSession(DefaultLinkParams(), 0, SessionConfig{Session: SessionS1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, _ := runSeconds(t, inv, []Participant{{Index: 0, SuccessProb: 1}}, 20, 2)
+	rate := float64(counts[0]) / 20
+	// Persistence ≈2 s: roughly one read per persistence window.
+	if rate < 0.3 || rate > 1.5 {
+		t.Errorf("S1 single-target rate %v/s, want ≈0.5 (persistence-gated)", rate)
+	}
+}
+
+func TestSessionS2SingleTargetReadsOnce(t *testing.T) {
+	inv, err := NewInventoryWithSession(DefaultLinkParams(), 0, SessionConfig{Session: SessionS2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, _ := runSeconds(t, inv, []Participant{{Index: 0, SuccessProb: 1}}, 30, 3)
+	if counts[0] != 1 {
+		t.Errorf("S2 single-target read the tag %d times over 30 s, want exactly 1", counts[0])
+	}
+}
+
+func TestSessionS2DualTargetRecovers(t *testing.T) {
+	inv, err := NewInventoryWithSession(DefaultLinkParams(), 0, SessionConfig{Session: SessionS2, DualTarget: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, _ := runSeconds(t, inv, []Participant{{Index: 0, SuccessProb: 1}}, 10, 4)
+	// Dual target alternates A→B and B→A: every other round reads the
+	// tag, so roughly half the S0 rate.
+	if rate := float64(counts[0]) / 10; rate < 20 {
+		t.Errorf("S2 dual-target rate %v/s, want ≥ 20 (alternating rounds)", rate)
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	if _, err := NewInventoryWithSession(DefaultLinkParams(), 0, SessionConfig{Session: Session(9)}); err == nil {
+		t.Error("expected error for invalid session")
+	}
+	for _, s := range []Session{SessionS0, SessionS1, SessionS2, SessionS3} {
+		if s.String() == "" {
+			t.Errorf("session %d has no name", int(s))
+		}
+	}
+	if TargetA.String() != "A" || TargetB.String() != "B" {
+		t.Error("target names wrong")
+	}
+}

@@ -1,0 +1,148 @@
+package epc
+
+import "fmt"
+
+// Session selects which of the four Gen2 inventoried flags the
+// inventory targets. The flags differ in how long a tag remembers
+// having been read ("persistence"), which decides whether a reader can
+// re-read the same tag continuously — the property breath monitoring
+// lives on:
+//
+//   - S0 resets whenever the tag loses power and effectively every
+//     round under continuous wave: tags re-arbitrate immediately.
+//   - S1 persists 500 ms – 5 s even while powered: a tag read once
+//     goes quiet for seconds.
+//   - S2/S3 persist indefinitely while the tag stays energized: a tag
+//     read once never answers again during the session.
+//
+// Readers compensate with dual-target inventory (alternating A→B and
+// B→A rounds), which re-reads persistent-flag tags at full rate.
+// Impinj's continuous "AutoSet" modes do exactly that; a deployment
+// that naively picks S2 single-target kills monitoring after one
+// read per tag — the SessionStudy experiment quantifies it.
+type Session int
+
+// Gen2 sessions.
+const (
+	SessionS0 Session = iota
+	SessionS1
+	SessionS2
+	SessionS3
+)
+
+// String implements fmt.Stringer.
+func (s Session) String() string {
+	switch s {
+	case SessionS0:
+		return "S0"
+	case SessionS1:
+		return "S1"
+	case SessionS2:
+		return "S2"
+	case SessionS3:
+		return "S3"
+	default:
+		return fmt.Sprintf("Session(%d)", int(s))
+	}
+}
+
+// persistenceSeconds returns how long the inventoried flag holds B
+// after a read, for an energized tag. S0's nominal persistence under
+// continuous illumination is effectively zero (the flag falls back by
+// the next round); S1 uses the spec's typical mid-range; S2/S3 hold
+// while powered (modelled as a long horizon).
+func (s Session) persistenceSeconds() float64 {
+	switch s {
+	case SessionS0:
+		return 0
+	case SessionS1:
+		return 2.0
+	default: // S2, S3
+		return 1e9
+	}
+}
+
+// InventoryTarget selects which flag population a round queries.
+type InventoryTarget int
+
+// Inventory targets.
+const (
+	// TargetA queries tags whose flag is A (not recently read).
+	TargetA InventoryTarget = iota
+	// TargetB queries tags whose flag is B (recently read).
+	TargetB
+)
+
+// String implements fmt.Stringer.
+func (t InventoryTarget) String() string {
+	if t == TargetB {
+		return "B"
+	}
+	return "A"
+}
+
+// SessionConfig describes the session behaviour of an inventory.
+type SessionConfig struct {
+	// Session selects the flag (S0 default).
+	Session Session
+	// DualTarget alternates the queried target between A and B when a
+	// round finds no eligible tags, the standard continuous-monitoring
+	// configuration for persistent sessions.
+	DualTarget bool
+}
+
+// flagState tracks one tag's inventoried flag for the active session.
+type flagState struct {
+	// flippedUntil is the simulation time until which the flag reads
+	// B; zero means A.
+	flippedUntil float64
+}
+
+// sessionState carries flag bookkeeping across rounds.
+type sessionState struct {
+	cfg    SessionConfig
+	flags  map[int]flagState
+	target InventoryTarget
+}
+
+func newSessionState(cfg SessionConfig) *sessionState {
+	return &sessionState{cfg: cfg, flags: make(map[int]flagState)}
+}
+
+// eligible reports whether a participant's flag matches the current
+// target at time t.
+func (ss *sessionState) eligible(index int, t float64) bool {
+	isB := ss.flags[index].flippedUntil > t
+	if ss.target == TargetA {
+		return !isB
+	}
+	return isB
+}
+
+// recordRead flips the tag's flag after a successful singulation: an
+// A-target read sets B for the persistence window; a B-target read
+// (dual-target operation) sets the flag back to A.
+func (ss *sessionState) recordRead(index int, t float64) {
+	if ss.target == TargetA {
+		p := ss.cfg.Session.persistenceSeconds()
+		if p <= 0 {
+			return // S0: falls back immediately
+		}
+		ss.flags[index] = flagState{flippedUntil: t + p}
+		return
+	}
+	ss.flags[index] = flagState{}
+}
+
+// maybeFlipTarget switches the queried target after an empty round in
+// dual-target mode (all tags sit on the other flag).
+func (ss *sessionState) maybeFlipTarget(sawEligible bool) {
+	if !ss.cfg.DualTarget || sawEligible {
+		return
+	}
+	if ss.target == TargetA {
+		ss.target = TargetB
+	} else {
+		ss.target = TargetA
+	}
+}

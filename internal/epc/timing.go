@@ -1,0 +1,104 @@
+package epc
+
+import (
+	"fmt"
+	"time"
+)
+
+// LinkParams are the Gen2 air-interface parameters that determine how
+// long each inventory slot takes. Defaults approximate the Impinj R420
+// in a dense-reader Miller mode, which — together with per-round reader
+// processing — yields the ≈64 reads/s single-tag rate the paper
+// measured (§IV-A).
+type LinkParams struct {
+	// Tari is the reader-to-tag data-0 symbol duration.
+	Tari time.Duration
+	// BLF is the tag backscatter link frequency in Hz.
+	BLF float64
+	// Miller is the tag-to-reader modulation depth: 1 (FM0), 2, 4, or 8
+	// subcarrier cycles per bit.
+	Miller int
+	// ReaderOverheadPerRound covers everything a slot-level model
+	// doesn't see inside one inventory round: Select commands, LLRP
+	// report generation, regulatory listen time, antenna settling, and
+	// receiver retuning. It dominates the single-tag read rate.
+	ReaderOverheadPerRound time.Duration
+}
+
+// DefaultLinkParams returns R420-like dense-reader parameters.
+func DefaultLinkParams() LinkParams {
+	return LinkParams{
+		Tari:                   25 * time.Microsecond,
+		BLF:                    250_000,
+		Miller:                 4,
+		ReaderOverheadPerRound: 11 * time.Millisecond,
+	}
+}
+
+// Validate reports whether the parameters are within Gen2 ranges.
+func (p LinkParams) Validate() error {
+	if p.Tari < 6250*time.Nanosecond || p.Tari > 25*time.Microsecond {
+		return fmt.Errorf("epc: Tari %v outside Gen2 range [6.25µs, 25µs]", p.Tari)
+	}
+	if p.BLF < 40_000 || p.BLF > 640_000 {
+		return fmt.Errorf("epc: BLF %v Hz outside Gen2 range [40kHz, 640kHz]", p.BLF)
+	}
+	switch p.Miller {
+	case 1, 2, 4, 8:
+	default:
+		return fmt.Errorf("epc: Miller factor %d must be 1, 2, 4, or 8", p.Miller)
+	}
+	if p.ReaderOverheadPerRound < 0 {
+		return fmt.Errorf("epc: negative reader overhead %v", p.ReaderOverheadPerRound)
+	}
+	return nil
+}
+
+// SlotTimings are the derived durations of each slot outcome in an
+// inventory round.
+type SlotTimings struct {
+	// Query is the duration of the Query command opening a round.
+	Query time.Duration
+	// Empty is an idle slot: QueryRep plus the T3 no-reply timeout.
+	Empty time.Duration
+	// Collision is a slot where multiple RN16s collided: QueryRep,
+	// garbled RN16, and recovery.
+	Collision time.Duration
+	// Success is a full singulation: QueryRep, RN16, ACK, and the
+	// PC+EPC+CRC reply.
+	Success time.Duration
+}
+
+// Timings derives slot durations from the link parameters following the
+// Gen2 frame structure: command bit counts on the forward link, reply
+// bit counts at BLF/Miller on the return link, and the T1/T2 turnaround
+// gaps.
+func (p LinkParams) Timings() SlotTimings {
+	// Forward link: data-1 averages 1.75 Tari, so a mixed command bit
+	// averages ~1.375 Tari; add the frame-sync preamble (~12.5 Tari).
+	fwdBit := time.Duration(1.375 * float64(p.Tari))
+	preamble := time.Duration(12.5 * float64(p.Tari))
+
+	// Return link: one bit takes Miller cycles of the BLF, plus a
+	// 6-bit-equivalent preamble and pilot tone.
+	revBit := time.Duration(float64(p.Miller) / p.BLF * float64(time.Second))
+	revPreamble := 16 * revBit
+
+	// Turnaround gaps T1 (tag reply latency) and T2 (reader latency)
+	// are on the order of 10 BLF cycles each.
+	gap := time.Duration(10 / p.BLF * float64(time.Second))
+
+	query := preamble + 22*fwdBit + gap                    // Query: 22 bits
+	queryRep := preamble/3 + 4*fwdBit + gap                // QueryRep: 4 bits
+	rn16 := revPreamble + 16*revBit + gap                  // RN16 reply
+	ack := preamble/3 + 18*fwdBit + gap                    // ACK: 18 bits
+	epcReply := revPreamble + (16+96+16)*revBit + gap      // PC+EPC96+CRC16
+	t3 := time.Duration(20 / p.BLF * float64(time.Second)) // no-reply timeout
+
+	return SlotTimings{
+		Query:     query,
+		Empty:     queryRep + t3,
+		Collision: queryRep + rn16, // reader detects garble after RN16 window
+		Success:   queryRep + rn16 + ack + epcReply,
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"tagbreathe/internal/core"
+	"tagbreathe/internal/rf"
+	"tagbreathe/internal/sim"
+)
+
+// ChannelPoint is one row of the channel-handling ablation.
+type ChannelPoint struct {
+	// Plan names the regulatory channel plan.
+	Plan string
+	// Grouped is the paper's Eq. 3 accuracy (per-channel streams);
+	// Naive differences consecutive phases across hops.
+	Grouped, Naive float64
+	// GroupedDetected / NaiveDetected are the fractions of trials that
+	// produced any estimate at all.
+	GroupedDetected, NaiveDetected float64
+}
+
+// ChannelStudy demonstrates the core preprocessing claim of §IV-A.3:
+// under frequency hopping (mandatory in the paper's deployment
+// regions), raw consecutive-phase differencing is corrupted by the
+// per-channel constant c changing every dwell, while grouping by
+// channel (Eq. 3) is immune — decisively so on the paper's 10-channel
+// plan and on ETSI's long dwells.
+//
+// The FCC 50-channel plan exposes a tradeoff the paper (which ran on
+// 10 channels) never encountered: each channel recurs only every
+// ~10 s, so per-channel streams sample each tag's motion an order of
+// magnitude more sparsely, and at fast breathing rates the grouped
+// pipeline loses its margin over naive differencing (whose hop
+// glitches are bounded at ±λ/4 but whose sampling is dense). Wide
+// channel plans want a hybrid — e.g. estimating the per-channel
+// offsets and stitching streams — which this harness leaves measured
+// rather than solved.
+func ChannelStudy(o Options) ([]ChannelPoint, error) {
+	o = o.withDefaults()
+	rates := o.ratesOr([]float64{10})
+	plans := []*rf.ChannelPlan{rf.PaperPlan(), rf.FCCPlan(), rf.ETSIPlan()}
+	out := make([]ChannelPoint, 0, len(plans))
+	for pi, plan := range plans {
+		var gSum, nSum float64
+		var gN, nN, trials int
+		for k := 0; k < o.Trials; k++ {
+			sc := sim.DefaultScenario()
+			sc.Duration = o.Duration
+			sc.Seed = o.Seed + int64(pi*1000+k)
+			sc.Plan = plan
+			sc.Users[0].RateBPM = rates[k%len(rates)]
+			res, err := sc.Run()
+			if err != nil {
+				return nil, err
+			}
+			trials++
+			uid := res.UserIDs[0]
+			truth := res.TrueRateBPM[uid]
+			if est, err := core.EstimateUser(res.Reports, uid, core.Config{}); err == nil {
+				gN++
+				gSum += core.Accuracy(est.RateBPM, truth)
+			}
+			if est, err := core.EstimateUser(res.Reports, uid, core.Config{IgnoreChannelGrouping: true}); err == nil {
+				nN++
+				nSum += core.Accuracy(est.RateBPM, truth)
+			}
+		}
+		p := ChannelPoint{Plan: plan.Name}
+		if gN > 0 {
+			p.Grouped = gSum / float64(gN)
+		}
+		if nN > 0 {
+			p.Naive = nSum / float64(nN)
+		}
+		if trials > 0 {
+			p.GroupedDetected = float64(gN) / float64(trials)
+			p.NaiveDetected = float64(nN) / float64(trials)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"tagbreathe/internal/core"
+	"tagbreathe/internal/epc"
+	"tagbreathe/internal/sim"
+)
+
+// SessionPoint is one row of the Gen2 session study.
+type SessionPoint struct {
+	// Config names the session configuration.
+	Config string
+	// ReadRateHz is the monitoring tags' aggregate read rate.
+	ReadRateHz float64
+	// Accuracy is the pipeline's Eq. 8 accuracy; Detected the fraction
+	// of trials that yielded any estimate.
+	Accuracy float64
+	Detected float64
+}
+
+// SessionStudy quantifies a deployment gotcha the paper's prototype
+// sidesteps by using the reader defaults: continuous monitoring needs
+// tags to be re-read tens of times per second, and the Gen2 session
+// choice decides whether that happens at all. S0 re-arbitrates every
+// round; S1 single-target throttles each tag to roughly one read per
+// ~2 s persistence window; S2 single-target reads each tag exactly
+// once and then never again while powered — monitoring silently dies.
+// Dual-target inventory (what Impinj's continuous modes actually run)
+// restores full rate even on persistent sessions.
+func SessionStudy(o Options) ([]SessionPoint, error) {
+	o = o.withDefaults()
+	rates := o.ratesOr([]float64{10})
+	cases := []struct {
+		name string
+		cfg  epc.SessionConfig
+	}{
+		{name: "S0 single", cfg: epc.SessionConfig{Session: epc.SessionS0}},
+		{name: "S1 single", cfg: epc.SessionConfig{Session: epc.SessionS1}},
+		{name: "S1 dual", cfg: epc.SessionConfig{Session: epc.SessionS1, DualTarget: true}},
+		{name: "S2 single", cfg: epc.SessionConfig{Session: epc.SessionS2}},
+		{name: "S2 dual", cfg: epc.SessionConfig{Session: epc.SessionS2, DualTarget: true}},
+	}
+	out := make([]SessionPoint, 0, len(cases))
+	for ci, c := range cases {
+		var accSum, rateSum float64
+		var n, trials int
+		for k := 0; k < o.Trials; k++ {
+			sc := sim.DefaultScenario()
+			sc.Duration = o.Duration
+			sc.Seed = o.Seed + int64(ci*1000+k)
+			sc.Session = c.cfg
+			sc.Users[0].RateBPM = rates[k%len(rates)]
+			res, err := sc.Run()
+			if err != nil {
+				return nil, err
+			}
+			trials++
+			rateSum += res.Stats.AggregateReadRate()
+			uid := res.UserIDs[0]
+			est, err := core.EstimateUser(res.Reports, uid, core.Config{})
+			if err != nil {
+				continue
+			}
+			n++
+			accSum += core.Accuracy(est.RateBPM, res.TrueRateBPM[uid])
+		}
+		p := SessionPoint{Config: c.name}
+		if trials > 0 {
+			p.ReadRateHz = rateSum / float64(trials)
+			p.Detected = float64(n) / float64(trials)
+		}
+		if n > 0 {
+			p.Accuracy = accSum / float64(n)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"tagbreathe/internal/body"
+	"tagbreathe/internal/rf"
+	"tagbreathe/internal/sim"
+	"tagbreathe/internal/units"
+)
+
+// TableIRow is one row of the paper's Table I: a system parameter, its
+// evaluated range, and the default used when another axis is swept.
+type TableIRow struct {
+	Parameter string
+	Range     string
+	Default   string
+}
+
+// TableI returns the paper's parameter table. The simulation's
+// DefaultScenario is constructed to honor every default here; the
+// TestTableIDefaults test asserts that binding.
+func TableI() []TableIRow {
+	return []TableIRow{
+		{Parameter: "Channel", Range: "channel 1 - channel 10", Default: "Hopping"},
+		{Parameter: "Tx power", Range: "15 - 30 dBm", Default: "30 dBm"},
+		{Parameter: "Distance", Range: "1m - 6m", Default: "4m"},
+		{Parameter: "Orientation", Range: "0 (front) - 180 (back) deg", Default: "front"},
+		{Parameter: "Number of users", Range: "1 - 4 users", Default: "1 user"},
+		{Parameter: "Tags per user", Range: "1 - 3 tags", Default: "3 tags"},
+		{Parameter: "Breathing rate", Range: "5 - 20 bpm", Default: "10 bpm"},
+		{Parameter: "Posture", Range: "Sitting, Standing, Lying", Default: "Sitting"},
+		{Parameter: "Propagation path", Range: "with/without LOS path", Default: "with LOS path"},
+	}
+}
+
+// TxPowerSweep extends the evaluation across Table I's transmit-power
+// range (15–30 dBm), an axis the paper tabulates but does not plot; it
+// shows the link-margin sensitivity the distance and orientation
+// figures imply.
+func TxPowerSweep(o Options) ([]AccuracyPoint, error) {
+	xs := []float64{15, 20, 25, 30}
+	return sweepAccuracy(o, o.ratesOr([]float64{10}), xs, nil, nil, false, func(sc *sim.Scenario, x float64, _ int) {
+		b := rf.DefaultLinkBudget()
+		b.TxPower = units.DBm(x)
+		sc.Budget = b
+	})
+}
+
+// TagsPerUserSweep extends the evaluation across Table I's tags-per-
+// user range (1–3), quantifying the fusion gain directly.
+func TagsPerUserSweep(o Options) ([]AccuracyPoint, error) {
+	xs := []float64{1, 2, 3}
+	return sweepAccuracy(o, o.ratesOr([]float64{10}), xs, nil, nil, false, func(sc *sim.Scenario, x float64, _ int) {
+		sc.Users[0].Sites = body.DefaultSites[:int(x)]
+	})
+}

@@ -1,0 +1,92 @@
+// Package geom provides the 3-D vector math used to lay out antennas,
+// users, and tags in the simulated monitoring area.
+//
+// The coordinate convention throughout the project: X points "into the
+// room" away from the reader antenna's boresight, Y is lateral, Z is up.
+// Units are meters.
+package geom
+
+import "math"
+
+// Vec3 is a point or displacement in 3-D space, in meters.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 {
+	return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z}
+}
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 {
+	return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z}
+}
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 {
+	return Vec3{v.X * s, v.Y * s, v.Z * s}
+}
+
+// Dot returns the dot product of v and w.
+func (v Vec3) Dot(w Vec3) float64 {
+	return v.X*w.X + v.Y*w.Y + v.Z*w.Z
+}
+
+// Cross returns the cross product v × w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		X: v.Y*w.Z - v.Z*w.Y,
+		Y: v.Z*w.X - v.X*w.Z,
+		Z: v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 {
+	return math.Sqrt(v.Dot(v))
+}
+
+// Distance returns the Euclidean distance between points v and w.
+func (v Vec3) Distance(w Vec3) float64 {
+	return v.Sub(w).Norm()
+}
+
+// Normalize returns the unit vector in the direction of v. The zero
+// vector normalizes to itself, which callers treat as "no direction".
+func (v Vec3) Normalize() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return Vec3{}
+	}
+	return v.Scale(1 / n)
+}
+
+// AngleBetween returns the angle between v and w in radians, in [0, π].
+// If either vector is zero the angle is defined as 0.
+func (v Vec3) AngleBetween(w Vec3) float64 {
+	nv, nw := v.Norm(), w.Norm()
+	if nv == 0 || nw == 0 {
+		return 0
+	}
+	c := v.Dot(w) / (nv * nw)
+	// Clamp against floating-point drift before acos.
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return math.Acos(c)
+}
+
+// RotateZ returns v rotated by theta radians about the Z (vertical)
+// axis, counter-clockwise when viewed from above. Used to model a user
+// turning relative to the reader antenna (Fig. 15 of the paper).
+func (v Vec3) RotateZ(theta float64) Vec3 {
+	s, c := math.Sincos(theta)
+	return Vec3{
+		X: c*v.X - s*v.Y,
+		Y: s*v.X + c*v.Y,
+		Z: v.Z,
+	}
+}

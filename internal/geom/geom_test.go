@@ -1,0 +1,167 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b Vec3, eps float64) bool {
+	return math.Abs(a.X-b.X) < eps && math.Abs(a.Y-b.Y) < eps && math.Abs(a.Z-b.Z) < eps
+}
+
+func finite(vs ...Vec3) bool {
+	for _, v := range vs {
+		for _, c := range []float64{v.X, v.Y, v.Z} {
+			if math.IsNaN(c) || math.IsInf(c, 0) || math.Abs(c) > 1e12 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestBasicOps(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, -5, 6}
+	if got := a.Add(b); got != (Vec3{5, -3, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec3{-3, 7, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 1*4+2*-5+3*6 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestNormAndDistance(t *testing.T) {
+	v := Vec3{3, 4, 0}
+	if got := v.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := (Vec3{1, 1, 1}).Distance(Vec3{1, 1, 1}); got != 0 {
+		t.Errorf("Distance to self = %v", got)
+	}
+	if got := (Vec3{0, 0, 0}).Distance(Vec3{0, 3, 4}); got != 5 {
+		t.Errorf("Distance = %v, want 5", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if got := (Vec3{}).Normalize(); got != (Vec3{}) {
+		t.Errorf("Normalize(0) = %v, want 0", got)
+	}
+	n := (Vec3{0, 0, 7}).Normalize()
+	if !almostEqual(n, Vec3{0, 0, 1}, 1e-12) {
+		t.Errorf("Normalize = %v", n)
+	}
+	f := func(v Vec3) bool {
+		if !finite(v) || v.Norm() < 1e-9 {
+			return true
+		}
+		return math.Abs(v.Normalize().Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossProperties(t *testing.T) {
+	// The cross product is orthogonal to both operands.
+	f := func(a, b Vec3) bool {
+		if !finite(a, b) {
+			return true
+		}
+		c := a.Cross(b)
+		scale := a.Norm() * b.Norm()
+		if scale == 0 {
+			return true
+		}
+		return math.Abs(c.Dot(a))/scale < 1e-6 && math.Abs(c.Dot(b))/scale < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Known value: X × Y = Z.
+	if got := (Vec3{1, 0, 0}).Cross(Vec3{0, 1, 0}); got != (Vec3{0, 0, 1}) {
+		t.Errorf("X×Y = %v, want Z", got)
+	}
+}
+
+func TestAngleBetween(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Vec3
+		want float64
+	}{
+		{name: "parallel", a: Vec3{1, 0, 0}, b: Vec3{5, 0, 0}, want: 0},
+		{name: "orthogonal", a: Vec3{1, 0, 0}, b: Vec3{0, 2, 0}, want: math.Pi / 2},
+		{name: "opposite", a: Vec3{1, 0, 0}, b: Vec3{-3, 0, 0}, want: math.Pi},
+		{name: "45deg", a: Vec3{1, 0, 0}, b: Vec3{1, 1, 0}, want: math.Pi / 4},
+		{name: "zero-vector", a: Vec3{}, b: Vec3{1, 0, 0}, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.AngleBetween(tt.b); math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("AngleBetween = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAngleBetweenSymmetric(t *testing.T) {
+	f := func(a, b Vec3) bool {
+		if !finite(a, b) {
+			return true
+		}
+		return math.Abs(a.AngleBetween(b)-b.AngleBetween(a)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotateZ(t *testing.T) {
+	v := Vec3{1, 0, 5}
+	got := v.RotateZ(math.Pi / 2)
+	if !almostEqual(got, Vec3{0, 1, 5}, 1e-12) {
+		t.Errorf("RotateZ(90°) = %v, want (0,1,5)", got)
+	}
+	got = v.RotateZ(math.Pi)
+	if !almostEqual(got, Vec3{-1, 0, 5}, 1e-12) {
+		t.Errorf("RotateZ(180°) = %v, want (-1,0,5)", got)
+	}
+}
+
+func TestRotateZPreservesNormAndZ(t *testing.T) {
+	f := func(v Vec3, theta float64) bool {
+		if !finite(v) || math.IsNaN(theta) || math.IsInf(theta, 0) {
+			return true
+		}
+		r := v.RotateZ(theta)
+		normOK := math.Abs(r.Norm()-v.Norm()) < 1e-6*(1+v.Norm())
+		return normOK && r.Z == v.Z
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotateZComposition(t *testing.T) {
+	// Rotating by a then b equals rotating by a+b.
+	f := func(v Vec3, a, b float64) bool {
+		if !finite(v) || math.IsNaN(a+b) || math.Abs(a) > 1e3 || math.Abs(b) > 1e3 {
+			return true
+		}
+		lhs := v.RotateZ(a).RotateZ(b)
+		rhs := v.RotateZ(a + b)
+		return almostEqual(lhs, rhs, 1e-6*(1+v.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,78 @@
+package llrp
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Capabilities is the subset of reader capabilities the emulator
+// reports: identity and the dimensions a host needs to configure an
+// ROSpec.
+type Capabilities struct {
+	// ModelName identifies the reader product.
+	ModelName string
+	// AntennaCount is the number of antenna ports.
+	AntennaCount uint16
+	// ChannelCount is the size of the active regulatory channel plan.
+	ChannelCount uint16
+	// MaxTxPowerDBm is the maximum conducted transmit power.
+	MaxTxPowerDBm uint16
+}
+
+// DefaultCapabilities mirrors the paper's Impinj Speedway R420: four
+// antenna ports, 30 dBm, the 10-channel hopping plan.
+func DefaultCapabilities() Capabilities {
+	return Capabilities{
+		ModelName:     "TagBreathe Emulated Speedway R420",
+		AntennaCount:  4,
+		ChannelCount:  10,
+		MaxTxPowerDBm: 30,
+	}
+}
+
+// capabilities parameter type (uses the GeneralDeviceCapabilities slot
+// of the LLRP parameter space).
+const paramCapabilities ParamType = 137
+
+// EncodeCapabilities serializes a Capabilities TLV.
+func EncodeCapabilities(c Capabilities) []byte {
+	body := make([]byte, 0, 8+len(c.ModelName))
+	body = binary.BigEndian.AppendUint16(body, c.AntennaCount)
+	body = binary.BigEndian.AppendUint16(body, c.ChannelCount)
+	body = binary.BigEndian.AppendUint16(body, c.MaxTxPowerDBm)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(c.ModelName)))
+	body = append(body, c.ModelName...)
+	return appendTLV(nil, paramCapabilities, body)
+}
+
+// DecodeCapabilities parses the capabilities TLV out of a
+// GET_READER_CAPABILITIES_RESPONSE payload.
+func DecodeCapabilities(payload []byte) (Capabilities, error) {
+	it := tlvIter{rest: payload}
+	for {
+		t, body, ok, err := it.next()
+		if err != nil {
+			return Capabilities{}, err
+		}
+		if !ok {
+			return Capabilities{}, fmt.Errorf("llrp: response carries no capabilities parameter")
+		}
+		if t != paramCapabilities {
+			continue
+		}
+		if len(body) < 8 {
+			return Capabilities{}, fmt.Errorf("llrp: short capabilities body")
+		}
+		c := Capabilities{
+			AntennaCount:  binary.BigEndian.Uint16(body[0:2]),
+			ChannelCount:  binary.BigEndian.Uint16(body[2:4]),
+			MaxTxPowerDBm: binary.BigEndian.Uint16(body[4:6]),
+		}
+		n := int(binary.BigEndian.Uint16(body[6:8]))
+		if 8+n > len(body) {
+			return Capabilities{}, fmt.Errorf("llrp: capabilities name overruns body")
+		}
+		c.ModelName = string(body[8 : 8+n])
+		return c, nil
+	}
+}

@@ -1,0 +1,207 @@
+// Package multimodal implements the enhancement §IV-D.2 of the paper
+// proposes but leaves open: fusing the RSSI and Doppler streams with
+// the phase-derived displacement to improve monitoring accuracy.
+//
+// Each modality yields its own band-limited breathing waveform —
+// phase via the standard displacement pipeline, RSSI via resampling
+// the (multipath-modulated) signal strength, Doppler via integrating
+// the reported frequency shifts into displacement. Each waveform is
+// scored by how periodic it actually is (the autocorrelation peak at
+// its own implied breathing period), and the per-modality rate
+// estimates are combined by quality-weighted voting. Phase dominates
+// when healthy; when the phase stream starves (sideways orientation,
+// heavy contention), the auxiliary modalities keep contributing.
+package multimodal
+
+import (
+	"fmt"
+	"math"
+
+	"tagbreathe/internal/baseline"
+	"tagbreathe/internal/core"
+	"tagbreathe/internal/reader"
+	"tagbreathe/internal/sigproc"
+)
+
+// Candidate is one modality's opinion.
+type Candidate struct {
+	// Modality names the source: "phase", "rssi", or "doppler".
+	Modality string
+	// RateBPM is the modality's rate estimate (0 = no estimate).
+	RateBPM float64
+	// Quality in [0, 1] scores the waveform's periodicity at the
+	// estimated rate; weights the vote.
+	Quality float64
+}
+
+// Estimate is the fused result.
+type Estimate struct {
+	// RateBPM is the quality-weighted fused breathing rate.
+	RateBPM float64
+	// Candidates records each modality's contribution for diagnosis.
+	Candidates []Candidate
+}
+
+// Estimator fuses the three modalities. The zero value uses the
+// standard pipeline configuration.
+type Estimator struct {
+	// Config tunes the phase pipeline leg.
+	Config core.Config
+	// SampleRate for the RSSI/Doppler legs; zero defaults to 16 Hz.
+	SampleRate float64
+}
+
+// Name implements baseline.Estimator.
+func (e *Estimator) Name() string { return "multimodal" }
+
+// EstimateBPM implements baseline.Estimator, returning just the fused
+// rate.
+func (e *Estimator) EstimateBPM(reports []reader.TagReport, userID uint64) (float64, error) {
+	est, err := e.Estimate(reports, userID)
+	if err != nil {
+		return 0, err
+	}
+	return est.RateBPM, nil
+}
+
+// Interface compliance check.
+var _ baseline.Estimator = (*Estimator)(nil)
+
+// Estimate runs all three modalities and fuses them.
+func (e *Estimator) Estimate(reports []reader.TagReport, userID uint64) (*Estimate, error) {
+	fs := e.SampleRate
+	if fs <= 0 {
+		fs = 16
+	}
+
+	var cands []Candidate
+
+	// Phase leg: the full TagBreathe pipeline, scored on its own
+	// extracted waveform.
+	if est, err := core.EstimateUser(reports, userID, e.Config); err == nil && est.RateBPM > 0 {
+		cands = append(cands, Candidate{
+			Modality: "phase",
+			RateBPM:  est.RateBPM,
+			Quality:  periodicity(est.Signal.Samples, est.Signal.SampleRate, est.RateBPM),
+		})
+	}
+
+	// RSSI leg.
+	if series, err := userSeries(reports, userID, fs, func(r reader.TagReport) float64 {
+		return float64(r.RSSI)
+	}); err == nil {
+		if rate, wave, err := bandRate(series, fs); err == nil && rate > 0 {
+			cands = append(cands, Candidate{
+				Modality: "rssi",
+				RateBPM:  rate,
+				Quality:  periodicity(wave, fs, rate),
+			})
+		}
+	}
+
+	// Doppler leg: integrate velocity into displacement first.
+	if series, err := userSeries(reports, userID, fs, func(r reader.TagReport) float64 {
+		return r.DopplerHz
+	}); err == nil {
+		disp := sigproc.CumSum(sigproc.Detrend(series))
+		if rate, wave, err := bandRate(disp, fs); err == nil && rate > 0 {
+			cands = append(cands, Candidate{
+				Modality: "doppler",
+				RateBPM:  rate,
+				Quality:  periodicity(wave, fs, rate),
+			})
+		}
+	}
+
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("multimodal: no modality produced an estimate for user %x", userID)
+	}
+
+	// Quality-weighted fusion around the most credible candidate:
+	// candidates that disagree wildly with the best one are outliers
+	// (e.g. an RSSI leg locked onto fan-induced multipath) and are
+	// dropped rather than averaged in.
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.Quality > best.Quality {
+			best = c
+		}
+	}
+	var num, den float64
+	for _, c := range cands {
+		if math.Abs(c.RateBPM-best.RateBPM) > 0.25*best.RateBPM {
+			continue
+		}
+		w := c.Quality * c.Quality // quadratic: favor confident legs
+		num += w * c.RateBPM
+		den += w
+	}
+	fused := best.RateBPM
+	if den > 0 {
+		fused = num / den
+	}
+	return &Estimate{RateBPM: fused, Candidates: cands}, nil
+}
+
+// userSeries resamples one scalar field of a user's reports onto a
+// uniform grid.
+func userSeries(reports []reader.TagReport, userID uint64, fs float64, field func(reader.TagReport) float64) ([]float64, error) {
+	var samples []sigproc.Sample
+	for _, r := range reports {
+		if r.EPC.UserID() != userID {
+			continue
+		}
+		samples = append(samples, sigproc.Sample{T: r.Timestamp.Seconds(), V: field(r)})
+	}
+	if len(samples) < 16 {
+		return nil, fmt.Errorf("multimodal: only %d reports for user %x", len(samples), userID)
+	}
+	return sigproc.Resample(samples, fs)
+}
+
+// bandRate band-passes a series to the breathing band and estimates
+// the rate by zero-crossing timing; it returns the filtered waveform
+// for quality scoring.
+func bandRate(series []float64, fs float64) (float64, []float64, error) {
+	filtered, err := sigproc.BandPassFFT(sigproc.Detrend(series), fs, 0.05, 0.67)
+	if err != nil {
+		return 0, nil, err
+	}
+	crossings := sigproc.ZeroCrossings(filtered, 0, fs, 0.4)
+	if len(crossings) < 3 {
+		return 0, nil, fmt.Errorf("multimodal: too few crossings")
+	}
+	span := crossings[len(crossings)-1].T - crossings[0].T
+	if span <= 0 {
+		return 0, nil, fmt.Errorf("multimodal: degenerate span")
+	}
+	return float64(len(crossings)-1) / (2 * span) * 60, filtered, nil
+}
+
+// periodicity scores how strongly wave repeats at the period implied
+// by rateBPM: the normalized autocorrelation at one period, clamped
+// to [0, 1]. White noise scores ≈0; a clean breathing waveform ≈1.
+func periodicity(wave []float64, fs, rateBPM float64) float64 {
+	if rateBPM <= 0 || fs <= 0 || len(wave) == 0 {
+		return 0
+	}
+	lag := int(fs * 60 / rateBPM)
+	if lag <= 0 || lag >= len(wave) {
+		return 0
+	}
+	ac := sigproc.Autocorrelation(wave, lag)
+	v := ac[lag]
+	// Correct the biased estimator's (n-lag)/n shrinkage so short
+	// windows are not penalized for their length.
+	n := float64(len(wave))
+	if scale := (n - float64(lag)) / n; scale > 0 {
+		v /= scale
+	}
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,157 @@
+package multimodal
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"tagbreathe/internal/core"
+	"tagbreathe/internal/sim"
+)
+
+func runScenario(t *testing.T, seed int64, mutate func(*sim.Scenario)) (*sim.Result, uint64, float64) {
+	t.Helper()
+	sc := sim.DefaultScenario()
+	sc.Duration = 2 * time.Minute
+	sc.Seed = seed
+	if mutate != nil {
+		mutate(sc)
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	uid := res.UserIDs[0]
+	return res, uid, res.TrueRateBPM[uid]
+}
+
+func TestMultiModalAccurateOnDefault(t *testing.T) {
+	res, uid, truth := runScenario(t, 1, nil)
+	est, err := (&Estimator{}).Estimate(res.Reports, uid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.RateBPM-truth) > 1 {
+		t.Errorf("fused rate %v vs truth %v", est.RateBPM, truth)
+	}
+	// All three modalities should have produced candidates on the
+	// friendly default scenario.
+	if len(est.Candidates) < 2 {
+		t.Errorf("only %d candidates: %+v", len(est.Candidates), est.Candidates)
+	}
+	// Phase must be present and highly credible.
+	var phase *Candidate
+	for i := range est.Candidates {
+		if est.Candidates[i].Modality == "phase" {
+			phase = &est.Candidates[i]
+		}
+	}
+	if phase == nil {
+		t.Fatal("phase modality missing")
+	}
+	if phase.Quality < 0.7 {
+		t.Errorf("phase quality %v on a clean scenario", phase.Quality)
+	}
+}
+
+func TestMultiModalQualityOrdering(t *testing.T) {
+	// On the default scenario the phase leg should outrank the noisy
+	// Doppler leg (§IV-A's characterization of the modalities).
+	res, uid, _ := runScenario(t, 2, nil)
+	est, err := (&Estimator{}).Estimate(res.Reports, uid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := map[string]float64{}
+	for _, c := range est.Candidates {
+		q[c.Modality] = c.Quality
+	}
+	if dq, ok := q["doppler"]; ok && dq >= q["phase"] {
+		t.Errorf("doppler quality %v not below phase %v", dq, q["phase"])
+	}
+}
+
+func TestMultiModalMatchesPipelineWhenPhaseStrong(t *testing.T) {
+	res, uid, _ := runScenario(t, 3, nil)
+	pipeline, err := core.EstimateUser(res.Reports, uid, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := (&Estimator{}).EstimateBPM(res.Reports, uid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a dominant phase leg the fusion must not drag the estimate
+	// away from the pipeline's.
+	if math.Abs(fused-pipeline.RateBPM) > 0.8 {
+		t.Errorf("fused %v vs phase-only %v", fused, pipeline.RateBPM)
+	}
+}
+
+func TestMultiModalSurvivesSparsePhase(t *testing.T) {
+	// Sideways at 4 m: the phase stream starves; fusion must still
+	// return a plausible estimate at least as often as phase alone.
+	var fusedOK, phaseOK int
+	for seed := int64(10); seed < 18; seed++ {
+		res, uid, truth := runScenario(t, seed, func(sc *sim.Scenario) {
+			sc.Users[0].OrientationDeg = 90
+			sc.Users[0].RateBPM = 10
+		})
+		if bpm, err := (&Estimator{}).EstimateBPM(res.Reports, uid); err == nil && core.Accuracy(bpm, truth) > 0.7 {
+			fusedOK++
+		}
+		if est, err := core.EstimateUser(res.Reports, uid, core.Config{}); err == nil && core.Accuracy(est.RateBPM, truth) > 0.7 {
+			phaseOK++
+		}
+	}
+	if fusedOK < phaseOK {
+		t.Errorf("fusion succeeded %d/8 vs phase-only %d/8 on sparse streams", fusedOK, phaseOK)
+	}
+	if fusedOK < 5 {
+		t.Errorf("fusion only succeeded %d/8 sideways runs", fusedOK)
+	}
+}
+
+func TestMultiModalUnknownUser(t *testing.T) {
+	res, _, _ := runScenario(t, 4, nil)
+	if _, err := (&Estimator{}).Estimate(res.Reports, 0xBAD); err == nil {
+		t.Error("expected error for unknown user")
+	}
+}
+
+func TestPeriodicityScore(t *testing.T) {
+	fs := 16.0
+	n := int(fs * 60)
+	sine := make([]float64, n)
+	noise := make([]float64, n)
+	rng := newRand()
+	for i := range sine {
+		sine[i] = math.Sin(2 * math.Pi * 0.2 * float64(i) / fs)
+		noise[i] = rng()
+	}
+	if q := periodicity(sine, fs, 12); q < 0.9 {
+		t.Errorf("sinusoid periodicity %v, want ≈1", q)
+	}
+	if q := periodicity(noise, fs, 12); q > 0.4 {
+		t.Errorf("noise periodicity %v, want ≈0", q)
+	}
+	if periodicity(nil, fs, 12) != 0 || periodicity(sine, fs, 0) != 0 {
+		t.Error("degenerate inputs must score 0")
+	}
+	// Rate so low one period exceeds the window: unscorable.
+	if periodicity(sine[:100], fs, 1) != 0 {
+		t.Error("period beyond window must score 0")
+	}
+}
+
+// newRand is a tiny deterministic noise source, avoiding a math/rand
+// import for one test.
+func newRand() func() float64 {
+	state := uint64(0x9E3779B97F4A7C15)
+	return func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(int64(state))/float64(1<<63)*0.5 - 0 // roughly [-0.5, 0.5]
+	}
+}

@@ -1,0 +1,272 @@
+package reader
+
+import (
+	"testing"
+	"time"
+
+	"tagbreathe/internal/epc"
+	"tagbreathe/internal/geom"
+	"tagbreathe/internal/rf"
+	"tagbreathe/internal/units"
+)
+
+// staticTarget is a fixed tag for driving the emulator directly.
+type staticTarget struct {
+	key  uint64
+	code epc.EPC96
+	pos  geom.Vec3
+	loss units.DB
+}
+
+func (s *staticTarget) Key() uint64    { return s.key }
+func (s *staticTarget) EPC() epc.EPC96 { return s.code }
+func (s *staticTarget) RangeTo(a geom.Vec3, _ float64) (float64, float64, units.DB, units.DB) {
+	return s.pos.Distance(a), 0, s.loss, s.loss
+}
+
+var _ Target = (*staticTarget)(nil)
+
+func tag(key uint64, d float64) *staticTarget {
+	return &staticTarget{
+		key:  key,
+		code: epc.NewUserTagEPC(key, 1),
+		pos:  geom.Vec3{X: d, Z: 1},
+	}
+}
+
+func newReader(t *testing.T, cfg Config, horizon time.Duration) *Reader {
+	t.Helper()
+	if len(cfg.Antennas) == 0 {
+		cfg.Antennas = []Antenna{{Port: 1, Position: geom.Vec3{Z: 1}}}
+	}
+	r, err := New(cfg, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRunProducesOrderedReports(t *testing.T) {
+	r := newReader(t, Config{Seed: 1}, 10*time.Second)
+	targets := []Target{tag(1, 2), tag(2, 3)}
+	var last time.Duration = -1
+	stats, err := r.Run(10*time.Second, targets, func(rep TagReport) {
+		if rep.Timestamp < last {
+			t.Fatalf("timestamps out of order: %v after %v", rep.Timestamp, last)
+		}
+		last = rep.Timestamp
+		if rep.Timestamp > 10*time.Second {
+			t.Fatalf("report at %v beyond run duration", rep.Timestamp)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalReads == 0 {
+		t.Fatal("no reads produced")
+	}
+}
+
+func TestRunStatsConsistency(t *testing.T) {
+	r := newReader(t, Config{Seed: 2}, 15*time.Second)
+	targets := []Target{tag(1, 2), tag(2, 4), tag(3, 5)}
+	emitted := 0
+	stats, err := r.Run(15*time.Second, targets, func(TagReport) { emitted++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalReads != emitted {
+		t.Errorf("TotalReads %d != emitted %d", stats.TotalReads, emitted)
+	}
+	var byTag, byPort int
+	for _, n := range stats.ReadsByTag {
+		byTag += n
+	}
+	for _, n := range stats.ReadsByPort {
+		byPort += n
+	}
+	if byTag != stats.TotalReads || byPort != stats.TotalReads {
+		t.Errorf("per-tag (%d) and per-port (%d) sums must equal total (%d)", byTag, byPort, stats.TotalReads)
+	}
+	if stats.Rounds == 0 {
+		t.Error("no rounds recorded")
+	}
+}
+
+func TestSingleTagRate(t *testing.T) {
+	r := newReader(t, Config{Seed: 3}, 30*time.Second)
+	stats, err := r.Run(30*time.Second, []Target{tag(1, 2)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := stats.AggregateReadRate()
+	// §IV-A: ≈64 Hz for one well-placed tag.
+	if rate < 50 || rate > 80 {
+		t.Errorf("single-tag rate %.1f/s, want ≈64", rate)
+	}
+}
+
+func TestChannelIndicesWithinPlan(t *testing.T) {
+	plan := rf.PaperPlan()
+	r := newReader(t, Config{Seed: 4, Plan: plan}, 5*time.Second)
+	seen := map[int]bool{}
+	_, err := r.Run(5*time.Second, []Target{tag(1, 2)}, func(rep TagReport) {
+		if rep.ChannelIndex < 0 || rep.ChannelIndex >= len(plan.Centers) {
+			t.Fatalf("channel index %d outside plan", rep.ChannelIndex)
+		}
+		if rep.Frequency != plan.Centers[rep.ChannelIndex] {
+			t.Fatalf("frequency %v does not match channel %d", rep.Frequency, rep.ChannelIndex)
+		}
+		seen[rep.ChannelIndex] = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 s covers at least two full hop epochs: most channels visited.
+	if len(seen) < 8 {
+		t.Errorf("only %d channels observed in 5 s of hopping", len(seen))
+	}
+}
+
+func TestMultiAntennaRoundRobin(t *testing.T) {
+	cfg := Config{
+		Seed: 5,
+		Antennas: []Antenna{
+			{Port: 1, Position: geom.Vec3{Z: 1}},
+			{Port: 3, Position: geom.Vec3{X: 6, Z: 1}},
+		},
+		AntennaDwell: 250 * time.Millisecond,
+	}
+	r := newReader(t, cfg, 10*time.Second)
+	// One tag between the antennas: readable from both.
+	targets := []Target{tag(1, 3)}
+	stats, err := r.Run(10*time.Second, targets, func(rep TagReport) {
+		if rep.AntennaPort != 1 && rep.AntennaPort != 3 {
+			t.Fatalf("unknown antenna port %d", rep.AntennaPort)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReadsByPort[1] == 0 || stats.ReadsByPort[3] == 0 {
+		t.Errorf("round robin skipped a port: %v", stats.ReadsByPort)
+	}
+	// Dwell-based scheduling splits time roughly evenly.
+	ratio := float64(stats.ReadsByPort[1]) / float64(stats.ReadsByPort[3])
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("antenna load ratio %v, want ≈1", ratio)
+	}
+}
+
+func TestUnreachableTagNeverRead(t *testing.T) {
+	r := newReader(t, Config{Seed: 6}, 5*time.Second)
+	far := tag(7, 40) // far beyond the link budget
+	near := tag(8, 2)
+	stats, err := r.Run(5*time.Second, []Target{far, near}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReadsByTag[7] != 0 {
+		t.Errorf("tag at 40 m read %d times", stats.ReadsByTag[7])
+	}
+	if stats.ReadsByTag[8] == 0 {
+		t.Error("tag at 2 m never read")
+	}
+}
+
+func TestBlockedTagAttenuated(t *testing.T) {
+	r := newReader(t, Config{Seed: 7}, 10*time.Second)
+	blocked := tag(9, 3)
+	blocked.loss = 45 // body blockage
+	clear := tag(10, 3)
+	stats, err := r.Run(10*time.Second, []Target{blocked, clear}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReadsByTag[9] != 0 {
+		t.Errorf("blocked tag read %d times, want 0", stats.ReadsByTag[9])
+	}
+	if stats.ReadsByTag[10] == 0 {
+		t.Error("clear tag never read")
+	}
+}
+
+func TestReaderDeterminism(t *testing.T) {
+	collect := func() []TagReport {
+		r := newReader(t, Config{Seed: 8}, 5*time.Second)
+		var out []TagReport
+		if _, err := r.Run(5*time.Second, []Target{tag(1, 2), tag(2, 3)}, func(rep TagReport) {
+			out = append(out, rep)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) {
+		t.Fatalf("report counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at report %d", i)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}, time.Second); err == nil {
+		t.Error("expected error with no antennas")
+	}
+	if _, err := New(Config{Antennas: []Antenna{{Port: 0}}}, time.Second); err == nil {
+		t.Error("expected error for port 0")
+	}
+	if _, err := New(Config{Antennas: []Antenna{{Port: 1}, {Port: 1}}}, time.Second); err == nil {
+		t.Error("expected error for duplicate ports")
+	}
+	if _, err := New(Config{Antennas: []Antenna{{Port: 1}}}, 0); err == nil {
+		t.Error("expected error for zero horizon")
+	}
+	r := newReader(t, Config{Seed: 1}, time.Second)
+	if _, err := r.Run(0, nil, nil); err == nil {
+		t.Error("expected error for zero run duration")
+	}
+}
+
+func TestRSSIFallsWithDistance(t *testing.T) {
+	r := newReader(t, Config{Seed: 9}, 20*time.Second)
+	targets := []Target{tag(1, 1), tag(2, 5)}
+	rssiSum := map[uint64]float64{}
+	counts := map[uint64]int{}
+	if _, err := r.Run(20*time.Second, targets, func(rep TagReport) {
+		uid := rep.EPC.UserID()
+		rssiSum[uid] += float64(rep.RSSI)
+		counts[uid]++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	near := rssiSum[1] / float64(counts[1])
+	far := rssiSum[2] / float64(counts[2])
+	if near-far < 15 {
+		t.Errorf("1 m vs 5 m RSSI gap %.1f dB, want > 15 (four-ish path-loss slopes)", near-far)
+	}
+}
+
+func TestMeanRSSIByTagPopulated(t *testing.T) {
+	r := newReader(t, Config{Seed: 10}, 10*time.Second)
+	targets := []Target{tag(1, 1), tag(2, 5)}
+	stats, err := r.Run(10*time.Second, targets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, nearOK := stats.MeanRSSIByTag[1]
+	far, farOK := stats.MeanRSSIByTag[2]
+	if !nearOK || !farOK {
+		t.Fatalf("MeanRSSIByTag missing entries: %v", stats.MeanRSSIByTag)
+	}
+	if near <= far {
+		t.Errorf("near-tag mean RSSI %v not above far-tag %v", near, far)
+	}
+	if near > -20 || near < -80 || far > -20 || far < -90 {
+		t.Errorf("implausible mean RSSI values: near %v, far %v", near, far)
+	}
+}

@@ -1,0 +1,147 @@
+// Package rf models the UHF radio layer between a commodity RFID reader
+// and passive backscatter tags: regulatory channel plans and frequency
+// hopping, the forward/reverse link budget, and the low-level
+// observation model producing the phase, RSSI, and Doppler values a
+// reader like the Impinj R420 reports for every tag singulation.
+//
+// The phase model is Eq. 1 of the paper: θ = (2π/λ·2d + c) mod 2π, with
+// a per-(antenna, channel) offset c capturing reader and tag circuit
+// delays, additive noise whose variance tracks the reverse-link SNR, and
+// the reader's 2π/4096 phase quantization. Channel hopping makes raw
+// phase discontinuous every dwell period (Figs. 4–5), the artefact the
+// TagBreathe preprocessing exists to remove.
+package rf
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tagbreathe/internal/units"
+)
+
+// ChannelPlan is a regulatory frequency plan: the set of center
+// frequencies a reader hops among and the dwell time per channel.
+type ChannelPlan struct {
+	// Name identifies the plan in logs and experiment output.
+	Name string
+	// Centers lists channel center frequencies in Hz, indexed by
+	// channel number as reported in low-level data.
+	Centers []units.Hertz
+	// Dwell is the residence time per channel in seconds. The paper
+	// observes ≈0.2 s per channel (Fig. 5).
+	Dwell float64
+}
+
+// Validate reports whether the plan is usable.
+func (p *ChannelPlan) Validate() error {
+	if len(p.Centers) == 0 {
+		return fmt.Errorf("rf: channel plan %q has no channels", p.Name)
+	}
+	if p.Dwell <= 0 {
+		return fmt.Errorf("rf: channel plan %q has non-positive dwell %v s", p.Name, p.Dwell)
+	}
+	for i, f := range p.Centers {
+		if f <= 0 {
+			return fmt.Errorf("rf: channel plan %q channel %d has non-positive frequency", p.Name, i)
+		}
+	}
+	return nil
+}
+
+// PaperPlan reproduces the 10-channel plan visible in Fig. 5 of the
+// paper (the reader hops among 10 channels, residing ~0.2 s in each) —
+// the Hong Kong 920–925 MHz band divided into 10 × 500 kHz channels.
+func PaperPlan() *ChannelPlan {
+	centers := make([]units.Hertz, 10)
+	for i := range centers {
+		centers[i] = 920.25*units.MHz + units.Hertz(i)*500*units.KHz
+	}
+	return &ChannelPlan{Name: "paper-10ch", Centers: centers, Dwell: 0.2}
+}
+
+// FCCPlan is the US 902–928 MHz band: 50 channels of 500 kHz starting
+// at 902.75 MHz, hopped pseudo-randomly per FCC part 15 rules.
+func FCCPlan() *ChannelPlan {
+	centers := make([]units.Hertz, 50)
+	for i := range centers {
+		centers[i] = 902.75*units.MHz + units.Hertz(i)*500*units.KHz
+	}
+	return &ChannelPlan{Name: "fcc-50ch", Centers: centers, Dwell: 0.2}
+}
+
+// ETSIPlan is the European 865.6–867.6 MHz four-channel plan. ETSI
+// readers may sit on one channel far longer; the paper notes fixed
+// channels are not permitted in its deployment regions, so this plan
+// exists for configurability and tests, not for the headline results.
+func ETSIPlan() *ChannelPlan {
+	return &ChannelPlan{
+		Name: "etsi-4ch",
+		Centers: []units.Hertz{
+			865.7 * units.MHz,
+			866.3 * units.MHz,
+			866.9 * units.MHz,
+			867.5 * units.MHz,
+		},
+		Dwell: 4.0,
+	}
+}
+
+// Hopper produces the pseudo-random channel hopping sequence of a
+// frequency-hopping reader. The sequence is a sequence of random
+// permutations of the plan's channels (each channel visited once per
+// epoch, per FCC hopping rules), drawn from the seeded RNG at
+// construction so a run is reproducible.
+type Hopper struct {
+	plan *ChannelPlan
+	seq  []int
+}
+
+// NewHopper builds a hopping sequence covering at least horizon seconds.
+func NewHopper(plan *ChannelPlan, horizon float64, rng *rand.Rand) (*Hopper, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("rf: non-positive hopper horizon %v s", horizon)
+	}
+	hops := int(horizon/plan.Dwell) + 2
+	h := &Hopper{plan: plan}
+	n := len(plan.Centers)
+	for len(h.seq) < hops {
+		perm := rng.Perm(n)
+		// Avoid repeating the same channel back-to-back across epoch
+		// boundaries, which real hoppers also avoid.
+		if len(h.seq) > 0 && n > 1 && perm[0] == h.seq[len(h.seq)-1] {
+			perm[0], perm[n-1] = perm[n-1], perm[0]
+		}
+		h.seq = append(h.seq, perm...)
+	}
+	return h, nil
+}
+
+// Plan returns the hopper's channel plan.
+func (h *Hopper) Plan() *ChannelPlan {
+	return h.plan
+}
+
+// ChannelAt returns the channel index and center frequency in use at
+// simulation time t (seconds). Times beyond the constructed horizon
+// wrap around the sequence, keeping long tails well-defined.
+func (h *Hopper) ChannelAt(t float64) (index int, center units.Hertz) {
+	if t < 0 {
+		t = 0
+	}
+	hop := int(t / h.plan.Dwell)
+	idx := h.seq[hop%len(h.seq)]
+	return idx, h.plan.Centers[idx]
+}
+
+// NextHop returns the time of the first channel transition strictly
+// after t.
+func (h *Hopper) NextHop(t float64) float64 {
+	if t < 0 {
+		t = 0
+	}
+	hop := int(t/h.plan.Dwell) + 1
+	return float64(hop) * h.plan.Dwell
+}

@@ -1,0 +1,45 @@
+package rf
+
+import "tagbreathe/internal/units"
+
+// TagModel captures the RF personality of a commodity tag product:
+// chip sensitivity, antenna gain, and backscatter efficiency. §V of
+// the paper evaluates Alien 9640, Alien 9652, and Impinj H47 tags and
+// reports comparable performance; these profiles (datasheet-level
+// differences) let the harness verify that claim holds in the model.
+type TagModel struct {
+	// Name identifies the product in experiment output.
+	Name string
+	// Sensitivity is the chip power-up threshold.
+	Sensitivity units.DBm
+	// AntennaGain is the tag antenna boresight gain.
+	AntennaGain units.DB
+	// BackscatterLoss is the modulation conversion loss.
+	BackscatterLoss units.DB
+}
+
+// Tag models from public datasheets (Higgs-3 and Monza-4 class chips).
+var (
+	// TagAlien9640 is the paper's reported tag (Alien "Squiggle",
+	// Higgs-3 chip) — the calibration reference.
+	TagAlien9640 = TagModel{Name: "alien-9640", Sensitivity: -18.0, AntennaGain: 2.0, BackscatterLoss: 5.0}
+	// TagAlien9652 is a larger inlay with slightly better forward
+	// sensitivity.
+	TagAlien9652 = TagModel{Name: "alien-9652", Sensitivity: -18.5, AntennaGain: 2.3, BackscatterLoss: 5.0}
+	// TagImpinjH47 is a Monza-4 inlay: more sensitive chip, slightly
+	// lower backscatter gain.
+	TagImpinjH47 = TagModel{Name: "impinj-h47", Sensitivity: -19.5, AntennaGain: 1.8, BackscatterLoss: 5.5}
+)
+
+// PaperTagModels are the three products §V evaluates.
+var PaperTagModels = []TagModel{TagAlien9640, TagAlien9652, TagImpinjH47}
+
+// Apply returns a copy of the budget with the tag model's parameters
+// substituted.
+func (m TagModel) Apply(budget *LinkBudget) *LinkBudget {
+	b := *budget
+	b.TagSensitivity = m.Sensitivity
+	b.TagAntennaGain = m.AntennaGain
+	b.BackscatterLoss = m.BackscatterLoss
+	return &b
+}

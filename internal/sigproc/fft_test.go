@@ -1,0 +1,210 @@
+package sigproc
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(n²) reference transform the fast implementations
+// are checked against.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for j := 0; j < n; j++ {
+			angle := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			acc += x[j] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+func randComplex(n int, rng *rand.Rand) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return out
+}
+
+func maxErr(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if e := cmplx.Abs(a[i] - b[i]); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Cover radix-2 sizes and Bluestein sizes, including primes.
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 32, 60, 64, 97, 100, 128} {
+		x := randComplex(n, rng)
+		got := FFT(x)
+		want := naiveDFT(x)
+		if e := maxErr(got, want); e > 1e-8*float64(n) {
+			t.Errorf("n=%d: max error %g vs naive DFT", n, e)
+		}
+	}
+}
+
+func TestFFTEmptyAndSingle(t *testing.T) {
+	if got := FFT(nil); len(got) != 0 {
+		t.Errorf("FFT(nil) = %v", got)
+	}
+	got := FFT([]complex128{3 + 4i})
+	if len(got) != 1 || got[0] != 3+4i {
+		t.Errorf("FFT of single sample = %v", got)
+	}
+}
+
+func TestIFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 3, 8, 15, 16, 33, 64, 100, 255, 256} {
+		x := randComplex(n, rng)
+		back := IFFT(FFT(x))
+		if e := maxErr(x, back); e > 1e-9*float64(n) {
+			t.Errorf("n=%d: round-trip error %g", n, e)
+		}
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// The transform of a unit impulse is flat ones.
+	x := make([]complex128, 16)
+	x[0] = 1
+	for i, v := range FFT(x) {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d of impulse spectrum = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 24 // non-power-of-two exercises Bluestein
+		a := randComplex(n, r)
+		b := randComplex(n, r)
+		alpha := complex(rng.NormFloat64(), rng.NormFloat64())
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = a[i] + alpha*b[i]
+		}
+		fa, fb, fsum := FFT(a), FFT(b), FFT(sum)
+		for i := range fsum {
+			if cmplx.Abs(fsum[i]-(fa[i]+alpha*fb[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	// Energy in time equals energy in frequency divided by n.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 50
+		x := randComplex(n, r)
+		var et float64
+		for _, v := range x {
+			et += real(v)*real(v) + imag(v)*imag(v)
+		}
+		var ef float64
+		for _, v := range FFT(x) {
+			ef += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(et-ef/float64(n)) < 1e-7*(1+et)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTSinusoidPeak(t *testing.T) {
+	// A pure sinusoid concentrates energy in its frequency bin.
+	const n = 128
+	const bin = 10
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(bin) * float64(i) / n)
+	}
+	spec := Magnitudes(FFTReal(x))
+	best := 0
+	for i := 1; i <= n/2; i++ {
+		if spec[i] > spec[best] {
+			best = i
+		}
+	}
+	if best != bin {
+		t.Errorf("sinusoid peak at bin %d, want %d", best, bin)
+	}
+}
+
+func TestFrequencyBins(t *testing.T) {
+	bins := FrequencyBins(8, 16)
+	want := []float64{0, 2, 4, 6, 8, -6, -4, -2}
+	for i, w := range want {
+		if math.Abs(bins[i]-w) > 1e-12 {
+			t.Errorf("bin %d = %v, want %v", i, bins[i], w)
+		}
+	}
+	if got := FrequencyBins(0, 16); got != nil {
+		t.Errorf("FrequencyBins(0) = %v, want nil", got)
+	}
+}
+
+func TestDominantFrequency(t *testing.T) {
+	const fs = 16.0
+	const f0 = 0.25 // 15 bpm
+	n := int(fs * 60)
+	x := make([]float64, n)
+	for i := range x {
+		ti := float64(i) / fs
+		x[i] = 3*math.Sin(2*math.Pi*f0*ti) + 0.1*math.Sin(2*math.Pi*3*ti)
+	}
+	got, err := DominantFrequency(x, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-f0) > 0.01 {
+		t.Errorf("DominantFrequency = %v, want %v", got, f0)
+	}
+}
+
+func TestDominantFrequencyErrors(t *testing.T) {
+	if _, err := DominantFrequency([]float64{1, 2}, 10); err == nil {
+		t.Error("expected error for short input")
+	}
+	if _, err := DominantFrequency(make([]float64, 64), 0); err == nil {
+		t.Error("expected error for zero sample rate")
+	}
+}
+
+func BenchmarkFFTRadix2_1024(b *testing.B) {
+	x := randComplex(1024, rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkFFTBluestein_1000(b *testing.B) {
+	x := randComplex(1000, rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}

@@ -1,0 +1,113 @@
+package sigproc
+
+// Peak is a local maximum of a series: its index and value.
+type Peak struct {
+	Index int
+	Value float64
+}
+
+// FindPeaks returns the local maxima of x that exceed minHeight and are
+// separated from any larger accepted peak by at least minDistance
+// samples. Peaks are returned in index order. Plateaus report their
+// first index.
+//
+// Peak analysis supports the spectral breathing-rate estimator and the
+// per-breath segmentation used in the extended examples.
+func FindPeaks(x []float64, minHeight float64, minDistance int) []Peak {
+	n := len(x)
+	if n < 3 {
+		return nil
+	}
+	if minDistance < 1 {
+		minDistance = 1
+	}
+	var candidates []Peak
+	for i := 1; i < n-1; i++ {
+		if x[i] < minHeight {
+			continue
+		}
+		if x[i] > x[i-1] && x[i] >= x[i+1] {
+			// Skip to the end of a plateau so it yields one peak.
+			j := i
+			for j+1 < n && x[j+1] == x[i] {
+				j++
+			}
+			if j+1 >= n || x[j+1] < x[i] {
+				candidates = append(candidates, Peak{Index: i, Value: x[i]})
+			}
+			i = j
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	// Greedy suppression: accept peaks from tallest to shortest, then
+	// restore index order.
+	order := make([]int, len(candidates))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by descending value; candidate lists are short.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && candidates[order[j]].Value > candidates[order[j-1]].Value; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	accepted := make([]bool, len(candidates))
+	for _, ci := range order {
+		ok := true
+		for aj, isAcc := range accepted {
+			if !isAcc {
+				continue
+			}
+			d := candidates[ci].Index - candidates[aj].Index
+			if d < 0 {
+				d = -d
+			}
+			if d < minDistance {
+				ok = false
+				break
+			}
+		}
+		accepted[ci] = ok
+	}
+	var out []Peak
+	for i, p := range candidates {
+		if accepted[i] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Autocorrelation returns the biased autocorrelation of x for lags
+// 0..maxLag, normalized so lag 0 equals 1 (unless x has zero energy, in
+// which case all values are 0). Used by the robustness tests as an
+// independent periodicity check on extracted breathing signals.
+func Autocorrelation(x []float64, maxLag int) []float64 {
+	n := len(x)
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if maxLag < 0 {
+		return nil
+	}
+	m := Mean(x)
+	out := make([]float64, maxLag+1)
+	var energy float64
+	for _, v := range x {
+		d := v - m
+		energy += d * d
+	}
+	if energy == 0 {
+		return out
+	}
+	for lag := 0; lag <= maxLag; lag++ {
+		var acc float64
+		for i := 0; i+lag < n; i++ {
+			acc += (x[i] - m) * (x[i+lag] - m)
+		}
+		out[lag] = acc / energy
+	}
+	return out
+}

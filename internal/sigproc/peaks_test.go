@@ -1,0 +1,108 @@
+package sigproc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFindPeaksBasic(t *testing.T) {
+	x := []float64{0, 1, 0, 2, 0, 3, 0}
+	peaks := FindPeaks(x, 0.5, 1)
+	if len(peaks) != 3 {
+		t.Fatalf("peaks = %d, want 3", len(peaks))
+	}
+	wantIdx := []int{1, 3, 5}
+	for i, p := range peaks {
+		if p.Index != wantIdx[i] {
+			t.Errorf("peak %d at %d, want %d", i, p.Index, wantIdx[i])
+		}
+	}
+}
+
+func TestFindPeaksMinHeight(t *testing.T) {
+	x := []float64{0, 1, 0, 2, 0, 3, 0}
+	peaks := FindPeaks(x, 2.5, 1)
+	if len(peaks) != 1 || peaks[0].Value != 3 {
+		t.Fatalf("peaks above 2.5 = %v, want just the 3", peaks)
+	}
+}
+
+func TestFindPeaksMinDistance(t *testing.T) {
+	// Two close peaks: suppression keeps the taller.
+	x := []float64{0, 5, 0, 4, 0, 0, 0, 0, 0, 3, 0}
+	peaks := FindPeaks(x, 0.5, 4)
+	if len(peaks) != 2 {
+		t.Fatalf("peaks = %v, want 2 (5 and 3)", peaks)
+	}
+	if peaks[0].Value != 5 || peaks[1].Value != 3 {
+		t.Errorf("kept %v, want the 5 and the 3", peaks)
+	}
+}
+
+func TestFindPeaksPlateau(t *testing.T) {
+	x := []float64{0, 2, 2, 2, 0}
+	peaks := FindPeaks(x, 0.5, 1)
+	if len(peaks) != 1 {
+		t.Fatalf("plateau peaks = %v, want exactly 1", peaks)
+	}
+	if peaks[0].Index != 1 {
+		t.Errorf("plateau reported at %d, want its first index 1", peaks[0].Index)
+	}
+}
+
+func TestFindPeaksDegenerate(t *testing.T) {
+	if p := FindPeaks(nil, 0, 1); p != nil {
+		t.Errorf("nil input: %v", p)
+	}
+	if p := FindPeaks([]float64{1, 2}, 0, 1); p != nil {
+		t.Errorf("too short: %v", p)
+	}
+	// Monotonic signal has no interior peak.
+	if p := FindPeaks([]float64{1, 2, 3, 4}, 0, 1); len(p) != 0 {
+		t.Errorf("monotonic: %v", p)
+	}
+}
+
+func TestAutocorrelationPeriodicity(t *testing.T) {
+	const fs = 16.0
+	const f0 = 0.25
+	n := int(fs * 60)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * f0 * float64(i) / fs)
+	}
+	ac := Autocorrelation(x, int(fs/f0)+4)
+	if math.Abs(ac[0]-1) > 1e-9 {
+		t.Fatalf("lag-0 autocorrelation %v, want 1", ac[0])
+	}
+	// A full period later the correlation returns near (n-lag)/n — the
+	// biased estimator's expected value for a pure sinusoid.
+	period := int(fs / f0)
+	n64 := float64(n)
+	wantFull := (n64 - float64(period)) / n64
+	if math.Abs(ac[period]-wantFull) > 0.03 {
+		t.Errorf("autocorrelation at one period = %v, want ≈%v", ac[period], wantFull)
+	}
+	// Half a period later it is near -(n-lag/2)/n.
+	if ac[period/2] > -0.85 {
+		t.Errorf("autocorrelation at half period = %v, want ≈-1", ac[period/2])
+	}
+}
+
+func TestAutocorrelationDegenerate(t *testing.T) {
+	if ac := Autocorrelation(nil, 5); ac != nil {
+		t.Errorf("nil input: %v", ac)
+	}
+	// Constant signal: zero energy after mean removal.
+	ac := Autocorrelation([]float64{3, 3, 3, 3}, 2)
+	for _, v := range ac {
+		if v != 0 {
+			t.Errorf("constant signal autocorrelation = %v, want zeros", ac)
+		}
+	}
+	// maxLag clamping.
+	ac = Autocorrelation([]float64{1, 2, 1}, 99)
+	if len(ac) != 3 {
+		t.Errorf("clamped lags = %d, want 3", len(ac))
+	}
+}

@@ -1,0 +1,206 @@
+package sigproc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample is one point of an irregularly sampled time series: a value
+// observed at a time offset (seconds from an arbitrary epoch).
+//
+// RFID tag reads do not arrive on a uniform clock — Gen2 inventory
+// timing, contention, and antenna hopping all jitter the spacing — so
+// every reader-derived series starts life as []Sample and is resampled
+// onto a uniform grid before spectral processing.
+type Sample struct {
+	T float64 // seconds
+	V float64
+}
+
+// Resample interpolates the irregular series s onto a uniform grid at
+// sampleRate Hz spanning [s[0].T, s[len-1].T], using linear
+// interpolation between neighbors. The input must be sorted by time and
+// contain at least two points; duplicate timestamps are tolerated (the
+// later point wins).
+func Resample(s []Sample, sampleRate float64) ([]float64, error) {
+	if len(s) < 2 {
+		return nil, fmt.Errorf("sigproc: resample needs at least 2 samples, got %d", len(s))
+	}
+	if sampleRate <= 0 {
+		return nil, fmt.Errorf("sigproc: non-positive sample rate %v", sampleRate)
+	}
+	if !sort.SliceIsSorted(s, func(i, j int) bool { return s[i].T < s[j].T }) {
+		return nil, fmt.Errorf("sigproc: resample input is not sorted by time")
+	}
+	t0, t1 := s[0].T, s[len(s)-1].T
+	span := t1 - t0
+	if span <= 0 {
+		return nil, fmt.Errorf("sigproc: resample input spans zero time")
+	}
+	n := int(span*sampleRate) + 1
+	out := make([]float64, n)
+	j := 0
+	dt := 1 / sampleRate
+	for i := 0; i < n; i++ {
+		t := t0 + float64(i)*dt
+		for j+1 < len(s)-1 && s[j+1].T <= t {
+			j++
+		}
+		a, b := s[j], s[j+1]
+		if b.T == a.T {
+			out[i] = b.V
+			continue
+		}
+		frac := (t - a.T) / (b.T - a.T)
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		out[i] = a.V + frac*(b.V-a.V)
+	}
+	return out, nil
+}
+
+// Detrend removes the least-squares straight line from x and returns a
+// new slice. Removing linear drift before an FFT avoids smearing energy
+// into the low bins where breathing lives.
+func Detrend(x []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if n == 1 {
+		return out // a single point detrends to zero
+	}
+	// Least-squares fit of x against index.
+	var sumI, sumI2, sumX, sumIX float64
+	for i, v := range x {
+		fi := float64(i)
+		sumI += fi
+		sumI2 += fi * fi
+		sumX += v
+		sumIX += fi * v
+	}
+	fn := float64(n)
+	den := fn*sumI2 - sumI*sumI
+	var slope, intercept float64
+	if den != 0 {
+		slope = (fn*sumIX - sumI*sumX) / den
+		intercept = (sumX - slope*sumI) / fn
+	} else {
+		intercept = sumX / fn
+	}
+	for i, v := range x {
+		out[i] = v - (intercept + slope*float64(i))
+	}
+	return out
+}
+
+// Normalize scales x to zero mean and unit peak amplitude, matching the
+// "normalized displacement" presentation of Fig. 6. A constant series
+// normalizes to all zeros.
+func Normalize(x []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	mean := Mean(x)
+	var peak float64
+	for _, v := range x {
+		if a := math.Abs(v - mean); a > peak {
+			peak = a
+		}
+	}
+	if peak == 0 {
+		return out
+	}
+	for i, v := range x {
+		out[i] = (v - mean) / peak
+	}
+	return out
+}
+
+// CumSum returns the running sum of x: out[i] = Σ_{k≤i} x[k]. This
+// implements the displacement accumulation of Eqs. 4 and 7.
+func CumSum(x []float64) []float64 {
+	out := make([]float64, len(x))
+	var acc float64
+	for i, v := range x {
+		acc += v
+		out[i] = acc
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range x {
+		sum += v
+	}
+	return sum / float64(len(x))
+}
+
+// StdDev returns the population standard deviation of x, or 0 for
+// fewer than two samples.
+func StdDev(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	var ss float64
+	for _, v := range x {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(x)))
+}
+
+// RMS returns the root-mean-square of x, or 0 for an empty slice.
+func RMS(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var ss float64
+	for _, v := range x {
+		ss += v * v
+	}
+	return math.Sqrt(ss / float64(len(x)))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of x using
+// linear interpolation between order statistics. It copies x rather
+// than sorting the caller's slice. An empty input returns 0.
+func Percentile(x []float64, p float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	} else if p > 100 {
+		p = 100
+	}
+	s := make([]float64, len(x))
+	copy(s, x)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(pos)
+	if lo >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := pos - float64(lo)
+	// Convex combination rather than s[lo]+frac*(s[hi]-s[lo]): the
+	// difference form overflows when the two order statistics sit near
+	// opposite float64 extremes.
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}

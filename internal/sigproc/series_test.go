@@ -1,0 +1,233 @@
+package sigproc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestResampleLinear(t *testing.T) {
+	s := []Sample{{T: 0, V: 0}, {T: 1, V: 10}, {T: 2, V: 0}}
+	out, err := Resample(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 2.5, 5, 7.5, 10, 7.5, 5, 2.5, 0}
+	if len(out) != len(want) {
+		t.Fatalf("length %d, want %d", len(out), len(want))
+	}
+	for i, w := range want {
+		if math.Abs(out[i]-w) > 1e-9 {
+			t.Errorf("sample %d = %v, want %v", i, out[i], w)
+		}
+	}
+}
+
+func TestResampleIrregularInput(t *testing.T) {
+	// Jittered sampling of a line must reproduce the line exactly
+	// (linear interpolation is exact for affine signals).
+	rng := rand.New(rand.NewSource(5))
+	var s []Sample
+	tt := 0.0
+	for tt < 10 {
+		s = append(s, Sample{T: tt, V: 3*tt + 1})
+		tt += 0.05 + 0.1*rng.Float64()
+	}
+	out, err := Resample(s, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		x := s[0].T + float64(i)/16
+		if math.Abs(v-(3*x+1)) > 1e-9 {
+			t.Fatalf("sample %d = %v, want %v", i, v, 3*x+1)
+		}
+	}
+}
+
+func TestResampleErrors(t *testing.T) {
+	if _, err := Resample([]Sample{{T: 0, V: 1}}, 10); err == nil {
+		t.Error("expected error for single sample")
+	}
+	if _, err := Resample([]Sample{{T: 0}, {T: 1}}, 0); err == nil {
+		t.Error("expected error for zero rate")
+	}
+	if _, err := Resample([]Sample{{T: 1}, {T: 0}}, 10); err == nil {
+		t.Error("expected error for unsorted input")
+	}
+	if _, err := Resample([]Sample{{T: 2, V: 1}, {T: 2, V: 2}}, 10); err == nil {
+		t.Error("expected error for zero time span")
+	}
+}
+
+func TestDetrendRemovesLine(t *testing.T) {
+	f := func(slope, intercept float64) bool {
+		if math.Abs(slope) > 1e6 || math.Abs(intercept) > 1e6 ||
+			math.IsNaN(slope+intercept) || math.IsInf(slope+intercept, 0) {
+			return true
+		}
+		x := make([]float64, 50)
+		for i := range x {
+			x[i] = intercept + slope*float64(i)
+		}
+		scale := 1 + math.Abs(slope)*50 + math.Abs(intercept)
+		for _, v := range Detrend(x) {
+			if math.Abs(v) > 1e-7*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetrendPreservesResidual(t *testing.T) {
+	// Detrending a sinusoid (zero-mean, zero net slope over whole
+	// periods) leaves it nearly intact.
+	n := 160
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 8 * float64(i) / float64(n))
+	}
+	d := Detrend(x)
+	// A least-squares line fit against finitely many whole periods is
+	// small but not exactly zero; require the residual distortion to
+	// stay well under the signal amplitude.
+	var distortion, energy float64
+	for i := range x {
+		e := d[i] - x[i]
+		distortion += e * e
+		energy += x[i] * x[i]
+	}
+	if ratio := distortion / energy; ratio > 0.02 {
+		t.Fatalf("detrend distortion ratio %v, want < 2%%", ratio)
+	}
+}
+
+func TestDetrendDegenerate(t *testing.T) {
+	if got := Detrend(nil); len(got) != 0 {
+		t.Errorf("Detrend(nil) = %v", got)
+	}
+	if got := Detrend([]float64{7}); got[0] != 0 {
+		t.Errorf("Detrend(single) = %v, want [0]", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	x := []float64{2, 4, 6}
+	got := Normalize(x)
+	// Mean 4, peak deviation 2 → {-1, 0, 1}.
+	want := []float64{-1, 0, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("Normalize[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	for _, v := range Normalize([]float64{5, 5, 5}) {
+		if v != 0 {
+			t.Errorf("constant normalizes to %v, want 0", v)
+		}
+	}
+}
+
+func TestNormalizeBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		for _, v := range Normalize(raw) {
+			if math.Abs(v) > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCumSum(t *testing.T) {
+	got := CumSum([]float64{1, 2, 3, -10})
+	want := []float64{1, 3, 6, -4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("CumSum[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got := CumSum(nil); len(got) != 0 {
+		t.Errorf("CumSum(nil) = %v", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(x); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if s := StdDev(x); math.Abs(s-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", s)
+	}
+	if r := RMS([]float64{3, 4}); math.Abs(r-math.Sqrt(12.5)) > 1e-12 {
+		t.Errorf("RMS = %v", r)
+	}
+	if Mean(nil) != 0 || StdDev([]float64{1}) != 0 || RMS(nil) != 0 {
+		t.Error("degenerate stats should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	x := []float64{5, 1, 3, 2, 4}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{p: 0, want: 1},
+		{p: 100, want: 5},
+		{p: 50, want: 3},
+		{p: 25, want: 2},
+		{p: -5, want: 1},  // clamps
+		{p: 120, want: 5}, // clamps
+	}
+	for _, tt := range tests {
+		if got := Percentile(x, tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v", got)
+	}
+	if got := Percentile([]float64{42}, 50); got != 42 {
+		t.Errorf("Percentile(single) = %v", got)
+	}
+	// Input must not be mutated.
+	if x[0] != 5 {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}
+
+func TestPercentileMonotonic(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(raw, pa) <= Percentile(raw, pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

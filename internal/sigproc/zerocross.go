@@ -1,0 +1,105 @@
+package sigproc
+
+// ZeroCrossing records one sign change of a filtered breathing signal:
+// the interpolated time at which the signal crossed zero and the
+// direction of the crossing.
+type ZeroCrossing struct {
+	T      float64 // seconds, linearly interpolated between samples
+	Rising bool    // true for a -→+ crossing (start of an inhale)
+}
+
+// ZeroCrossings detects sign changes in the uniformly sampled series x
+// whose first sample is at time t0 and whose samples are spaced
+// 1/sampleRate apart. Crossing times are linearly interpolated between
+// the bracketing samples. Exact zeros count as part of the following
+// half-cycle. A minimum spacing (hysteresis) of minGap seconds
+// suppresses chatter from residual noise near zero: crossings closer
+// than minGap to the previously accepted one are dropped.
+//
+// §IV-B of the paper detects zero crossings on the low-pass-filtered
+// displacement signal and derives the instantaneous breathing rate from
+// their timestamps (Eq. 5).
+func ZeroCrossings(x []float64, t0, sampleRate, minGap float64) []ZeroCrossing {
+	if len(x) < 2 || sampleRate <= 0 {
+		return nil
+	}
+	dt := 1 / sampleRate
+	var out []ZeroCrossing
+	prevSign := sign(x[0])
+	for i := 1; i < len(x); i++ {
+		s := sign(x[i])
+		if s == 0 || s == prevSign {
+			if s != 0 {
+				prevSign = s
+			}
+			continue
+		}
+		if prevSign == 0 {
+			prevSign = s
+			continue
+		}
+		// Interpolate the crossing instant between samples i-1 and i.
+		a, b := x[i-1], x[i]
+		frac := 0.0
+		if b != a {
+			frac = a / (a - b)
+		}
+		t := t0 + (float64(i-1)+frac)*dt
+		if n := len(out); n > 0 && t-out[n-1].T < minGap {
+			prevSign = s
+			continue
+		}
+		out = append(out, ZeroCrossing{T: t, Rising: s > 0})
+		prevSign = s
+	}
+	return out
+}
+
+func sign(v float64) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// RateFromCrossings implements Eq. 5: given the M most recent zero
+// crossings ending at index i, the instantaneous breathing rate in Hz is
+// (M−1) / (2·(t_i − t_{i−M+1})) — each full breath contributes two
+// crossings. It returns the rate computed over the last bufferM
+// crossings of zc, or 0 if fewer than bufferM crossings are available
+// or the window spans no time. The paper buffers M = 7 crossings
+// (3 breaths) for its realtime display.
+func RateFromCrossings(zc []ZeroCrossing, bufferM int) float64 {
+	if bufferM < 2 || len(zc) < bufferM {
+		return 0
+	}
+	last := zc[len(zc)-1].T
+	first := zc[len(zc)-bufferM].T
+	span := last - first
+	if span <= 0 {
+		return 0
+	}
+	return float64(bufferM-1) / (2 * span)
+}
+
+// RateSeriesFromCrossings evaluates Eq. 5 at every crossing where a
+// full buffer is available, producing the instantaneous-rate series the
+// paper visualizes in realtime. Each output sample is stamped with the
+// time of the newest crossing in its buffer.
+func RateSeriesFromCrossings(zc []ZeroCrossing, bufferM int) []Sample {
+	if bufferM < 2 || len(zc) < bufferM {
+		return nil
+	}
+	out := make([]Sample, 0, len(zc)-bufferM+1)
+	for i := bufferM; i <= len(zc); i++ {
+		r := RateFromCrossings(zc[:i], bufferM)
+		if r > 0 {
+			out = append(out, Sample{T: zc[i-1].T, V: r})
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package sigproc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZeroCrossingsOfSinusoid(t *testing.T) {
+	const fs = 16.0
+	const f0 = 0.2 // 12 bpm: crossings every 2.5 s
+	n := int(fs * 60)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * f0 * float64(i) / fs)
+	}
+	zc := ZeroCrossings(x, 0, fs, 0.4)
+	// 60 s at 0.2 Hz = 12 cycles = 24 crossings (first sample is an
+	// exact zero and consumed as part of the first half-cycle).
+	if len(zc) < 22 || len(zc) > 24 {
+		t.Fatalf("crossings = %d, want ≈23", len(zc))
+	}
+	// Crossings alternate direction and are spaced by half a period.
+	halfPeriod := 1 / (2 * f0)
+	for i := 1; i < len(zc); i++ {
+		if zc[i].Rising == zc[i-1].Rising {
+			t.Fatalf("crossings %d and %d have the same direction", i-1, i)
+		}
+		gap := zc[i].T - zc[i-1].T
+		if math.Abs(gap-halfPeriod) > 0.1 {
+			t.Fatalf("gap %v, want %v", gap, halfPeriod)
+		}
+	}
+}
+
+func TestZeroCrossingInterpolation(t *testing.T) {
+	// Signal crossing zero exactly halfway between samples 1 and 2.
+	x := []float64{-1, -0.5, 0.5, 1}
+	zc := ZeroCrossings(x, 10, 1, 0)
+	if len(zc) != 1 {
+		t.Fatalf("crossings = %d, want 1", len(zc))
+	}
+	if math.Abs(zc[0].T-11.5) > 1e-12 {
+		t.Errorf("crossing at %v, want 11.5", zc[0].T)
+	}
+	if !zc[0].Rising {
+		t.Error("crossing should be rising")
+	}
+}
+
+func TestZeroCrossingHysteresis(t *testing.T) {
+	// Chatter around zero: minGap suppresses the rapid re-crossings.
+	x := []float64{-1, 0.01, -0.01, 0.01, -0.01, 1}
+	all := ZeroCrossings(x, 0, 10, 0)
+	if len(all) != 5 {
+		t.Fatalf("without hysteresis: %d crossings, want 5", len(all))
+	}
+	few := ZeroCrossings(x, 0, 10, 0.35)
+	if len(few) != 1 {
+		t.Fatalf("with hysteresis: %d crossings, want 1", len(few))
+	}
+}
+
+func TestZeroCrossingsDegenerate(t *testing.T) {
+	if zc := ZeroCrossings(nil, 0, 10, 0); zc != nil {
+		t.Errorf("nil input: %v", zc)
+	}
+	if zc := ZeroCrossings([]float64{1}, 0, 10, 0); zc != nil {
+		t.Errorf("single sample: %v", zc)
+	}
+	if zc := ZeroCrossings([]float64{1, 2, 3}, 0, 0, 0); zc != nil {
+		t.Errorf("zero rate: %v", zc)
+	}
+	// All-positive signal: no crossings.
+	if zc := ZeroCrossings([]float64{1, 2, 1, 2}, 0, 10, 0); len(zc) != 0 {
+		t.Errorf("positive signal: %v", zc)
+	}
+	// Exact zeros between sign changes still yield one crossing.
+	zc := ZeroCrossings([]float64{-1, 0, 1}, 0, 1, 0)
+	if len(zc) != 1 {
+		t.Errorf("zero-touching signal: %d crossings, want 1", len(zc))
+	}
+}
+
+func TestRateFromCrossingsEq5(t *testing.T) {
+	// Perfectly periodic crossings at 0.25 Hz breathing: crossings
+	// every 2 s. Eq. 5 with M = 7: (7-1)/(2·(t_i - t_{i-6})) =
+	// 6/(2·12) = 0.25 Hz.
+	var zc []ZeroCrossing
+	for i := 0; i < 10; i++ {
+		zc = append(zc, ZeroCrossing{T: float64(i) * 2, Rising: i%2 == 0})
+	}
+	got := RateFromCrossings(zc, 7)
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("rate = %v Hz, want 0.25", got)
+	}
+}
+
+func TestRateFromCrossingsInsufficient(t *testing.T) {
+	zc := []ZeroCrossing{{T: 0}, {T: 1}, {T: 2}}
+	if got := RateFromCrossings(zc, 7); got != 0 {
+		t.Errorf("rate with 3 crossings, M=7: %v, want 0", got)
+	}
+	if got := RateFromCrossings(zc, 1); got != 0 {
+		t.Errorf("rate with M=1: %v, want 0", got)
+	}
+	same := []ZeroCrossing{{T: 5}, {T: 5}}
+	if got := RateFromCrossings(same, 2); got != 0 {
+		t.Errorf("rate with zero span: %v, want 0", got)
+	}
+}
+
+func TestRateSeriesFromCrossings(t *testing.T) {
+	var zc []ZeroCrossing
+	for i := 0; i < 12; i++ {
+		zc = append(zc, ZeroCrossing{T: float64(i) * 3}) // 0.1667 Hz breath
+	}
+	series := RateSeriesFromCrossings(zc, 7)
+	if len(series) != 12-7+1 {
+		t.Fatalf("series length %d, want %d", len(series), 6)
+	}
+	for _, s := range series {
+		if math.Abs(s.V-1.0/6) > 1e-9 {
+			t.Errorf("rate %v at t=%v, want 1/6 Hz", s.V, s.T)
+		}
+	}
+	// Stamped with the newest crossing in each buffer.
+	if series[0].T != zc[6].T {
+		t.Errorf("first stamp %v, want %v", series[0].T, zc[6].T)
+	}
+	if got := RateSeriesFromCrossings(zc[:3], 7); got != nil {
+		t.Errorf("short input: %v", got)
+	}
+}

@@ -1,0 +1,471 @@
+// Package sim assembles complete monitoring scenarios — users with
+// body-worn tags, contending item tags, reader antennas, and run
+// parameters — and executes them against the reader emulator, yielding
+// the low-level report stream plus the ground truth needed to score
+// accuracy per Eq. 8. Every evaluation experiment in the paper (§VI)
+// is a parameterization of this package.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"tagbreathe/internal/body"
+	"tagbreathe/internal/epc"
+	"tagbreathe/internal/geom"
+	"tagbreathe/internal/reader"
+	"tagbreathe/internal/rf"
+	"tagbreathe/internal/units"
+)
+
+// PatternKind selects a breathing waveform family for a simulated user.
+type PatternKind int
+
+// Breathing pattern families.
+const (
+	// PatternMetronome is paced breathing, as in the paper's accuracy
+	// experiments (§VI-A uses a metronome app).
+	PatternMetronome PatternKind = iota + 1
+	// PatternNatural is unpaced resting breathing with rate wander.
+	PatternNatural
+	// PatternIrregular alternates fast/slow phases with pauses.
+	PatternIrregular
+)
+
+// String implements fmt.Stringer.
+func (k PatternKind) String() string {
+	switch k {
+	case PatternMetronome:
+		return "metronome"
+	case PatternNatural:
+		return "natural"
+	case PatternIrregular:
+		return "irregular"
+	default:
+		return fmt.Sprintf("PatternKind(%d)", int(k))
+	}
+}
+
+// UserSpec describes one monitored subject.
+type UserSpec struct {
+	// RateBPM is the paced or mean breathing rate (Table I default 10).
+	RateBPM float64
+	// Pattern selects the waveform family; zero value = metronome.
+	Pattern PatternKind
+	// Posture (Table I default sitting).
+	Posture body.Posture
+	// Position of the torso reference point; zero value places the
+	// user on the antenna boresight at the scenario's DefaultDistance.
+	Position geom.Vec3
+	// OrientationDeg rotates the user away from facing the antenna:
+	// 0 = front (facing the antenna), 90 = side, 180 = back (Fig. 15).
+	OrientationDeg float64
+	// ChestFraction sets the breathing style (1 = chest breather,
+	// 0 = abdominal); zero value defaults to 0.6.
+	ChestFraction float64
+	// AmplitudeM is the chest excursion amplitude in meters; zero
+	// value defaults to 5 mm, typical of quiet breathing.
+	AmplitudeM float64
+	// HeartRateBPM adds a cardiac chest-wall component (apex beat,
+	// ~0.35 mm) at this rate; zero disables it. The cardiac extension
+	// estimates it from the same phase stream.
+	HeartRateBPM float64
+	// FidgetEverySec makes the subject shift posture (centimeters of
+	// torso motion over ~1 s) at this mean interval; zero keeps the
+	// subject still. Exercises the pipeline's motion-artifact
+	// rejection.
+	FidgetEverySec float64
+	// NLOS places an obstruction (partition, furniture) between this
+	// subject and the antennas — Table I's "without LOS path" case.
+	// Adds obstruction loss on both link directions.
+	NLOS bool
+	// Sites lists tag placements; nil defaults to the paper's three
+	// sites (chest, mid, abdomen).
+	Sites []body.TagSite
+}
+
+// Scenario is a complete experiment configuration. The zero value is
+// not runnable; start from DefaultScenario and override.
+type Scenario struct {
+	Users []UserSpec
+	// ContendingTags adds this many RFID-labelled daily items at
+	// random positions in the room (Fig. 14).
+	ContendingTags int
+	// Antennas lists reader antenna ports; nil defaults to one
+	// antenna at the origin, 1 m above the ground (§VI-B.1).
+	Antennas []reader.Antenna
+	// DefaultDistance positions users with zero Position on the
+	// boresight at this range in meters (Table I default 4 m).
+	DefaultDistance float64
+	Duration        time.Duration
+	Plan            *rf.ChannelPlan
+	Budget          *rf.LinkBudget
+	Observer        *rf.ObserverConfig
+	Link            epc.LinkParams
+	AntennaDwell    time.Duration
+	// SelectMonitorTags issues a Gen2 Select before inventory so only
+	// the users' monitoring tags participate, excluding contending
+	// item tags from arbitration entirely — the §VI-B.3 countermeasure
+	// the substrate makes testable.
+	SelectMonitorTags bool
+	// Session selects Gen2 session semantics; the zero value (S0) is
+	// the continuous-monitoring default. The session study shows why
+	// persistent sessions without dual-target kill monitoring.
+	Session epc.SessionConfig
+	Seed    int64
+}
+
+// DefaultScenario returns Table I's default settings: one user, three
+// tags, 10 bpm paced breathing, sitting, facing the antenna at 4 m,
+// 30 dBm transmit power, two-minute run.
+func DefaultScenario() *Scenario {
+	return &Scenario{
+		Users:           []UserSpec{{RateBPM: 10}},
+		DefaultDistance: 4,
+		Duration:        2 * time.Minute,
+		Seed:            1,
+	}
+}
+
+// Result carries everything a run produced.
+type Result struct {
+	// Reports is the full low-level read stream in timestamp order.
+	Reports []reader.TagReport
+	// Stats summarizes MAC-level behaviour.
+	Stats reader.RunStats
+	// Users are the constructed subjects, index-aligned with the
+	// scenario's Users slice.
+	Users []*body.User
+	// UserIDs are the 64-bit identities assigned to each user.
+	UserIDs []uint64
+	// TrueRateBPM is the ground-truth mean breathing rate per user ID
+	// over the full run — the R of Eq. 8.
+	TrueRateBPM map[uint64]float64
+	// TrueHeartBPM is the ground-truth mean heart rate per user ID,
+	// present only for users with a cardiac component.
+	TrueHeartBPM map[uint64]float64
+	// TagKeys maps user ID to the physical keys of that user's tags.
+	TagKeys map[uint64][]uint64
+	// Antennas echoes the antenna layout used.
+	Antennas []reader.Antenna
+}
+
+// nlosObstructionDB is the two-way excess loss of an office partition
+// or furniture in the UHF band (one-way, applied to both directions).
+const nlosObstructionDB = 9
+
+// bodyTag adapts one body-worn tag to reader.Target.
+type bodyTag struct {
+	key  uint64
+	code epc.EPC96
+	user *body.User
+	site body.TagSite
+	// nlos adds obstruction loss for Table I's without-LOS case.
+	nlos bool
+}
+
+// Key implements reader.Target.
+func (b *bodyTag) Key() uint64 { return b.key }
+
+// EPC implements reader.Target.
+func (b *bodyTag) EPC() epc.EPC96 { return b.code }
+
+// RangeTo implements reader.Target: geometry from the user's torso
+// model plus orientation-dependent excess loss. Pattern/detuning loss
+// weighs on the forward (power-up) leg — the Fig. 15b observation that
+// turning collapses read rate while RSSI holds — while body blockage
+// attenuates both directions and a modest fraction of the pattern loss
+// reaches the return path.
+func (b *bodyTag) RangeTo(antenna geom.Vec3, t float64) (float64, float64, units.DB, units.DB) {
+	const h = 5e-3 // seconds; central difference step for velocity
+	d0 := b.user.TagPose(b.site, t-h).Position.Distance(antenna)
+	d1 := b.user.TagPose(b.site, t).Position.Distance(antenna)
+	d2 := b.user.TagPose(b.site, t+h).Position.Distance(antenna)
+	v := (d2 - d0) / (2 * h)
+	psi := b.user.OrientationTo(antenna)
+	block := body.BodyLoss(psi)
+	pattern := body.TagPatternLoss(psi)
+	var obstruction units.DB
+	if b.nlos {
+		obstruction = nlosObstructionDB
+	}
+	return d1, v, block + pattern + obstruction, block + 0.3*pattern + obstruction
+}
+
+// itemTag is a static contending tag on a daily item.
+type itemTag struct {
+	key  uint64
+	code epc.EPC96
+	pos  geom.Vec3
+	loss units.DB
+}
+
+// Key implements reader.Target.
+func (i *itemTag) Key() uint64 { return i.key }
+
+// EPC implements reader.Target.
+func (i *itemTag) EPC() epc.EPC96 { return i.code }
+
+// RangeTo implements reader.Target.
+func (i *itemTag) RangeTo(antenna geom.Vec3, _ float64) (float64, float64, units.DB, units.DB) {
+	return i.pos.Distance(antenna), 0, i.loss, i.loss
+}
+
+// Interface compliance checks.
+var (
+	_ reader.Target = (*bodyTag)(nil)
+	_ reader.Target = (*itemTag)(nil)
+)
+
+// baseUserID is the first assigned user identity. Monitoring tags carry
+// user IDs at or above this value; contending item tags keep factory
+// EPCs whose high bits never collide with it.
+const baseUserID = 0x1000_0000_0000_0001
+
+// Run executes the scenario and gathers all reports.
+func (s *Scenario) Run() (*Result, error) {
+	res := &Result{
+		TrueRateBPM:  make(map[uint64]float64),
+		TrueHeartBPM: make(map[uint64]float64),
+		TagKeys:      make(map[uint64][]uint64),
+	}
+	err := s.Stream(func(r reader.TagReport) {
+		res.Reports = append(res.Reports, r)
+	}, res)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Stream executes the scenario, invoking emit per read in timestamp
+// order. If res is non-nil its metadata fields (users, ground truth,
+// stats) are filled in.
+func (s *Scenario) Stream(emit func(reader.TagReport), res *Result) error {
+	if len(s.Users) == 0 {
+		return fmt.Errorf("sim: scenario has no users")
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("sim: non-positive duration %v", s.Duration)
+	}
+	if s.DefaultDistance <= 0 {
+		s.DefaultDistance = 4
+	}
+	antennas := s.Antennas
+	if len(antennas) == 0 {
+		// §VI-B.1: antenna fixed 1 m above the ground; boresight +X.
+		antennas = []reader.Antenna{{Port: 1, Position: geom.Vec3{Z: 1.0}}}
+	}
+
+	rng := rand.New(rand.NewSource(s.Seed))
+	horizon := s.Duration.Seconds()
+
+	var targets []reader.Target
+	nextKey := uint64(1)
+
+	users := make([]*body.User, len(s.Users))
+	userIDs := make([]uint64, len(s.Users))
+	for i, spec := range s.Users {
+		u, err := buildUser(spec, uint64(i), antennas[0].Position, s.DefaultDistance, horizon, rng)
+		if err != nil {
+			return fmt.Errorf("sim: user %d: %w", i, err)
+		}
+		users[i] = u
+		userIDs[i] = u.ID
+
+		sites := spec.Sites
+		if sites == nil {
+			sites = body.DefaultSites
+		}
+		for j, site := range sites {
+			bt := &bodyTag{
+				key:  nextKey,
+				code: epc.NewUserTagEPC(u.ID, uint32(j+1)),
+				user: u,
+				site: site,
+				nlos: spec.NLOS,
+			}
+			nextKey++
+			targets = append(targets, bt)
+			if res != nil {
+				res.TagKeys[u.ID] = append(res.TagKeys[u.ID], bt.key)
+			}
+		}
+	}
+
+	for i := 0; i < s.ContendingTags; i++ {
+		var code epc.EPC96
+		// Factory EPCs: random bits with the top byte zeroed so the
+		// user-ID space (baseUserID and above) never collides.
+		for b := range code {
+			code[b] = byte(rng.Intn(256))
+		}
+		code[0] = 0
+		it := &itemTag{
+			key:  nextKey,
+			code: code,
+			pos: geom.Vec3{
+				X: 1 + 5*rng.Float64(),
+				Y: -3 + 6*rng.Float64(),
+				Z: 0.5 + rng.Float64(),
+			},
+			loss: units.DB(6 * rng.Float64()), // random mounting orientation
+		}
+		nextKey++
+		targets = append(targets, it)
+	}
+
+	var selectFilter func(epc.EPC96) bool
+	if s.SelectMonitorTags {
+		monitored := make(map[uint64]bool, len(userIDs))
+		for _, uid := range userIDs {
+			monitored[uid] = true
+		}
+		selectFilter = func(e epc.EPC96) bool { return monitored[e.UserID()] }
+	}
+	rdr, err := reader.New(reader.Config{
+		Antennas:     antennas,
+		AntennaDwell: s.AntennaDwell,
+		Plan:         s.Plan,
+		Budget:       s.Budget,
+		Observer:     s.Observer,
+		Link:         s.Link,
+		Select:       selectFilter,
+		Session:      s.Session,
+		Seed:         s.Seed + 7919, // decouple reader noise from layout draws
+	}, s.Duration)
+	if err != nil {
+		return err
+	}
+
+	stats, err := rdr.Run(s.Duration, targets, emit)
+	if err != nil {
+		return err
+	}
+
+	if res != nil {
+		res.Stats = stats
+		res.Users = users
+		res.UserIDs = userIDs
+		res.Antennas = antennas
+		for _, u := range users {
+			res.TrueRateBPM[u.ID] = u.Breather.AverageRateBPM(0, horizon)
+			if u.Heart != nil {
+				res.TrueHeartBPM[u.ID] = u.Heart.AverageRateBPM(0, horizon)
+			}
+		}
+	}
+	return nil
+}
+
+// buildUser constructs the body model for one spec. Users with a zero
+// Position are placed on the antenna boresight at the default distance,
+// at chest height matching their posture.
+func buildUser(spec UserSpec, index uint64, antennaPos geom.Vec3, defaultDistance, horizon float64, rng *rand.Rand) (*body.User, error) {
+	rate := spec.RateBPM
+	if rate <= 0 {
+		rate = 10
+	}
+	amp := spec.AmplitudeM
+	if amp <= 0 {
+		amp = 0.005
+	}
+	cf := spec.ChestFraction
+	if cf == 0 {
+		cf = 0.6
+	}
+	posture := spec.Posture
+	if posture == 0 {
+		posture = body.Sitting
+	}
+
+	var (
+		br  body.Breather
+		err error
+	)
+	switch spec.Pattern {
+	case PatternNatural:
+		br, err = body.NewNatural(rate, 1.5, amp, horizon, rng)
+	case PatternIrregular:
+		br, err = body.NewIrregular(rate*1.6, rate*0.6, amp, 6, 0.35, horizon, rng)
+	default:
+		br, err = body.NewMetronome(rate, amp, 0.03, horizon, rng)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	pos := spec.Position
+	if pos == (geom.Vec3{}) {
+		z := chestHeight(posture)
+		pos = geom.Vec3{X: antennaPos.X + defaultDistance, Y: antennaPos.Y, Z: z}
+	}
+
+	// Face the antenna, then rotate by the requested orientation.
+	toAntenna := antennaPos.Sub(pos)
+	facing := math.Atan2(toAntenna.Y, toAntenna.X) * 180 / math.Pi
+	facing += spec.OrientationDeg
+
+	u := &body.User{
+		ID:        baseUserID + index,
+		Position:  pos,
+		FacingDeg: facing,
+		Posture:   posture,
+		Style:     body.BreathingStyle{ChestFraction: cf},
+		Breather:  br,
+	}
+	if spec.HeartRateBPM > 0 {
+		heart, err := body.NewHeartbeat(spec.HeartRateBPM, 0.00035, 0.04, horizon, rng)
+		if err != nil {
+			return nil, err
+		}
+		u.Heart = heart
+	}
+	if spec.FidgetEverySec > 0 {
+		shifts, err := body.NewTorsoShifts(spec.FidgetEverySec, 0.06, horizon, rng)
+		if err != nil {
+			return nil, err
+		}
+		u.Shifts = shifts
+	}
+	return u, nil
+}
+
+// chestHeight returns the torso reference height for a posture,
+// keeping the tag-to-antenna range close to the nominal distance for
+// an antenna mounted 1 m above the ground.
+func chestHeight(p body.Posture) float64 {
+	switch p {
+	case body.Standing:
+		return 1.35
+	case body.Lying:
+		return 0.75
+	default: // sitting
+		return 1.1
+	}
+}
+
+// SideBySide positions n users shoulder to shoulder at the given
+// distance from the antenna (Fig. 13's layout), 0.6 m apart, centered
+// on the boresight, all facing the antenna. It returns UserSpecs with
+// the given breathing rates (cycled if fewer rates than users).
+func SideBySide(n int, distance float64, ratesBPM ...float64) []UserSpec {
+	if n <= 0 {
+		return nil
+	}
+	specs := make([]UserSpec, n)
+	for i := range specs {
+		rate := 10.0
+		if len(ratesBPM) > 0 {
+			rate = ratesBPM[i%len(ratesBPM)]
+		}
+		y := (float64(i) - float64(n-1)/2) * 0.6
+		specs[i] = UserSpec{
+			RateBPM:  rate,
+			Position: geom.Vec3{X: distance, Y: y, Z: 1.1},
+		}
+	}
+	return specs
+}

@@ -1,0 +1,375 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"tagbreathe/internal/body"
+	"tagbreathe/internal/epc"
+	"tagbreathe/internal/geom"
+	"tagbreathe/internal/reader"
+)
+
+func shortScenario(seed int64) *Scenario {
+	sc := DefaultScenario()
+	sc.Duration = 10 * time.Second
+	sc.Seed = seed
+	return sc
+}
+
+func TestDefaultScenarioMatchesTableI(t *testing.T) {
+	sc := DefaultScenario()
+	if len(sc.Users) != 1 {
+		t.Errorf("users = %d, want 1", len(sc.Users))
+	}
+	if sc.Users[0].RateBPM != 10 {
+		t.Errorf("rate = %v, want 10 bpm", sc.Users[0].RateBPM)
+	}
+	if sc.DefaultDistance != 4 {
+		t.Errorf("distance = %v, want 4 m", sc.DefaultDistance)
+	}
+	if sc.Duration != 2*time.Minute {
+		t.Errorf("duration = %v, want 2 m", sc.Duration)
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three tags per user (the Table I default).
+	if n := len(res.TagKeys[res.UserIDs[0]]); n != 3 {
+		t.Errorf("tags per user = %d, want 3", n)
+	}
+	// Sitting posture default.
+	if res.Users[0].Posture != body.Sitting {
+		t.Errorf("posture = %v, want sitting", res.Users[0].Posture)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	sc := &Scenario{}
+	if _, err := sc.Run(); err == nil {
+		t.Error("expected error for scenario with no users")
+	}
+	sc = DefaultScenario()
+	sc.Duration = 0
+	if _, err := sc.Run(); err == nil {
+		t.Error("expected error for zero duration")
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	a, err := shortScenario(42).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := shortScenario(42).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Reports) != len(b.Reports) {
+		t.Fatalf("report counts differ: %d vs %d", len(a.Reports), len(b.Reports))
+	}
+	for i := range a.Reports {
+		if a.Reports[i] != b.Reports[i] {
+			t.Fatalf("same seed diverged at report %d", i)
+		}
+	}
+	c, err := shortScenario(43).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Reports) == len(c.Reports) {
+		same := true
+		for i := range a.Reports {
+			if a.Reports[i] != c.Reports[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical runs")
+		}
+	}
+}
+
+func TestUserIDsDistinctAndEncoded(t *testing.T) {
+	sc := shortScenario(1)
+	sc.Users = SideBySide(4, 4, 10, 12, 14, 16)
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for _, uid := range res.UserIDs {
+		if seen[uid] {
+			t.Fatalf("duplicate user ID %x", uid)
+		}
+		seen[uid] = true
+	}
+	// Every monitoring-tag report decodes to a known user.
+	for _, r := range res.Reports {
+		if !seen[r.EPC.UserID()] {
+			t.Fatalf("report EPC %v has unknown user ID", r.EPC)
+		}
+	}
+}
+
+func TestContendingTagsDoNotCollideWithUsers(t *testing.T) {
+	sc := shortScenario(2)
+	sc.ContendingTags = 20
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := map[uint64]bool{}
+	for _, uid := range res.UserIDs {
+		users[uid] = true
+	}
+	var itemReads int
+	for _, r := range res.Reports {
+		if !users[r.EPC.UserID()] {
+			itemReads++
+		}
+	}
+	if itemReads == 0 {
+		t.Error("no contending-tag reads observed; contention not simulated")
+	}
+}
+
+func TestContentionReducesMonitoringRate(t *testing.T) {
+	userRate := func(contending int) float64 {
+		sc := shortScenario(3)
+		sc.Duration = 30 * time.Second
+		sc.ContendingTags = contending
+		res, err := sc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		users := map[uint64]bool{}
+		for _, uid := range res.UserIDs {
+			users[uid] = true
+		}
+		n := 0
+		for _, r := range res.Reports {
+			if users[r.EPC.UserID()] {
+				n++
+			}
+		}
+		return float64(n) / 30
+	}
+	clear := userRate(0)
+	crowded := userRate(30)
+	// Fig. 14's mechanism: contending tags depress the monitoring
+	// tags' read rate.
+	if crowded > clear*0.6 {
+		t.Errorf("monitor read rate barely fell under contention: %.1f -> %.1f", clear, crowded)
+	}
+}
+
+func TestSideBySideLayout(t *testing.T) {
+	specs := SideBySide(3, 4, 10, 12)
+	if len(specs) != 3 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	// Rates cycle.
+	if specs[0].RateBPM != 10 || specs[1].RateBPM != 12 || specs[2].RateBPM != 10 {
+		t.Errorf("rates = %v, %v, %v", specs[0].RateBPM, specs[1].RateBPM, specs[2].RateBPM)
+	}
+	// All at distance 4 in X, spaced 0.6 m laterally, centered.
+	if specs[0].Position.Y != -0.6 || specs[1].Position.Y != 0 || specs[2].Position.Y != 0.6 {
+		t.Errorf("lateral positions = %v, %v, %v", specs[0].Position.Y, specs[1].Position.Y, specs[2].Position.Y)
+	}
+	if SideBySide(0, 4) != nil {
+		t.Error("zero users should return nil")
+	}
+	// Default rate applies with no rates given.
+	d := SideBySide(1, 4)
+	if d[0].RateBPM != 10 {
+		t.Errorf("default rate = %v, want 10", d[0].RateBPM)
+	}
+}
+
+func TestOrientationBeyond90NoReads(t *testing.T) {
+	sc := shortScenario(4)
+	sc.Users[0].OrientationDeg = 150
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 0 {
+		t.Errorf("%d reads with the body blocking LOS, want 0 (Fig. 15)", len(res.Reports))
+	}
+}
+
+func TestGroundTruthMatchesSpec(t *testing.T) {
+	sc := shortScenario(5)
+	sc.Duration = time.Minute
+	sc.Users[0].RateBPM = 15
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := res.TrueRateBPM[res.UserIDs[0]]
+	if truth < 13.5 || truth > 16.5 {
+		t.Errorf("ground truth %v bpm for a 15 bpm metronome", truth)
+	}
+}
+
+func TestStreamMatchesRun(t *testing.T) {
+	var streamed []reader.TagReport
+	sc := shortScenario(6)
+	if err := sc.Stream(func(r reader.TagReport) {
+		streamed = append(streamed, r)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := shortScenario(6).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(res.Reports) {
+		t.Fatalf("stream %d vs run %d reports", len(streamed), len(res.Reports))
+	}
+	for i := range streamed {
+		if streamed[i] != res.Reports[i] {
+			t.Fatalf("stream and run diverge at report %d", i)
+		}
+	}
+}
+
+func TestExplicitAntennasAndPositions(t *testing.T) {
+	sc := shortScenario(7)
+	sc.Antennas = []reader.Antenna{
+		{Port: 2, Position: geom.Vec3{X: 1, Y: 1, Z: 1.5}},
+	}
+	sc.Users[0].Position = geom.Vec3{X: 3, Y: 1, Z: 1.1}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Reports {
+		if r.AntennaPort != 2 {
+			t.Fatalf("report from port %d, want 2", r.AntennaPort)
+		}
+	}
+	if len(res.Reports) == 0 {
+		t.Error("no reads with explicit layout")
+	}
+}
+
+func TestPatternsProduceDifferentTruth(t *testing.T) {
+	truthFor := func(p PatternKind) float64 {
+		sc := shortScenario(8)
+		sc.Duration = time.Minute
+		sc.Users[0].Pattern = p
+		res, err := sc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TrueRateBPM[res.UserIDs[0]]
+	}
+	m := truthFor(PatternMetronome)
+	n := truthFor(PatternNatural)
+	ir := truthFor(PatternIrregular)
+	if m == n && n == ir {
+		t.Error("all patterns produced identical ground truth")
+	}
+	for _, v := range []float64{m, n, ir} {
+		if v <= 0 || v > 40 {
+			t.Errorf("implausible ground-truth rate %v", v)
+		}
+	}
+}
+
+func TestPatternKindString(t *testing.T) {
+	if PatternMetronome.String() != "metronome" ||
+		PatternNatural.String() != "natural" ||
+		PatternIrregular.String() != "irregular" {
+		t.Error("pattern String() mismatch")
+	}
+	if PatternKind(42).String() == "" {
+		t.Error("unknown pattern should still print")
+	}
+}
+
+func TestSelectMonitorTagsExcludesItems(t *testing.T) {
+	sc := shortScenario(9)
+	sc.ContendingTags = 15
+	sc.SelectMonitorTags = true
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := map[uint64]bool{}
+	for _, uid := range res.UserIDs {
+		users[uid] = true
+	}
+	for _, r := range res.Reports {
+		if !users[r.EPC.UserID()] {
+			t.Fatalf("item tag %v read despite Select filter", r.EPC)
+		}
+	}
+	if len(res.Reports) == 0 {
+		t.Fatal("select filter suppressed all reads")
+	}
+}
+
+func TestSessionPassthrough(t *testing.T) {
+	sc := shortScenario(10)
+	sc.Duration = 30 * time.Second
+	sc.Session = epc.SessionConfig{Session: epc.SessionS2}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S2 single-target: each of the three tags is read exactly once.
+	if len(res.Reports) != 3 {
+		t.Errorf("S2 single-target produced %d reads, want 3 (one per tag)", len(res.Reports))
+	}
+}
+
+func TestNLOSReducesReads(t *testing.T) {
+	clear := shortScenario(11)
+	obstructed := shortScenario(11)
+	obstructed.Users[0].NLOS = true
+	a, err := clear.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := obstructed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Reports) >= len(a.Reports)/2 {
+		t.Errorf("NLOS reads %d vs LOS %d: obstruction too cheap", len(b.Reports), len(a.Reports))
+	}
+	if len(b.Reports) == 0 {
+		t.Error("NLOS killed the link entirely; should be degraded, not dead")
+	}
+}
+
+func TestHeartRateGroundTruth(t *testing.T) {
+	sc := shortScenario(12)
+	sc.Duration = time.Minute
+	sc.Users[0].HeartRateBPM = 75
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, ok := res.TrueHeartBPM[res.UserIDs[0]]
+	if !ok {
+		t.Fatal("no heart-rate ground truth recorded")
+	}
+	if truth < 70 || truth > 80 {
+		t.Errorf("heart ground truth %v, want ≈75", truth)
+	}
+	// Absent when no cardiac component is configured.
+	plain := shortScenario(13)
+	pres, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pres.TrueHeartBPM[pres.UserIDs[0]]; ok {
+		t.Error("heart truth recorded for a user with no cardiac component")
+	}
+}

@@ -1,0 +1,146 @@
+// Package trace records and replays low-level tag report streams in a
+// CSV format, the workflow a deployed system needs: capture the
+// reader's raw output once, then develop, regress, and tune the
+// pipeline against the recorded trace offline. The column layout
+// mirrors the record fields of Fig. 10 ({RSS, Doppler, Phase, Time
+// Stamp} per read, plus identity and channel metadata).
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"tagbreathe/internal/epc"
+	"tagbreathe/internal/reader"
+	"tagbreathe/internal/units"
+)
+
+// header is the canonical column order.
+var header = []string{
+	"timestamp_s", "epc", "antenna", "channel", "freq_hz",
+	"rssi_dbm", "phase_rad", "doppler_hz",
+}
+
+// Writer streams tag reports to CSV.
+type Writer struct {
+	csv     *csv.Writer
+	started bool
+}
+
+// NewWriter wraps w; the header row is written with the first report.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{csv: csv.NewWriter(w)}
+}
+
+// Write appends one report.
+func (w *Writer) Write(r reader.TagReport) error {
+	if !w.started {
+		if err := w.csv.Write(header); err != nil {
+			return fmt.Errorf("trace: write header: %w", err)
+		}
+		w.started = true
+	}
+	rec := []string{
+		strconv.FormatFloat(r.Timestamp.Seconds(), 'f', 6, 64),
+		r.EPC.String(),
+		strconv.Itoa(r.AntennaPort),
+		strconv.Itoa(r.ChannelIndex),
+		strconv.FormatFloat(float64(r.Frequency), 'f', 0, 64),
+		strconv.FormatFloat(float64(r.RSSI), 'f', 2, 64),
+		strconv.FormatFloat(float64(r.Phase), 'f', 6, 64),
+		strconv.FormatFloat(r.DopplerHz, 'f', 4, 64),
+	}
+	if err := w.csv.Write(rec); err != nil {
+		return fmt.Errorf("trace: write record: %w", err)
+	}
+	return nil
+}
+
+// Flush completes the output. Call before closing the underlying
+// writer.
+func (w *Writer) Flush() error {
+	w.csv.Flush()
+	return w.csv.Error()
+}
+
+// WriteAll records a full report slice.
+func WriteAll(w io.Writer, reports []reader.TagReport) error {
+	tw := NewWriter(w)
+	for _, r := range reports {
+		if err := tw.Write(r); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// ReadAll parses a recorded trace. Reports are returned in file order;
+// recorded traces are timestamp-ordered because readers emit them that
+// way, and the pipeline requires it.
+func ReadAll(r io.Reader) ([]reader.TagReport, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(header)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: parse CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty file")
+	}
+	// Validate the header row.
+	for i, want := range header {
+		if rows[0][i] != want {
+			return nil, fmt.Errorf("trace: column %d is %q, want %q", i, rows[0][i], want)
+		}
+	}
+	out := make([]reader.TagReport, 0, len(rows)-1)
+	for n, row := range rows[1:] {
+		rep, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: %w", n+2, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+func parseRow(row []string) (reader.TagReport, error) {
+	var rep reader.TagReport
+	ts, err := strconv.ParseFloat(row[0], 64)
+	if err != nil {
+		return rep, fmt.Errorf("timestamp: %w", err)
+	}
+	rep.Timestamp = time.Duration(ts * float64(time.Second))
+	rep.EPC, err = epc.ParseEPC96(row[1])
+	if err != nil {
+		return rep, err
+	}
+	if rep.AntennaPort, err = strconv.Atoi(row[2]); err != nil {
+		return rep, fmt.Errorf("antenna: %w", err)
+	}
+	if rep.ChannelIndex, err = strconv.Atoi(row[3]); err != nil {
+		return rep, fmt.Errorf("channel: %w", err)
+	}
+	freq, err := strconv.ParseFloat(row[4], 64)
+	if err != nil {
+		return rep, fmt.Errorf("frequency: %w", err)
+	}
+	rep.Frequency = units.Hertz(freq)
+	rssi, err := strconv.ParseFloat(row[5], 64)
+	if err != nil {
+		return rep, fmt.Errorf("rssi: %w", err)
+	}
+	rep.RSSI = units.DBm(rssi)
+	phase, err := strconv.ParseFloat(row[6], 64)
+	if err != nil {
+		return rep, fmt.Errorf("phase: %w", err)
+	}
+	rep.Phase = units.Radians(phase)
+	if rep.DopplerHz, err = strconv.ParseFloat(row[7], 64); err != nil {
+		return rep, fmt.Errorf("doppler: %w", err)
+	}
+	return rep, nil
+}

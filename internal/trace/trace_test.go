@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"tagbreathe/internal/core"
+	"tagbreathe/internal/sim"
+)
+
+func TestRoundTripSimulatedTrace(t *testing.T) {
+	sc := sim.DefaultScenario()
+	sc.Duration = 20 * time.Second
+	sc.Seed = 5
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, res.Reports); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(res.Reports) {
+		t.Fatalf("round trip %d vs %d reports", len(back), len(res.Reports))
+	}
+	for i := range back {
+		a, b := res.Reports[i], back[i]
+		if a.EPC != b.EPC || a.AntennaPort != b.AntennaPort || a.ChannelIndex != b.ChannelIndex {
+			t.Fatalf("identity mismatch at %d", i)
+		}
+		if d := (a.Timestamp - b.Timestamp).Abs(); d > time.Microsecond {
+			t.Fatalf("timestamp drift %v at %d", d, i)
+		}
+		if math.Abs(float64(a.Phase-b.Phase)) > 1e-5 {
+			t.Fatalf("phase drift at %d", i)
+		}
+		if math.Abs(float64(a.RSSI-b.RSSI)) > 0.01 {
+			t.Fatalf("rssi drift at %d", i)
+		}
+	}
+}
+
+func TestReplayedTraceEstimatesIdentically(t *testing.T) {
+	// The development workflow: a pipeline result computed from a
+	// replayed trace matches the live result to CSV precision.
+	sc := sim.DefaultScenario()
+	sc.Duration = time.Minute
+	sc.Seed = 6
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	uid := res.UserIDs[0]
+	live, err := core.EstimateUser(res.Reports, uid, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, res.Reports); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, err := core.EstimateUser(replayed, uid, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(live.RateBPM-offline.RateBPM) > 0.05 {
+		t.Errorf("live %v vs replayed %v bpm", live.RateBPM, offline.RateBPM)
+	}
+}
+
+func TestReadAllRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"bad header": "a,b,c,d,e,f,g,h\n",
+		"bad epc": strings.Join(header, ",") + "\n" +
+			"1.0,nothex,1,0,920000000,-50,1.0,0.0\n",
+		"bad float": strings.Join(header, ",") + "\n" +
+			"x,000000000000000000000001,1,0,920000000,-50,1.0,0.0\n",
+		"short row": strings.Join(header, ",") + "\n1.0,aa\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadAll(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestWriterHeaderOnce(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	sc := sim.DefaultScenario()
+	sc.Duration = 5 * time.Second
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Reports[:3] {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want header + 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "timestamp_s,") {
+		t.Errorf("header = %q", lines[0])
+	}
+}

@@ -1,0 +1,139 @@
+// Package units provides the small set of physical quantities and
+// conversions used throughout the TagBreathe simulation: frequencies and
+// wavelengths in the UHF band, power in dBm and watts, and angles.
+//
+// All quantities are plain float64 named types so arithmetic stays cheap
+// and explicit; constructors and converters document the unit at every
+// boundary (per the project style guide's "use time.Duration for periods"
+// rationale, generalized to physical units).
+package units
+
+import "math"
+
+// SpeedOfLight is the propagation speed of radio waves in vacuum, in
+// meters per second. Indoor propagation differences are absorbed by the
+// channel model, not by adjusting this constant.
+const SpeedOfLight = 299_792_458.0 // m/s
+
+// Hertz represents a frequency in Hz.
+type Hertz float64
+
+// Common frequency multiples.
+const (
+	Hz  Hertz = 1
+	KHz Hertz = 1e3
+	MHz Hertz = 1e6
+	GHz Hertz = 1e9
+)
+
+// Wavelength returns the free-space wavelength in meters for the
+// frequency f. It returns +Inf for a zero frequency rather than
+// panicking; callers validating configs should reject non-positive
+// frequencies before this point.
+func (f Hertz) Wavelength() Meters {
+	return Meters(SpeedOfLight / float64(f))
+}
+
+// Meters represents a distance in meters.
+type Meters float64
+
+// Common distance multiples.
+const (
+	Meter      Meters = 1
+	Centimeter Meters = 1e-2
+	Millimeter Meters = 1e-3
+)
+
+// DBm represents a power level in decibels relative to one milliwatt.
+type DBm float64
+
+// Milliwatts converts a dBm power level to milliwatts.
+func (p DBm) Milliwatts() float64 {
+	return math.Pow(10, float64(p)/10)
+}
+
+// Watts converts a dBm power level to watts.
+func (p DBm) Watts() float64 {
+	return p.Milliwatts() / 1000
+}
+
+// DBmFromMilliwatts converts a power in milliwatts to dBm. Non-positive
+// inputs map to -Inf dBm, the natural "no signal" representation.
+func DBmFromMilliwatts(mw float64) DBm {
+	if mw <= 0 {
+		return DBm(math.Inf(-1))
+	}
+	return DBm(10 * math.Log10(mw))
+}
+
+// DBmFromWatts converts a power in watts to dBm.
+func DBmFromWatts(w float64) DBm {
+	return DBmFromMilliwatts(w * 1000)
+}
+
+// DB represents a dimensionless ratio expressed in decibels (gains,
+// losses, link margins).
+type DB float64
+
+// Ratio converts a decibel value to a linear power ratio.
+func (g DB) Ratio() float64 {
+	return math.Pow(10, float64(g)/10)
+}
+
+// DBFromRatio converts a linear power ratio to decibels. Non-positive
+// ratios map to -Inf dB.
+func DBFromRatio(r float64) DB {
+	if r <= 0 {
+		return DB(math.Inf(-1))
+	}
+	return DB(10 * math.Log10(r))
+}
+
+// Add applies a gain (or loss, if negative) to a power level.
+func (p DBm) Add(g DB) DBm {
+	return p + DBm(g)
+}
+
+// Radians represents an angle in radians.
+type Radians float64
+
+// Degrees represents an angle in degrees.
+type Degrees float64
+
+// Radians converts degrees to radians.
+func (d Degrees) Radians() Radians {
+	return Radians(float64(d) * math.Pi / 180)
+}
+
+// Degrees converts radians to degrees.
+func (r Radians) Degrees() Degrees {
+	return Degrees(float64(r) * 180 / math.Pi)
+}
+
+// WrapPhase reduces an angle to the canonical phase interval [0, 2π).
+// RFID readers report backscatter phase in this interval (Eq. 1 of the
+// paper applies "mod 2π").
+func WrapPhase(theta Radians) Radians {
+	t := math.Mod(float64(theta), 2*math.Pi)
+	if t < 0 {
+		t += 2 * math.Pi
+	}
+	// math.Mod can return a value equal to 2π when theta is a tiny
+	// negative number whose remainder rounds up; normalize that edge.
+	if t >= 2*math.Pi {
+		t = 0
+	}
+	return Radians(t)
+}
+
+// WrapPhaseDiff reduces a phase difference to [-π, π), the branch used
+// when interpreting consecutive phase readings as a small displacement
+// (Eq. 3): body motion between two reads is far below λ/4, so the
+// nearest-branch difference is the physical one.
+func WrapPhaseDiff(dtheta Radians) Radians {
+	t := math.Mod(float64(dtheta)+math.Pi, 2*math.Pi)
+	if t < 0 {
+		t += 2 * math.Pi
+	}
+	return Radians(t - math.Pi)
+}

@@ -1,0 +1,196 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWavelength(t *testing.T) {
+	tests := []struct {
+		name string
+		f    Hertz
+		want Meters
+	}{
+		{name: "uhf-915MHz", f: 915 * MHz, want: 0.3276},
+		{name: "uhf-920MHz", f: 920.25 * MHz, want: 0.3258},
+		{name: "wifi-2.4GHz", f: 2.4 * GHz, want: 0.1249},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tt.f.Wavelength()
+			if math.Abs(float64(got-tt.want)) > 5e-4 {
+				t.Errorf("Wavelength(%v) = %v, want ≈%v", tt.f, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDBmConversions(t *testing.T) {
+	tests := []struct {
+		dbm DBm
+		mw  float64
+	}{
+		{dbm: 0, mw: 1},
+		{dbm: 30, mw: 1000},
+		{dbm: -30, mw: 0.001},
+		{dbm: 10, mw: 10},
+		{dbm: 3, mw: 1.9953},
+	}
+	for _, tt := range tests {
+		if got := tt.dbm.Milliwatts(); math.Abs(got-tt.mw) > 1e-3*tt.mw {
+			t.Errorf("(%v dBm).Milliwatts() = %v, want %v", tt.dbm, got, tt.mw)
+		}
+		if got := DBmFromMilliwatts(tt.mw); math.Abs(float64(got-tt.dbm)) > 1e-4 {
+			t.Errorf("DBmFromMilliwatts(%v) = %v, want %v", tt.mw, got, tt.dbm)
+		}
+	}
+	if got := tt30watts(); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("30 dBm = %v W, want 1 W", got)
+	}
+}
+
+func tt30watts() float64 { return DBm(30).Watts() }
+
+func TestDBmFromNonPositive(t *testing.T) {
+	if got := DBmFromMilliwatts(0); !math.IsInf(float64(got), -1) {
+		t.Errorf("DBmFromMilliwatts(0) = %v, want -Inf", got)
+	}
+	if got := DBmFromMilliwatts(-5); !math.IsInf(float64(got), -1) {
+		t.Errorf("DBmFromMilliwatts(-5) = %v, want -Inf", got)
+	}
+	if got := DBFromRatio(0); !math.IsInf(float64(got), -1) {
+		t.Errorf("DBFromRatio(0) = %v, want -Inf", got)
+	}
+}
+
+func TestDBRatioRoundTrip(t *testing.T) {
+	f := func(db float64) bool {
+		if math.Abs(db) > 200 {
+			return true // out of physical range; float overflow territory
+		}
+		back := DBFromRatio(DB(db).Ratio())
+		return math.Abs(float64(back)-db) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerAddGain(t *testing.T) {
+	p := DBm(30).Add(-3).Add(8.5)
+	if math.Abs(float64(p)-35.5) > 1e-12 {
+		t.Errorf("30 dBm - 3 dB + 8.5 dB = %v, want 35.5", p)
+	}
+}
+
+func TestAngleConversions(t *testing.T) {
+	if got := Degrees(180).Radians(); math.Abs(float64(got)-math.Pi) > 1e-12 {
+		t.Errorf("180° = %v rad, want π", got)
+	}
+	if got := Radians(math.Pi / 2).Degrees(); math.Abs(float64(got)-90) > 1e-12 {
+		t.Errorf("π/2 rad = %v°, want 90", got)
+	}
+}
+
+func TestWrapPhase(t *testing.T) {
+	tests := []struct {
+		in   Radians
+		want Radians
+	}{
+		{in: 0, want: 0},
+		{in: math.Pi, want: math.Pi},
+		{in: 2 * math.Pi, want: 0},
+		{in: 3 * math.Pi, want: math.Pi},
+		{in: -math.Pi / 2, want: 3 * math.Pi / 2},
+		{in: -4 * math.Pi, want: 0},
+		{in: 7.5 * math.Pi, want: 1.5 * math.Pi},
+	}
+	for _, tt := range tests {
+		got := WrapPhase(tt.in)
+		if math.Abs(float64(got-tt.want)) > 1e-9 {
+			t.Errorf("WrapPhase(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestWrapPhaseRangeProperty(t *testing.T) {
+	f := func(theta float64) bool {
+		if math.IsNaN(theta) || math.IsInf(theta, 0) || math.Abs(theta) > 1e9 {
+			return true
+		}
+		w := float64(WrapPhase(Radians(theta)))
+		return w >= 0 && w < 2*math.Pi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWrapPhaseDiff(t *testing.T) {
+	tests := []struct {
+		in   Radians
+		want Radians
+	}{
+		{in: 0, want: 0},
+		{in: math.Pi, want: -math.Pi}, // branch: [-π, π), so π maps to -π
+		{in: -math.Pi, want: -math.Pi},
+		{in: 3 * math.Pi / 2, want: -math.Pi / 2},
+		{in: -3 * math.Pi / 2, want: math.Pi / 2},
+		{in: 2 * math.Pi, want: 0},
+		{in: 0.1, want: 0.1},
+		{in: -0.1, want: -0.1},
+	}
+	for _, tt := range tests {
+		got := WrapPhaseDiff(tt.in)
+		if math.Abs(float64(got-tt.want)) > 1e-9 {
+			t.Errorf("WrapPhaseDiff(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestWrapPhaseDiffProperties(t *testing.T) {
+	// Range property: result always in (-π, π].
+	rangeOK := func(d float64) bool {
+		if math.IsNaN(d) || math.IsInf(d, 0) || math.Abs(d) > 1e9 {
+			return true
+		}
+		w := float64(WrapPhaseDiff(Radians(d)))
+		return w >= -math.Pi-1e-12 && w < math.Pi+1e-12
+	}
+	if err := quick.Check(rangeOK, nil); err != nil {
+		t.Errorf("range property: %v", err)
+	}
+	// Equivalence property: result differs from input by a multiple
+	// of 2π.
+	equivOK := func(d float64) bool {
+		if math.IsNaN(d) || math.IsInf(d, 0) || math.Abs(d) > 1e6 {
+			return true
+		}
+		w := float64(WrapPhaseDiff(Radians(d)))
+		k := (d - w) / (2 * math.Pi)
+		return math.Abs(k-math.Round(k)) < 1e-6
+	}
+	if err := quick.Check(equivOK, nil); err != nil {
+		t.Errorf("equivalence property: %v", err)
+	}
+}
+
+func TestWrapConsistency(t *testing.T) {
+	// Differencing two wrapped phases recovers the true small delta
+	// regardless of where the absolute phases sit — the property the
+	// Eq. 3 preprocessing relies on.
+	f := func(base, delta float64) bool {
+		if math.IsNaN(base) || math.IsInf(base, 0) || math.Abs(base) > 1e6 {
+			return true
+		}
+		delta = math.Mod(math.Abs(delta), math.Pi-1e-6) // keep |delta| < π
+		a := WrapPhase(Radians(base))
+		b := WrapPhase(Radians(base + delta))
+		got := float64(WrapPhaseDiff(b - a))
+		return math.Abs(got-delta) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+// Package vitals analyzes extracted breathing signals beyond the rate
+// estimate: per-breath segmentation, breathing depth, inhale/exhale
+// timing, rate variability, and apnea (pause) detection.
+//
+// The paper's introduction motivates exactly these quantities — "a
+// deep breath reduces blood pressure and stress, while shallow breath
+// and unconscious hold of breath indicate chronic stress", and newborn
+// monitoring must tolerate "irregular breathing patterns alternating
+// between fast and slow with occasional pauses". This package turns
+// the §IV-B breathing waveform into those clinical primitives.
+package vitals
+
+import (
+	"math"
+
+	"tagbreathe/internal/core"
+	"tagbreathe/internal/sigproc"
+)
+
+// Breath is one segmented respiratory cycle: inhale start (rising zero
+// crossing), the inhalation peak, exhale start (falling crossing), and
+// the end (next rising crossing).
+type Breath struct {
+	// Start and End are seconds since run start; End is the start of
+	// the next breath.
+	Start, End float64
+	// PeakTime is when the waveform peaked during inhalation.
+	PeakTime float64
+	// Depth is the peak-to-trough excursion of this cycle, in the
+	// fused-displacement units of the input signal. Fusion scales
+	// amplitude by tag and channel count, so depth is comparable
+	// within a user's session, not across configurations.
+	Depth float64
+	// InhaleDuration and ExhaleDuration split the cycle at the falling
+	// crossing.
+	InhaleDuration, ExhaleDuration float64
+}
+
+// IERatio is the inhale:exhale duration ratio, a standard respiratory
+// parameter (healthy resting breathing sits near 1:2, i.e. ≈0.5).
+func (b Breath) IERatio() float64 {
+	if b.ExhaleDuration <= 0 {
+		return 0
+	}
+	return b.InhaleDuration / b.ExhaleDuration
+}
+
+// DurationSec is the full cycle length.
+func (b Breath) DurationSec() float64 {
+	return b.End - b.Start
+}
+
+// SegmentBreaths slices the signal into breaths using its zero
+// crossings: each rising crossing opens a cycle, the following falling
+// crossing ends the inhale, and the next rising crossing closes the
+// cycle. Incomplete leading/trailing cycles are dropped.
+func SegmentBreaths(sig *core.BreathSignal) []Breath {
+	if sig == nil || len(sig.Crossings) < 3 || sig.SampleRate <= 0 {
+		return nil
+	}
+	cr := sig.Crossings
+	var out []Breath
+	for i := 0; i+2 < len(cr); i++ {
+		if !cr[i].Rising || cr[i+1].Rising || !cr[i+2].Rising {
+			continue
+		}
+		b := Breath{
+			Start:          cr[i].T,
+			End:            cr[i+2].T,
+			InhaleDuration: cr[i+1].T - cr[i].T,
+			ExhaleDuration: cr[i+2].T - cr[i+1].T,
+		}
+		// Peak and trough within the cycle, from the waveform samples.
+		peakV, troughV := math.Inf(-1), math.Inf(1)
+		peakT := b.Start
+		lo := sig.IndexAt(b.Start)
+		hi := sig.IndexAt(b.End)
+		for s := lo; s <= hi && s < len(sig.Samples); s++ {
+			v := sig.Samples[s]
+			if v > peakV {
+				peakV = v
+				peakT = sig.T0 + float64(s)/sig.SampleRate
+			}
+			if v < troughV {
+				troughV = v
+			}
+		}
+		if math.IsInf(peakV, -1) {
+			continue
+		}
+		b.PeakTime = peakT
+		b.Depth = peakV - troughV
+		out = append(out, b)
+	}
+	return out
+}
+
+// Apnea is a detected breathing pause.
+type Apnea struct {
+	// Start and End bound the pause, seconds since run start.
+	Start, End float64
+}
+
+// DurationSec is the pause length.
+func (a Apnea) DurationSec() float64 {
+	return a.End - a.Start
+}
+
+// DetectApneas flags stretches of at least minPauseSec where the
+// breathing envelope collapses, delegating to the core signal's
+// envelope-based pause detector (shared with the realtime monitor's
+// apnea alarms).
+func DetectApneas(sig *core.BreathSignal, minPauseSec float64) []Apnea {
+	pauses := sig.DetectPauses(minPauseSec)
+	out := make([]Apnea, 0, len(pauses))
+	for _, p := range pauses {
+		out = append(out, Apnea{Start: p[0], End: p[1]})
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Summary aggregates a window's respiratory parameters.
+type Summary struct {
+	// Breaths is the number of complete segmented cycles.
+	Breaths int
+	// MeanRateBPM and RateStdBPM characterize rate and its
+	// variability over the segmented cycles.
+	MeanRateBPM, RateStdBPM float64
+	// MeanDepth and DepthCV (coefficient of variation) characterize
+	// breathing depth consistency; rising CV flags erratic breathing.
+	MeanDepth, DepthCV float64
+	// MeanIERatio is the average inhale:exhale ratio.
+	MeanIERatio float64
+	// Apneas lists pauses of at least the configured duration.
+	Apneas []Apnea
+}
+
+// Summarize computes a Summary from a breathing signal. minPauseSec
+// configures apnea detection; values ≤ 0 default to 8 seconds (twice
+// the slowest Table I breath period is a conservative alarm line).
+func Summarize(sig *core.BreathSignal, minPauseSec float64) Summary {
+	if minPauseSec <= 0 {
+		minPauseSec = 8
+	}
+	breaths := SegmentBreaths(sig)
+	s := Summary{
+		Breaths: len(breaths),
+		Apneas:  DetectApneas(sig, minPauseSec),
+	}
+	if len(breaths) == 0 {
+		return s
+	}
+	rates := make([]float64, 0, len(breaths))
+	depths := make([]float64, 0, len(breaths))
+	var ieSum float64
+	for _, b := range breaths {
+		if d := b.DurationSec(); d > 0 {
+			rates = append(rates, 60/d)
+		}
+		depths = append(depths, b.Depth)
+		ieSum += b.IERatio()
+	}
+	s.MeanRateBPM = sigproc.Mean(rates)
+	s.RateStdBPM = sigproc.StdDev(rates)
+	s.MeanDepth = sigproc.Mean(depths)
+	if s.MeanDepth > 0 {
+		s.DepthCV = sigproc.StdDev(depths) / s.MeanDepth
+	}
+	s.MeanIERatio = ieSum / float64(len(breaths))
+	return s
+}

@@ -1,0 +1,210 @@
+package vitals
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"tagbreathe/internal/core"
+	"tagbreathe/internal/sim"
+)
+
+// syntheticSignal builds a BreathSignal directly from a waveform
+// function sampled at rate Hz for dur seconds, with crossings detected
+// the same way the pipeline does.
+func syntheticSignal(t *testing.T, wave func(float64) float64, dur, rate float64) *core.BreathSignal {
+	t.Helper()
+	n := int(dur * rate)
+	bins := make([]float64, n)
+	for i := range bins {
+		t0 := float64(i) / rate
+		t1 := float64(i+1) / rate
+		bins[i] = wave(t1) - wave(t0)
+	}
+	sig, err := core.ExtractBreath(bins, 1/rate, 0, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sig
+}
+
+func TestSegmentBreathsSinusoid(t *testing.T) {
+	// 12 bpm sinusoid for 60 s: ≈11 complete cycles segmentable after
+	// edge trim.
+	sig := syntheticSignal(t, func(tt float64) float64 {
+		return 0.005 * math.Sin(2*math.Pi*0.2*tt)
+	}, 60, 16)
+	breaths := SegmentBreaths(sig)
+	if len(breaths) < 9 || len(breaths) > 12 {
+		t.Fatalf("segmented %d breaths, want ≈11", len(breaths))
+	}
+	for i, b := range breaths {
+		if d := b.DurationSec(); math.Abs(d-5) > 0.5 {
+			t.Errorf("breath %d duration %v, want ≈5 s", i, d)
+		}
+		if b.Depth <= 0 {
+			t.Errorf("breath %d depth %v", i, b.Depth)
+		}
+		// A symmetric sinusoid has I:E ≈ 1.
+		if r := b.IERatio(); r < 0.8 || r > 1.25 {
+			t.Errorf("breath %d I:E %v, want ≈1 for a sinusoid", i, r)
+		}
+		if b.PeakTime <= b.Start || b.PeakTime >= b.End {
+			t.Errorf("breath %d peak at %v outside [%v, %v]", i, b.PeakTime, b.Start, b.End)
+		}
+	}
+}
+
+func TestSegmentBreathsAsymmetric(t *testing.T) {
+	// Crossing-based I:E compares the above-mean lobe (lungs fuller
+	// than average) with the below-mean lobe. Build a 6 s cycle whose
+	// positive lobe lasts 2 s and negative lobe 4 s: I:E ≈ 0.5,
+	// partially smoothed by the band-pass.
+	wave := func(tt float64) float64 {
+		phase := math.Mod(tt, 6) / 6
+		if phase < 1.0/3 {
+			return 0.005 * math.Sin(math.Pi*phase*3)
+		}
+		return -0.005 * math.Sin(math.Pi*(phase-1.0/3)*1.5)
+	}
+	sig := syntheticSignal(t, wave, 90, 16)
+	breaths := SegmentBreaths(sig)
+	if len(breaths) < 5 {
+		t.Fatalf("segmented %d breaths", len(breaths))
+	}
+	var ieSum float64
+	for _, b := range breaths {
+		ieSum += b.IERatio()
+	}
+	if mean := ieSum / float64(len(breaths)); mean > 0.85 {
+		t.Errorf("mean I:E %v for a short-inhale pattern, want < 0.85", mean)
+	}
+}
+
+func TestSegmentBreathsDegenerate(t *testing.T) {
+	if got := SegmentBreaths(nil); got != nil {
+		t.Errorf("nil signal: %v", got)
+	}
+	empty := &core.BreathSignal{SampleRate: 16}
+	if got := SegmentBreaths(empty); got != nil {
+		t.Errorf("no crossings: %v", got)
+	}
+}
+
+func TestDetectApneasOnPause(t *testing.T) {
+	// Breathing for 25 s, flat for 15 s, breathing again.
+	wave := func(tt float64) float64 {
+		switch {
+		case tt < 25:
+			return 0.005 * math.Sin(2*math.Pi*0.25*tt)
+		case tt < 40:
+			return 0.005 * math.Sin(2*math.Pi*0.25*25)
+		default:
+			return 0.005 * math.Sin(2*math.Pi*0.25*(tt-15))
+		}
+	}
+	sig := syntheticSignal(t, wave, 70, 16)
+	apneas := DetectApneas(sig, 8)
+	if len(apneas) != 1 {
+		t.Fatalf("apneas = %+v, want exactly 1", apneas)
+	}
+	a := apneas[0]
+	if a.Start < 20 || a.Start > 30 || a.End < 36 || a.End > 46 {
+		t.Errorf("apnea [%v, %v], want ≈[25, 40]", a.Start, a.End)
+	}
+	if a.DurationSec() < 10 {
+		t.Errorf("apnea duration %v, want ≥ 10", a.DurationSec())
+	}
+}
+
+func TestDetectApneasNoneOnSteadyBreathing(t *testing.T) {
+	sig := syntheticSignal(t, func(tt float64) float64 {
+		return 0.005 * math.Sin(2*math.Pi*0.2*tt)
+	}, 60, 16)
+	if apneas := DetectApneas(sig, 8); len(apneas) != 0 {
+		t.Errorf("false apneas on steady breathing: %+v", apneas)
+	}
+}
+
+func TestDetectApneasTrailingPause(t *testing.T) {
+	// Breathing stops and never resumes: the alarm must fire at the
+	// window edge.
+	wave := func(tt float64) float64 {
+		if tt < 20 {
+			return 0.005 * math.Sin(2*math.Pi*0.25*tt)
+		}
+		return 0.005 * math.Sin(2*math.Pi*0.25*20)
+	}
+	sig := syntheticSignal(t, wave, 45, 16)
+	apneas := DetectApneas(sig, 8)
+	if len(apneas) == 0 {
+		t.Fatal("trailing apnea not detected")
+	}
+	last := apneas[len(apneas)-1]
+	if last.End < 42 {
+		t.Errorf("trailing apnea ends at %v, want ≈ window end", last.End)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	sig := syntheticSignal(t, func(tt float64) float64 {
+		return 0.005 * math.Sin(2*math.Pi*0.2*tt)
+	}, 90, 16)
+	s := Summarize(sig, 0) // default pause threshold
+	if s.Breaths < 14 {
+		t.Fatalf("breaths = %d over 90 s at 12 bpm", s.Breaths)
+	}
+	if math.Abs(s.MeanRateBPM-12) > 0.8 {
+		t.Errorf("mean rate %v, want ≈12", s.MeanRateBPM)
+	}
+	if s.RateStdBPM > 1 {
+		t.Errorf("rate std %v for a metronomic sinusoid", s.RateStdBPM)
+	}
+	if s.MeanDepth <= 0 {
+		t.Errorf("mean depth %v", s.MeanDepth)
+	}
+	if s.DepthCV > 0.2 {
+		t.Errorf("depth CV %v for constant-amplitude breathing", s.DepthCV)
+	}
+	if len(s.Apneas) != 0 {
+		t.Errorf("apneas = %+v on steady breathing", s.Apneas)
+	}
+}
+
+func TestVitalsEndToEndIrregular(t *testing.T) {
+	// Full stack: an irregular breather with pauses monitored through
+	// the simulator; the summary must notice the pauses and elevated
+	// variability relative to a metronomic subject.
+	run := func(pattern sim.PatternKind) Summary {
+		sc := sim.DefaultScenario()
+		sc.Duration = 3 * time.Minute
+		sc.Seed = 31
+		sc.DefaultDistance = 2
+		sc.Users[0].Pattern = pattern
+		res, err := sc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := core.EstimateUser(res.Reports, res.UserIDs[0], core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The simulated irregular pattern pauses for ~6 s; alarm at 4.
+		return Summarize(est.Signal, 4)
+	}
+	steady := run(sim.PatternMetronome)
+	irregular := run(sim.PatternIrregular)
+	if steady.Breaths == 0 || irregular.Breaths == 0 {
+		t.Fatalf("segmentation failed: steady %d, irregular %d", steady.Breaths, irregular.Breaths)
+	}
+	if irregular.RateStdBPM <= steady.RateStdBPM {
+		t.Errorf("irregular rate std %v not above steady %v",
+			irregular.RateStdBPM, steady.RateStdBPM)
+	}
+	if len(irregular.Apneas) == 0 {
+		t.Error("irregular pattern with pauses produced no apnea events")
+	}
+	if len(steady.Apneas) > 1 {
+		t.Errorf("steady breathing produced false apneas: %+v", steady.Apneas)
+	}
+}

@@ -1,0 +1,275 @@
+// Package tagbreathe is a Go implementation of TagBreathe (Hou, Wang,
+// Zheng — IEEE ICDCS 2017): breath monitoring of one or more users with
+// commodity UHF RFID systems. Passive tags on a user's clothes
+// backscatter the reader's carrier; chest and abdomen motion during
+// breathing modulates the backscatter phase, and the pipeline in this
+// module turns the reader's low-level data stream into per-user
+// breathing waveforms and rates.
+//
+// The package is the public facade over the implementation packages:
+//
+//   - Simulation substrate (no reader hardware required): breathing
+//     body models, the UHF channel with frequency hopping, the EPC
+//     Gen2 inventory MAC, and a reader emulator produce the same
+//     low-level record stream an Impinj R420 reports.
+//   - The TagBreathe pipeline: per-channel phase differencing,
+//     multi-tag sensor fusion, band-limited breath extraction, and
+//     zero-crossing rate estimation, in batch (Estimate) and
+//     streaming (Monitor) forms.
+//   - An LLRP-style wire protocol with both reader (server) and host
+//     (client) ends, so the pipeline can run against a remote reader
+//     emulator exactly as the original system ran against its reader.
+//
+// # Quick start
+//
+//	sc := tagbreathe.DefaultScenario()        // 1 user, 3 tags, 10 bpm
+//	res, err := sc.Run()                      // simulate two minutes
+//	if err != nil { ... }
+//	ests, err := tagbreathe.Estimate(res.Reports, tagbreathe.Config{
+//		Users: res.UserIDs,
+//	})
+//	for uid, est := range ests {
+//		fmt.Printf("user %x breathes at %.1f bpm\n", uid, est.RateBPM)
+//	}
+//
+// See the examples directory for multi-user monitoring, a multi-
+// antenna ward deployment, and live streaming over the LLRP protocol.
+package tagbreathe
+
+import (
+	"io"
+	"math/rand"
+	"time"
+
+	"tagbreathe/internal/baseline"
+	"tagbreathe/internal/body"
+	"tagbreathe/internal/commission"
+	"tagbreathe/internal/core"
+	"tagbreathe/internal/epc"
+	"tagbreathe/internal/llrp"
+	"tagbreathe/internal/multimodal"
+	"tagbreathe/internal/reader"
+	"tagbreathe/internal/sim"
+	"tagbreathe/internal/trace"
+	"tagbreathe/internal/vitals"
+)
+
+// Core pipeline types.
+type (
+	// Config tunes the TagBreathe pipeline; the zero value uses the
+	// paper's parameters (0.67 Hz cutoff, M = 7 crossings, 16 Hz
+	// fusion bins).
+	Config = core.Config
+	// UserEstimate is the pipeline output for one user.
+	UserEstimate = core.UserEstimate
+	// BreathSignal is an extracted breathing waveform.
+	BreathSignal = core.BreathSignal
+	// Monitor is the realtime streaming pipeline.
+	Monitor = core.Monitor
+	// MonitorConfig tunes the streaming monitor.
+	MonitorConfig = core.MonitorConfig
+	// RateUpdate is one realtime per-user rate estimate.
+	RateUpdate = core.RateUpdate
+	// DisplacementSample is one Eq. 3 displacement value.
+	DisplacementSample = core.DisplacementSample
+)
+
+// Reader-facing types.
+type (
+	// TagReport is one low-level read record, the unit of input.
+	TagReport = reader.TagReport
+	// Antenna is one reader antenna port and its position.
+	Antenna = reader.Antenna
+	// EPC96 is a 96-bit tag identifier (64-bit user ‖ 32-bit tag).
+	EPC96 = epc.EPC96
+)
+
+// Simulation types.
+type (
+	// Scenario is a complete simulated experiment configuration.
+	Scenario = sim.Scenario
+	// UserSpec describes one simulated subject.
+	UserSpec = sim.UserSpec
+	// Result is a completed simulation run.
+	Result = sim.Result
+	// Posture is a subject's body position.
+	Posture = body.Posture
+	// TagSite is a tag attachment location on the torso.
+	TagSite = body.TagSite
+)
+
+// Posture values.
+const (
+	Sitting  = body.Sitting
+	Standing = body.Standing
+	Lying    = body.Lying
+)
+
+// Tag site values.
+const (
+	SiteChest   = body.SiteChest
+	SiteMid     = body.SiteMid
+	SiteAbdomen = body.SiteAbdomen
+)
+
+// Breathing pattern families for UserSpec.Pattern.
+const (
+	PatternMetronome = sim.PatternMetronome
+	PatternNatural   = sim.PatternNatural
+	PatternIrregular = sim.PatternIrregular
+)
+
+// LLRP protocol types for remote-reader deployments.
+type (
+	// LLRPClient is the host end of an LLRP connection.
+	LLRPClient = llrp.Client
+	// LLRPServer is the reader end (used by the emulator daemon).
+	LLRPServer = llrp.Server
+	// ROSpecConfig selects antennas and report batching.
+	ROSpecConfig = llrp.ROSpecConfig
+)
+
+// Estimate runs the batch pipeline over a report window and returns
+// per-user estimates. See core.Estimate for details.
+func Estimate(reports []TagReport, cfg Config) (map[uint64]*UserEstimate, error) {
+	return core.Estimate(reports, cfg)
+}
+
+// EstimateUser runs the batch pipeline for a single user.
+func EstimateUser(reports []TagReport, userID uint64, cfg Config) (*UserEstimate, error) {
+	return core.EstimateUser(reports, userID, cfg)
+}
+
+// NewMonitor starts a realtime streaming monitor; see Monitor.
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	return core.NewMonitor(cfg)
+}
+
+// MonitorStream replays a recorded report stream through a monitor and
+// returns every rate update it produced.
+func MonitorStream(reports []TagReport, cfg MonitorConfig) ([]RateUpdate, error) {
+	return core.MonitorStream(reports, cfg)
+}
+
+// Accuracy is the paper's Eq. 8 metric: 1 − |measured − truth|/truth,
+// clamped at zero.
+func Accuracy(measured, truth float64) float64 {
+	return core.Accuracy(measured, truth)
+}
+
+// HeartEstimate is the experimental cardiac extension's output.
+type HeartEstimate = core.HeartEstimate
+
+// EstimateHeartRate runs the experimental cardiac extension: the same
+// phase stream, analyzed in the 0.8–2.5 Hz band. Check
+// HeartEstimate.PeakProminence before trusting the rate — commodity
+// readers' phase-noise floor buries the ~0.35 mm apex beat (see the
+// heart study in EXPERIMENTS.md).
+func EstimateHeartRate(reports []TagReport, userID uint64, cfg Config) (*HeartEstimate, error) {
+	return core.EstimateHeartRate(reports, userID, cfg)
+}
+
+// DefaultScenario returns the paper's Table I default experiment:
+// one sitting user with three tags, paced at 10 bpm, 4 m from a single
+// antenna, two minutes.
+func DefaultScenario() *Scenario {
+	return sim.DefaultScenario()
+}
+
+// SideBySide builds UserSpecs for n users seated shoulder to shoulder
+// at the given distance, the Fig. 13 multi-user layout.
+func SideBySide(n int, distance float64, ratesBPM ...float64) []UserSpec {
+	return sim.SideBySide(n, distance, ratesBPM...)
+}
+
+// NewUserTagEPC packs the paper's Fig. 9 EPC layout: 64-bit user ID
+// followed by a 32-bit tag ID.
+func NewUserTagEPC(userID uint64, tagID uint32) EPC96 {
+	return epc.NewUserTagEPC(userID, tagID)
+}
+
+// DialLLRP connects to an LLRP reader (or the llrpsim emulator).
+func DialLLRP(addr string) (*LLRPClient, error) {
+	return llrp.Dial(addr, 10*time.Second)
+}
+
+// Baseline estimators for comparison studies.
+type (
+	// BaselineEstimator is the common interface of the comparators.
+	BaselineEstimator = baseline.Estimator
+	// RadarScenario simulates a CW Doppler radar over the same
+	// subjects, the paper's motivating comparison.
+	RadarScenario = baseline.RadarScenario
+	// MultiModalEstimator fuses phase, RSSI, and Doppler (§IV-D.2's
+	// proposed enhancement).
+	MultiModalEstimator = multimodal.Estimator
+)
+
+// Respiratory analytics (the healthcare applications §I motivates).
+type (
+	// Breath is one segmented respiratory cycle.
+	Breath = vitals.Breath
+	// Apnea is a detected breathing pause.
+	Apnea = vitals.Apnea
+	// VitalsSummary aggregates rate, depth, I:E ratio, variability,
+	// and apneas over a window.
+	VitalsSummary = vitals.Summary
+)
+
+// SegmentBreaths slices an extracted breathing signal into individual
+// respiratory cycles.
+func SegmentBreaths(sig *BreathSignal) []Breath {
+	return vitals.SegmentBreaths(sig)
+}
+
+// DetectApneas flags breathing pauses of at least minPauseSec seconds.
+func DetectApneas(sig *BreathSignal, minPauseSec float64) []Apnea {
+	return vitals.DetectApneas(sig, minPauseSec)
+}
+
+// SummarizeVitals computes the full respiratory summary for a signal.
+func SummarizeVitals(sig *BreathSignal, minPauseSec float64) VitalsSummary {
+	return vitals.Summarize(sig, minPauseSec)
+}
+
+// Tag commissioning (§IV-C: EPC overwrite or mapping-table fallback).
+type (
+	// TagRegistry resolves tag reports to logical identities.
+	TagRegistry = commission.Registry
+	// TagIdentity is a (user, tag) pair.
+	TagIdentity = commission.Identity
+	// TagWriter programs identities into tags with Gen2 word-write
+	// semantics and verification.
+	TagWriter = commission.Writer
+	// WritableTag is a tag's EPC bank during commissioning.
+	WritableTag = commission.WritableTag
+)
+
+// NewTagRegistry builds an empty commissioning registry.
+func NewTagRegistry() *TagRegistry {
+	return commission.NewRegistry()
+}
+
+// NewTagWriterWithRetries builds a commissioning station that writes
+// tag identities with Gen2 word-write semantics, verifying and
+// retrying up to maxRetries times per tag.
+func NewTagWriterWithRetries(maxRetries int, rng *rand.Rand) (*TagWriter, error) {
+	return commission.NewWriter(maxRetries, rng)
+}
+
+// ParseEPC96 parses a 24-hex-digit EPC string.
+func ParseEPC96(s string) (EPC96, error) {
+	return epc.ParseEPC96(s)
+}
+
+// Trace recording and replay.
+
+// WriteTrace records a report stream as CSV for offline replay.
+func WriteTrace(w io.Writer, reports []TagReport) error {
+	return trace.WriteAll(w, reports)
+}
+
+// ReadTrace loads a recorded CSV trace.
+func ReadTrace(r io.Reader) ([]TagReport, error) {
+	return trace.ReadAll(r)
+}
