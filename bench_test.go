@@ -10,11 +10,15 @@
 package tagbreathe_test
 
 import (
+	"fmt"
+	"math"
 	"strings"
 	"testing"
 	"time"
 
+	"tagbreathe"
 	"tagbreathe/internal/experiments"
+	"tagbreathe/internal/units"
 )
 
 // benchOptions scales experiments for benchmarking: enough trials for
@@ -54,6 +58,106 @@ func trimFloat(v float64) string {
 		return string(s)
 	}
 	return "x"
+}
+
+// synthMultiUserReports generates an interleaved report stream for n
+// users (3 tags each, Eq. 1 physics, 10-channel hopping) without the
+// Gen2 MAC simulator, so benchmark input size scales linearly with
+// user count — the "many readers, many rooms" aggregation workload the
+// sharded pipeline targets. Reports are globally timestamp-ordered and
+// round-robin across users, as a fleet of readers would deliver them.
+func synthMultiUserReports(users int, duration time.Duration, perTagHz float64) []tagbreathe.TagReport {
+	const tagsPerUser = 3
+	const nChannels = 10
+	const dwell = 0.2
+	dt := 1 / perTagHz
+	steps := int(duration.Seconds() * perTagHz)
+	stagger := dt / float64(users*tagsPerUser)
+	out := make([]tagbreathe.TagReport, 0, steps*users*tagsPerUser)
+	freq := func(ch int) float64 { return 920.25e6 + float64(ch)*500e3 }
+	for k := 0; k < steps; k++ {
+		for u := 0; u < users; u++ {
+			uid := uint64(u + 1)
+			rateHz := (6 + float64(u%25)) / 60 // 6-30 bpm across users
+			for tag := 0; tag < tagsPerUser; tag++ {
+				t := float64(k)*dt + float64(u*tagsPerUser+tag)*stagger
+				ch := int(t/dwell) % nChannels
+				lambda := 299792458.0 / freq(ch)
+				d := 4 + 0.005*math.Sin(2*math.Pi*rateHz*t+float64(u))
+				phase := math.Mod(2*math.Pi/lambda*2*d+1.3*float64(ch), 2*math.Pi)
+				out = append(out, tagbreathe.TagReport{
+					EPC:          tagbreathe.NewUserTagEPC(uid, uint32(tag)+1),
+					AntennaPort:  1,
+					ChannelIndex: ch,
+					Frequency:    units.Hertz(freq(ch)),
+					Timestamp:    time.Duration(t * float64(time.Second)),
+					Phase:        units.Radians(phase),
+					RSSI:         -50,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// BenchmarkEstimateUsers is the multi-user scaling benchmark: the same
+// synthetic report window through the sequential (Workers=1) and
+// sharded (Workers=GOMAXPROCS) batch paths at 1/8/64/512 users. On a
+// multicore host the sharded path's advantage grows with user count;
+// the equivalence test asserts both paths produce identical estimates.
+func BenchmarkEstimateUsers(b *testing.B) {
+	for _, users := range []int{1, 8, 64, 512} {
+		reports := synthMultiUserReports(users, 30*time.Second, 8)
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{{"seq", 1}, {"sharded", 0}} {
+			b.Run(fmt.Sprintf("%s/users=%d", mode.name, users), func(b *testing.B) {
+				cfg := tagbreathe.Config{Workers: mode.workers}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ests, err := tagbreathe.Estimate(reports, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(ests) != users {
+						b.Fatalf("estimated %d/%d users", len(ests), users)
+					}
+				}
+				b.ReportMetric(float64(len(reports)), "reads/op")
+			})
+		}
+	}
+}
+
+// BenchmarkMonitorUsers measures the sharded streaming monitor at
+// scale: reports per second of wall time through demux, per-user shard
+// goroutines, and the ordering collector.
+func BenchmarkMonitorUsers(b *testing.B) {
+	for _, users := range []int{8, 64} {
+		reports := synthMultiUserReports(users, 30*time.Second, 8)
+		b.Run(fmt.Sprintf("users=%d", users), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				updates, err := tagbreathe.MonitorStream(reports, tagbreathe.MonitorConfig{
+					UpdateEvery: 5 * time.Second,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(updates) == 0 {
+					b.Fatal("no updates")
+				}
+			}
+			b.StopTimer()
+			perOp := b.Elapsed().Seconds() / float64(b.N)
+			if perOp > 0 {
+				b.ReportMetric(float64(len(reports))/perOp, "reports/s")
+			}
+		})
+	}
 }
 
 // BenchmarkTable1Defaults times one full default-scenario pipeline run

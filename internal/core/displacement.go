@@ -220,6 +220,15 @@ type Config struct {
 	// hopping the per-channel constant c changes every dwell and the
 	// naive differences are dominated by hop discontinuities.
 	IgnoreChannelGrouping bool
+	// Workers bounds the worker pool Estimate spreads per-user shards
+	// across. Per-user streams are independent (EPC Gen2 singulation
+	// keeps them separate at the MAC layer, §III), so the batch
+	// pipeline shards by user ID and runs displacement accumulation,
+	// fusion, extraction, and rate estimation concurrently. 0 selects
+	// runtime.GOMAXPROCS(0); 1 runs shards sequentially on the calling
+	// goroutine (the reference path the equivalence tests compare
+	// against). Both paths produce bit-identical estimates.
+	Workers int
 	// LiteralBinning reproduces the paper's Eq. 6 exactly: each
 	// displacement sample lands wholly in the bin of its later
 	// reading. The default spreads each sample over the interval it

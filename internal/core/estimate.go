@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"tagbreathe/internal/reader"
@@ -32,11 +31,17 @@ type UserEstimate struct {
 	FusedRMS float64
 }
 
-// Estimate runs the full batch pipeline over a report window: group by
-// user, select the best antenna per user, difference phases per
-// channel (Eq. 3), fuse the user's tags (Eq. 6), accumulate (Eq. 7),
-// extract (§IV-B), and estimate rates (Eq. 5). Reports must be in
-// timestamp order, as readers deliver them.
+// Estimate runs the full batch pipeline over a report window: demux
+// reports into per-user shards, and per shard select the best antenna,
+// difference phases per channel (Eq. 3), fuse the user's tags (Eq. 6),
+// accumulate (Eq. 7), extract (§IV-B), and estimate rates (Eq. 5).
+// Reports must be in timestamp order, as readers deliver them.
+//
+// Shards are independent — Gen2 collision arbitration keeps per-user
+// streams separate at the MAC layer — so they run on a bounded worker
+// pool sized by Config.Workers (default GOMAXPROCS; 1 forces the
+// sequential reference path). The sharded and sequential paths produce
+// bit-identical estimates.
 //
 // Users with too little data for extraction are omitted from the
 // result rather than reported with a zero rate; callers distinguish
@@ -48,66 +53,18 @@ func Estimate(reports []reader.TagReport, cfg Config) (map[uint64]*UserEstimate,
 	}
 	t0 := reports[0].Timestamp.Seconds()
 	t1 := reports[len(reports)-1].Timestamp.Seconds()
-	span := t1 - t0
-	if span <= 0 {
+	if t1-t0 <= 0 {
 		return map[uint64]*UserEstimate{}, nil
 	}
 
-	selected := SelectAntenna(RankAntennas(reports, cfg, span))
+	shards := demuxByUser(reports, &cfg)
+	results := runShards(shards, t0, t1, cfg)
 
-	// Difference phases, keeping only each user's selected antenna.
-	df := NewDifferencer(cfg)
-	type userKey = uint64
-	samples := make(map[userKey][]DisplacementSample)
-	reads := make(map[userKey]int)
-	tagsSeen := make(map[userKey]map[uint32]bool)
-	for _, r := range reports {
-		uid := epcUserID(r.EPC)
-		if !cfg.allowsUser(uid) {
-			continue
+	out := make(map[uint64]*UserEstimate, len(shards))
+	for i, est := range results {
+		if est != nil {
+			out[shards[i].uid] = est
 		}
-		if port, ok := selected[uid]; !ok || r.AntennaPort != port {
-			continue
-		}
-		reads[uid]++
-		if tagsSeen[uid] == nil {
-			tagsSeen[uid] = make(map[uint32]bool)
-		}
-		tagsSeen[uid][r.EPC.TagID()] = true
-		if d, ok := df.Ingest(r); ok {
-			samples[uid] = append(samples[uid], d.Sample)
-		}
-	}
-
-	out := make(map[uint64]*UserEstimate, len(samples))
-	binSec := cfg.BinInterval.Seconds()
-	for uid, ss := range samples {
-		// Displacement samples arrive interleaved across the user's
-		// tags and channels; binning needs time order.
-		sort.Slice(ss, func(i, j int) bool { return ss[i].T < ss[j].T })
-		bins := FuseBins(ss, binSec, t0, t1)
-		if cfg.LiteralBinning {
-			bins = FuseBinsLiteral(ss, binSec, t0, t1)
-		}
-		sig, err := ExtractBreath(bins, binSec, t0, cfg)
-		if err != nil {
-			continue // not enough data for this user in this window
-		}
-		rms, _ := fusedStats(bins)
-		est := &UserEstimate{
-			UserID:      uid,
-			RateBPM:     sig.OverallRateBPM(),
-			RateSeries:  sig.InstantRateSeriesBPM(cfg.CrossingBufferM),
-			Signal:      sig,
-			AntennaPort: selected[uid],
-			Reads:       reads[uid],
-			TagsSeen:    len(tagsSeen[uid]),
-			FusedRMS:    rms,
-		}
-		if est.RateBPM <= 0 {
-			continue
-		}
-		out[uid] = est
 	}
 	return out, nil
 }

@@ -4,9 +4,28 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tagbreathe/internal/reader"
+)
+
+// OverloadPolicy selects what the monitor's demux stage does when a
+// user shard's bounded queue is full.
+type OverloadPolicy int
+
+const (
+	// OverloadBlock (the default) applies backpressure: Ingest blocks
+	// until the shard drains. No report is ever lost, and output is
+	// deterministic for a given input stream, at the cost of slowing
+	// the producer when one user's analysis falls behind.
+	OverloadBlock OverloadPolicy = iota
+	// OverloadDropNewest sheds load: the incoming report for the full
+	// shard is dropped (and counted — see Monitor.DroppedReports) so
+	// ingest never blocks and one slow user cannot stall the others.
+	// Breathing is heavily oversampled relative to the 0.67 Hz band,
+	// so occasional per-user drops degrade SNR, not correctness.
+	OverloadDropNewest
 )
 
 // MonitorConfig tunes the streaming monitor.
@@ -24,6 +43,15 @@ type MonitorConfig struct {
 	// the user's breathing envelope collapsed within the window. Zero
 	// disables (no extra work per update).
 	ApneaAlarmSec float64
+	// ShardQueue bounds each per-user shard's input queue (reports +
+	// analysis ticks); default 256. A reader singulates a given user's
+	// tags at a few tens of Hz, so the default absorbs multi-second
+	// analysis stalls before the Overload policy engages.
+	ShardQueue int
+	// Overload selects the demux policy when a shard queue is full:
+	// OverloadBlock (default, lossless backpressure) or
+	// OverloadDropNewest (shed the report, count it).
+	Overload OverloadPolicy
 }
 
 func (c *MonitorConfig) fillDefaults() {
@@ -33,6 +61,9 @@ func (c *MonitorConfig) fillDefaults() {
 	}
 	if c.UpdateEvery <= 0 {
 		c.UpdateEvery = time.Second
+	}
+	if c.ShardQueue <= 0 {
+		c.ShardQueue = 256
 	}
 }
 
@@ -63,10 +94,18 @@ type RateUpdate struct {
 
 // Monitor is the streaming TagBreathe pipeline: feed it the reader's
 // report stream in timestamp order and receive per-user rate updates.
-// Internally it runs the paper's Fig. 10 workflow as two pipelined
-// stages — (1) grouping + phase differencing, which is incremental,
-// and (2) windowed fusion + extraction — connected by a channel, so
-// ingest never blocks on FFT work.
+//
+// Internally the stream is sharded by user, mirroring the batch
+// pipeline's concurrency model: a demux goroutine routes each report
+// to its user's shard goroutine over a bounded queue, every shard owns
+// its user's entire state (Eq. 3 differencer, window samples, antenna
+// metadata) as a single writer with no shared maps or locks, and runs
+// its own fusion + extraction + Eq. 5 analysis. On every UpdateEvery
+// boundary of stream time the demux broadcasts a tick; shards analyze
+// in parallel and a collector emits the tick's updates in stream-time
+// order (and user-ID order within a tick), so the output is globally
+// time-ordered and deterministic. Overload behaviour at the shard
+// queues is set by MonitorConfig.Overload.
 //
 // The monitor is driven by stream time (report timestamps), not the
 // wall clock, so it serves live operation, accelerated simulation, and
@@ -80,6 +119,7 @@ type Monitor struct {
 
 	in      chan reader.TagReport
 	updates chan RateUpdate
+	dropped atomic.Uint64
 
 	stopOnce  sync.Once
 	closeOnce sync.Once
@@ -95,10 +135,13 @@ func NewMonitor(cfg MonitorConfig) *Monitor {
 		in:      make(chan reader.TagReport, 256),
 		updates: make(chan RateUpdate, 64),
 	}
-	jobs := make(chan analysisJob, 1)
+	// Tick descriptors flow demux → collector with a small buffer: the
+	// pipeline depth. A deeper buffer lets ingest run further ahead of
+	// analysis; 2 keeps at most a couple of windows in flight.
+	ticks := make(chan *monitorTick, 2)
 	m.wg.Add(2)
-	go m.ingestLoop(jobs)
-	go m.analyzeLoop(jobs)
+	go m.demuxLoop(ticks)
+	go m.collectLoop(ticks)
 	return m
 }
 
@@ -122,6 +165,13 @@ func (m *Monitor) Updates() <-chan RateUpdate {
 	return m.updates
 }
 
+// DroppedReports returns how many reports the demux stage has shed
+// under the OverloadDropNewest policy. Always zero under
+// OverloadBlock. Safe to call concurrently with ingest.
+func (m *Monitor) DroppedReports() uint64 {
+	return m.dropped.Load()
+}
+
 // CloseInput signals that no further reports will arrive. Pending
 // analysis completes and Updates closes.
 func (m *Monitor) CloseInput() {
@@ -142,56 +192,56 @@ func (m *Monitor) Stop() {
 	})
 }
 
-// analysisJob is a snapshot handed from the ingest stage to the
-// analysis stage: all state needed to estimate every user at asOf.
-type analysisJob struct {
+// monitorTick asks every live shard for its update at one stream-time
+// boundary. Shards reply on results (capacity = shard count, so no
+// shard ever blocks replying); the collector gathers exactly shards
+// replies per tick and emits them in order.
+type monitorTick struct {
 	asOf    time.Duration
-	samples map[userAntennaKey][]DisplacementSample
-	meta    map[userAntennaKey]antennaMeta
-	final   bool
+	shards  int
+	results chan []RateUpdate
 }
 
-type userAntennaKey struct {
-	user    uint64
-	antenna int
+// shardInput is one queue entry for a shard goroutine: a report, or an
+// analysis tick (tick != nil). A single queue keeps reports and ticks
+// ordered relative to each other, so a tick snapshots exactly the
+// reports that preceded it.
+type shardInput struct {
+	report reader.TagReport
+	tick   *monitorTick
 }
 
+// antennaMeta is the per-(antenna) quality bookkeeping one shard keeps
+// between ticks for §IV-D.3 antenna selection.
 type antennaMeta struct {
 	reads    int
 	rssiSum  float64
 	earliest float64
 	latest   float64
+	started  bool
 }
 
-// ingestLoop is stage 1: grouping and differencing, plus window
-// bookkeeping. It snapshots state to the analysis stage every
-// UpdateEvery of stream time.
-func (m *Monitor) ingestLoop(jobs chan<- analysisJob) {
+// demuxLoop is the routing stage: it owns the shard table (nobody else
+// touches it), forwards each report to its user's shard queue, and
+// broadcasts analysis ticks on UpdateEvery boundaries of stream time.
+func (m *Monitor) demuxLoop(ticks chan<- *monitorTick) {
 	defer m.wg.Done()
-	defer close(jobs)
 
-	df := NewDifferencer(m.cfg.Pipeline)
-	samples := make(map[userAntennaKey][]DisplacementSample)
-	meta := make(map[userAntennaKey]antennaMeta)
+	shards := make(map[uint64]chan shardInput)
+	var order []chan shardInput // broadcast in creation order
 	var nextUpdate time.Duration
 	started := false
 
-	snapshot := func(asOf time.Duration, final bool) {
-		job := analysisJob{
+	broadcast := func(asOf time.Duration) {
+		tick := &monitorTick{
 			asOf:    asOf,
-			samples: make(map[userAntennaKey][]DisplacementSample, len(samples)),
-			meta:    make(map[userAntennaKey]antennaMeta, len(meta)),
-			final:   final,
+			shards:  len(order),
+			results: make(chan []RateUpdate, len(order)),
 		}
-		for k, v := range samples {
-			cp := make([]DisplacementSample, len(v))
-			copy(cp, v)
-			job.samples[k] = cp
+		for _, q := range order {
+			q <- shardInput{tick: tick} // ticks always block; they are rare
 		}
-		for k, v := range meta {
-			job.meta[k] = v
-		}
-		jobs <- job
+		ticks <- tick
 	}
 
 	for r := range m.in {
@@ -203,121 +253,179 @@ func (m *Monitor) ingestLoop(jobs chan<- analysisJob) {
 			started = true
 			nextUpdate = r.Timestamp + m.cfg.Window
 		}
-		key := userAntennaKey{uid, r.AntennaPort}
-		mt := meta[key]
-		mt.reads++
-		mt.rssiSum += float64(r.RSSI)
-		if mt.earliest == 0 && mt.latest == 0 {
-			mt.earliest = r.Timestamp.Seconds()
+		q, ok := shards[uid]
+		if !ok {
+			q = make(chan shardInput, m.cfg.ShardQueue)
+			shards[uid] = q
+			order = append(order, q)
+			m.wg.Add(1)
+			go m.shardLoop(uid, q)
 		}
-		mt.latest = r.Timestamp.Seconds()
-		meta[key] = mt
-
-		if d, ok := df.Ingest(r); ok {
-			samples[key] = append(samples[key], d.Sample)
-		}
-
-		// Evict state older than the window.
-		cutoff := (r.Timestamp - m.cfg.Window).Seconds()
-		if cutoff > 0 {
-			for k, v := range samples {
-				idx := sort.Search(len(v), func(i int) bool { return v[i].T >= cutoff })
-				if idx > 0 {
-					samples[k] = append(v[:0:0], v[idx:]...)
-				}
+		if m.cfg.Overload == OverloadDropNewest {
+			select {
+			case q <- shardInput{report: r}:
+			default:
+				m.dropped.Add(1)
 			}
+		} else {
+			q <- shardInput{report: r}
 		}
 
 		if r.Timestamp >= nextUpdate {
-			snapshot(r.Timestamp, false)
+			broadcast(r.Timestamp)
 			nextUpdate += m.cfg.UpdateEvery
 			// A long read gap can leave nextUpdate behind the stream;
 			// snap it forward so updates stay timely.
 			if nextUpdate <= r.Timestamp {
 				nextUpdate = r.Timestamp + m.cfg.UpdateEvery
 			}
-			// Metadata is windowed per snapshot: reset counters so the
-			// next update reflects the recent stream, not all history.
-			for k := range meta {
-				delete(meta, k)
-			}
 		}
 	}
 	if started {
-		snapshot(nextUpdate, true)
+		broadcast(nextUpdate)
+	}
+	for _, q := range order {
+		close(q)
+	}
+	close(ticks)
+}
+
+// shardLoop owns one user's complete pipeline state — the only writer.
+// It differences reports incrementally and answers ticks with this
+// user's windowed estimate; per-shard analysis is where the monitor's
+// parallelism across users comes from.
+func (m *Monitor) shardLoop(uid uint64, q <-chan shardInput) {
+	defer m.wg.Done()
+
+	df := NewDifferencer(m.cfg.Pipeline)
+	samples := make(map[int][]DisplacementSample) // per antenna port
+	meta := make(map[int]antennaMeta)
+
+	for in := range q {
+		if in.tick != nil {
+			tick := in.tick
+			tick.results <- m.analyzeShard(uid, tick.asOf, samples, meta)
+			// Metadata is windowed per tick: reset counters so the
+			// next update reflects the recent stream, not all history.
+			clear(meta)
+			// Evict samples that have slid out of the window.
+			cutoff := (tick.asOf - m.cfg.Window).Seconds()
+			if cutoff > 0 {
+				for port, v := range samples {
+					idx := sort.Search(len(v), func(i int) bool { return v[i].T >= cutoff })
+					if idx > 0 {
+						samples[port] = append(v[:0:0], v[idx:]...)
+					}
+				}
+			}
+			continue
+		}
+		r := in.report
+		mt := meta[r.AntennaPort]
+		mt.reads++
+		mt.rssiSum += float64(r.RSSI)
+		if !mt.started {
+			mt.earliest = r.Timestamp.Seconds()
+			mt.started = true
+		}
+		mt.latest = r.Timestamp.Seconds()
+		meta[r.AntennaPort] = mt
+
+		if d, ok := df.Ingest(r); ok {
+			samples[r.AntennaPort] = append(samples[r.AntennaPort], d.Sample)
+		}
 	}
 }
 
-// analyzeLoop is stage 2: antenna selection, fusion, extraction, and
-// Eq. 5 per snapshot.
-func (m *Monitor) analyzeLoop(jobs <-chan analysisJob) {
+// analyzeShard runs §IV-D.3 antenna selection, Eq. 6/7 fusion, §IV-B
+// extraction, and Eq. 5 for one user at one tick. It returns zero or
+// one updates.
+func (m *Monitor) analyzeShard(uid uint64, asOf time.Duration,
+	samples map[int][]DisplacementSample, meta map[int]antennaMeta) []RateUpdate {
+
+	bestPort := 0
+	bestScore := 0.0
+	found := false
+	for port, mt := range meta {
+		span := mt.latest - mt.earliest
+		if span <= 0 {
+			span = 1
+		}
+		q := AntennaQuality{
+			UserID:   uid,
+			Antenna:  port,
+			Reads:    mt.reads,
+			ReadRate: float64(mt.reads) / span,
+			MeanRSSI: mt.rssiSum / float64(mt.reads),
+		}
+		s := q.Score()
+		if !found || s > bestScore || (s == bestScore && port < bestPort) {
+			found = true
+			bestPort = port
+			bestScore = s
+		}
+	}
+	if !found {
+		return nil
+	}
+	ss := samples[bestPort]
+	if len(ss) < 4 {
+		return nil
+	}
+	t1 := asOf.Seconds()
+	t0 := t1 - m.cfg.Window.Seconds()
+	if t0 < 0 {
+		t0 = 0
+	}
+	binSec := m.cfg.Pipeline.BinInterval.Seconds()
+	bins := FuseBins(ss, binSec, t0, t1)
+	if m.cfg.Pipeline.LiteralBinning {
+		bins = FuseBinsLiteral(ss, binSec, t0, t1)
+	}
+	sig, err := ExtractBreath(bins, binSec, t0, m.cfg.Pipeline)
+	if err != nil {
+		return nil
+	}
+	rate := sig.OverallRateBPM()
+	if rate <= 0 {
+		return nil
+	}
+	instant := rate
+	if series := sig.InstantRateSeriesBPM(m.cfg.Pipeline.CrossingBufferM); len(series) > 0 {
+		instant = series[len(series)-1].V
+	}
+	var pauses [][2]float64
+	if m.cfg.ApneaAlarmSec > 0 {
+		pauses = sig.DetectPauses(m.cfg.ApneaAlarmSec)
+	}
+	return []RateUpdate{{
+		UserID:      uid,
+		Time:        asOf,
+		RateBPM:     rate,
+		InstantBPM:  instant,
+		Crossings:   len(sig.Crossings),
+		Reads:       meta[bestPort].reads,
+		AntennaPort: bestPort,
+		Pauses:      pauses,
+	}}
+}
+
+// collectLoop reassembles the sharded analyses into one ordered update
+// stream: ticks arrive in stream-time order, and within a tick the
+// updates are sorted by user ID, so consumers see a deterministic,
+// globally time-ordered stream regardless of shard scheduling.
+func (m *Monitor) collectLoop(ticks <-chan *monitorTick) {
 	defer m.wg.Done()
 	defer close(m.updates)
 
-	binSec := m.cfg.Pipeline.BinInterval.Seconds()
-	for job := range jobs {
-		// Per user, select the best antenna from this window's meta.
-		best := make(map[uint64]userAntennaKey)
-		bestScore := make(map[uint64]float64)
-		for k, mt := range job.meta {
-			span := mt.latest - mt.earliest
-			if span <= 0 {
-				span = 1
-			}
-			q := AntennaQuality{
-				UserID:   k.user,
-				Antenna:  k.antenna,
-				Reads:    mt.reads,
-				ReadRate: float64(mt.reads) / span,
-				MeanRSSI: mt.rssiSum / float64(mt.reads),
-			}
-			s := q.Score()
-			if prev, seen := best[k.user]; !seen || s > bestScore[k.user] ||
-				(s == bestScore[k.user] && k.antenna < prev.antenna) {
-				best[k.user] = k
-				bestScore[k.user] = s
-			}
+	for tick := range ticks {
+		var ups []RateUpdate
+		for i := 0; i < tick.shards; i++ {
+			ups = append(ups, <-tick.results...)
 		}
-		for uid, key := range best {
-			ss := job.samples[key]
-			if len(ss) < 4 {
-				continue
-			}
-			t1 := job.asOf.Seconds()
-			t0 := t1 - m.cfg.Window.Seconds()
-			if t0 < 0 {
-				t0 = 0
-			}
-			bins := FuseBins(ss, binSec, t0, t1)
-			if m.cfg.Pipeline.LiteralBinning {
-				bins = FuseBinsLiteral(ss, binSec, t0, t1)
-			}
-			sig, err := ExtractBreath(bins, binSec, t0, m.cfg.Pipeline)
-			if err != nil {
-				continue
-			}
-			rate := sig.OverallRateBPM()
-			if rate <= 0 {
-				continue
-			}
-			instant := rate
-			if series := sig.InstantRateSeriesBPM(m.cfg.Pipeline.CrossingBufferM); len(series) > 0 {
-				instant = series[len(series)-1].V
-			}
-			var pauses [][2]float64
-			if m.cfg.ApneaAlarmSec > 0 {
-				pauses = sig.DetectPauses(m.cfg.ApneaAlarmSec)
-			}
-			m.updates <- RateUpdate{
-				UserID:      uid,
-				Time:        job.asOf,
-				RateBPM:     rate,
-				InstantBPM:  instant,
-				Crossings:   len(sig.Crossings),
-				Reads:       job.meta[key].reads,
-				AntennaPort: key.antenna,
-				Pauses:      pauses,
-			}
+		sort.Slice(ups, func(i, j int) bool { return ups[i].UserID < ups[j].UserID })
+		for _, u := range ups {
+			m.updates <- u
 		}
 	}
 }

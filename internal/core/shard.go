@@ -1,0 +1,153 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"tagbreathe/internal/reader"
+)
+
+// The batch pipeline's concurrency model: reports are demultiplexed
+// into per-user shards (EPC Gen2 singulates tags one at a time, so
+// per-user streams never interfere — §III), and each shard runs the
+// whole per-user pipeline — antenna selection, Eq. 3 differencing,
+// Eq. 6/7 fusion and accumulation, §IV-B extraction, Eq. 5 rates — with
+// no shared mutable state. A shard's work reads only its own report
+// slice and writes only its own result slot, so the worker pool needs
+// no locks and the sharded path is bit-identical to running the shards
+// one after another on a single goroutine.
+
+// userShard is one user's slice of the report window, in stream order.
+type userShard struct {
+	uid     uint64
+	reports []reader.TagReport
+}
+
+// demuxByUser partitions reports into per-user shards, preserving
+// stream order within each shard and first-seen order across shards
+// (which makes work distribution deterministic).
+func demuxByUser(reports []reader.TagReport, cfg *Config) []userShard {
+	idx := make(map[uint64]int)
+	var shards []userShard
+	for _, r := range reports {
+		uid := epcUserID(r.EPC)
+		if !cfg.allowsUser(uid) {
+			continue
+		}
+		i, ok := idx[uid]
+		if !ok {
+			i = len(shards)
+			idx[uid] = i
+			shards = append(shards, userShard{uid: uid})
+		}
+		shards[i].reports = append(shards[i].reports, r)
+	}
+	return shards
+}
+
+// workerCount resolves Config.Workers against the shard count: 0 means
+// GOMAXPROCS, and there is never a point in more workers than shards.
+func (c *Config) workerCount(shards int) int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > shards {
+		w = shards
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// estimateShard runs the full per-user pipeline on one shard over the
+// window [t0, t1]. It returns nil when the user is not monitorable in
+// this window (too little data, or no extractable breathing signal).
+func estimateShard(sh userShard, t0, t1 float64, cfg Config) *UserEstimate {
+	span := t1 - t0
+	selected := SelectAntenna(RankAntennas(sh.reports, cfg, span))
+	port, ok := selected[sh.uid]
+	if !ok {
+		return nil
+	}
+
+	df := NewDifferencer(cfg)
+	var samples []DisplacementSample
+	reads := 0
+	tagsSeen := make(map[uint32]bool)
+	for _, r := range sh.reports {
+		if r.AntennaPort != port {
+			continue
+		}
+		reads++
+		tagsSeen[r.EPC.TagID()] = true
+		if d, ok := df.Ingest(r); ok {
+			samples = append(samples, d.Sample)
+		}
+	}
+	if len(samples) == 0 {
+		return nil
+	}
+
+	// Displacement samples arrive interleaved across the user's tags
+	// and channels; binning needs time order.
+	sort.Slice(samples, func(i, j int) bool { return samples[i].T < samples[j].T })
+	binSec := cfg.BinInterval.Seconds()
+	bins := FuseBins(samples, binSec, t0, t1)
+	if cfg.LiteralBinning {
+		bins = FuseBinsLiteral(samples, binSec, t0, t1)
+	}
+	sig, err := ExtractBreath(bins, binSec, t0, cfg)
+	if err != nil {
+		return nil // not enough data for this user in this window
+	}
+	rms, _ := fusedStats(bins)
+	est := &UserEstimate{
+		UserID:      sh.uid,
+		RateBPM:     sig.OverallRateBPM(),
+		RateSeries:  sig.InstantRateSeriesBPM(cfg.CrossingBufferM),
+		Signal:      sig,
+		AntennaPort: port,
+		Reads:       reads,
+		TagsSeen:    len(tagsSeen),
+		FusedRMS:    rms,
+	}
+	if est.RateBPM <= 0 {
+		return nil
+	}
+	return est
+}
+
+// runShards executes estimateShard over every shard, sequentially when
+// workers is 1 and on a bounded worker pool otherwise. Each worker
+// writes only its own result slots, so results need no synchronization
+// beyond the pool's WaitGroup.
+func runShards(shards []userShard, t0, t1 float64, cfg Config) []*UserEstimate {
+	results := make([]*UserEstimate, len(shards))
+	workers := cfg.workerCount(len(shards))
+	if workers <= 1 {
+		for i, sh := range shards {
+			results[i] = estimateShard(sh, t0, t1, cfg)
+		}
+		return results
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = estimateShard(shards[i], t0, t1, cfg)
+			}
+		}()
+	}
+	for i := range shards {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}

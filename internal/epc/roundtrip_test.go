@@ -1,0 +1,70 @@
+package epc
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUserTagEPCRoundtrip pins the Fig. 9 EPC layout — 64-bit user ID
+// in the high bytes, 32-bit tag ID in the low bytes, big-endian as on
+// air — across packing, field extraction, and the printed form.
+func TestUserTagEPCRoundtrip(t *testing.T) {
+	cases := []struct {
+		name   string
+		userID uint64
+		tagID  uint32
+		hex    string // expected String() output
+	}{
+		{"zero", 0, 0, "000000000000000000000000"},
+		{"ones", 0xFFFFFFFFFFFFFFFF, 0xFFFFFFFF, "ffffffffffffffffffffffff"},
+		{"user only", 0x0123456789ABCDEF, 0, "0123456789abcdef00000000"},
+		{"tag only", 0, 0xDEADBEEF, "0000000000000000deadbeef"},
+		{"paper style", 1, 3, "000000000000000100000003"},
+		{"high bit user", 1 << 63, 1, "800000000000000000000001"},
+		{"high bit tag", 7, 1 << 31, "000000000000000780000000"},
+		{"mixed", 0xA1B2C3D4E5F60718, 0x29304142, "a1b2c3d4e5f6071829304142"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewUserTagEPC(tc.userID, tc.tagID)
+			if got := e.UserID(); got != tc.userID {
+				t.Errorf("UserID() = %#x, want %#x", got, tc.userID)
+			}
+			if got := e.TagID(); got != tc.tagID {
+				t.Errorf("TagID() = %#x, want %#x", got, tc.tagID)
+			}
+			if got := e.String(); got != tc.hex {
+				t.Errorf("String() = %q, want %q", got, tc.hex)
+			}
+			parsed, err := ParseEPC96(e.String())
+			if err != nil {
+				t.Fatalf("ParseEPC96(%q): %v", e.String(), err)
+			}
+			if parsed != e {
+				t.Errorf("parse roundtrip changed EPC: %v -> %v", e, parsed)
+			}
+			// Case-insensitive parse, as printed EPCs circulate both ways.
+			upper, err := ParseEPC96(strings.ToUpper(e.String()))
+			if err != nil || upper != e {
+				t.Errorf("uppercase parse: %v, err %v", upper, err)
+			}
+		})
+	}
+}
+
+// TestParseEPC96Rejects pins the error paths: wrong length and
+// non-hex input must fail rather than yield a zero EPC silently.
+func TestParseEPC96Rejects(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"00",
+		"0000000000000001000000",     // 22 digits
+		"00000000000000010000000300", // 26 digits
+		"zz000000000000010000000300"[:24],
+		"0123456789abcdef0123456g",
+	} {
+		if _, err := ParseEPC96(bad); err == nil {
+			t.Errorf("ParseEPC96(%q) accepted invalid input", bad)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tagbreathe/internal/reader"
@@ -38,6 +39,12 @@ type ServerConfig struct {
 	// DefaultBatch is the number of tag reports per RO_ACCESS_REPORT
 	// when the ROSpec does not specify one; default 16.
 	DefaultBatch int
+	// SendQueue bounds each connection's outbound message queue;
+	// default 64. Report streams, keepalives, and responses all fan in
+	// to a single writer goroutine per connection through this queue,
+	// so a full queue applies backpressure to the report sources
+	// rather than dropping protocol messages.
+	SendQueue int
 	// Logf receives connection lifecycle logs; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -60,6 +67,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.DefaultBatch <= 0 {
 		cfg.DefaultBatch = 16
+	}
+	if cfg.SendQueue <= 0 {
+		cfg.SendQueue = 64
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -106,25 +116,96 @@ func (s *Server) Close() error {
 	return err
 }
 
-// conn wraps a connection with a write lock: responses, reports, and
-// keepalives interleave from different goroutines.
+// serverConn fans all outbound traffic — responses, report batches,
+// keepalives — from their producing goroutines into one bounded queue
+// drained by a single writer goroutine, the same single-writer model
+// the core pipeline's shards use. Producers never hold a lock across a
+// socket write; a full queue applies backpressure to them instead.
 type serverConn struct {
 	net.Conn
-	mu sync.Mutex
+	out chan Message
+	// ctx is the connection's lifetime; send unblocks when it ends so
+	// producers cannot deadlock on a dead connection's full queue.
+	ctx context.Context
+	// cancel tears the connection down on the first write error.
+	cancel context.CancelFunc
+	// writeErr holds the first write error (type error).
+	writeErr atomic.Value
+	writerWG sync.WaitGroup
 }
 
+func newServerConn(raw net.Conn, queue int) *serverConn {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &serverConn{
+		Conn:   raw,
+		out:    make(chan Message, queue),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	c.writerWG.Add(1)
+	go c.writeLoop()
+	return c
+}
+
+// writeLoop is the connection's single writer: it drains the outbound
+// queue in FIFO order (so responses keep their request order) and, on
+// the first write error, cancels the connection and keeps draining so
+// producers never block on a dead peer.
+func (c *serverConn) writeLoop() {
+	defer c.writerWG.Done()
+	for m := range c.out {
+		if c.writeErr.Load() != nil {
+			continue
+		}
+		if err := WriteMessage(c.Conn, m); err != nil {
+			c.writeErr.Store(err)
+			c.cancel()
+		}
+	}
+}
+
+// send enqueues one message for the writer. It returns the first write
+// error once the connection has failed, and context.Canceled when the
+// connection is shutting down before the message could be queued.
 func (c *serverConn) send(m Message) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return WriteMessage(c.Conn, m)
+	if err, ok := c.writeErr.Load().(error); ok {
+		return err
+	}
+	select {
+	case c.out <- m:
+		return nil
+	case <-c.ctx.Done():
+		if err, ok := c.writeErr.Load().(error); ok {
+			return err
+		}
+		return c.ctx.Err()
+	}
+}
+
+// shutdown closes the queue, waits for the writer to drain, and closes
+// the socket. Callers must ensure no producer can call send afterward
+// (the handle loop waits out its streams first).
+func (c *serverConn) shutdown() {
+	c.cancel()
+	close(c.out)
+	c.writerWG.Wait()
+	c.Close()
 }
 
 // handle runs one client connection.
 func (s *Server) handle(raw net.Conn) {
-	c := &serverConn{Conn: raw}
-	defer c.Close()
+	c := newServerConn(raw, s.cfg.SendQueue)
 	logf := s.cfg.Logf
 	logf("llrp: connection from %v", raw.RemoteAddr())
+
+	ctx := c.ctx
+	var streamWG sync.WaitGroup
+	// LIFO: cancel stream sources, wait for every producer to exit,
+	// then close the queue and socket — send is never called after
+	// shutdown begins, so no lock guards the queue.
+	defer c.shutdown()
+	defer streamWG.Wait()
+	defer c.cancel()
 
 	// LLRP: the reader announces itself with a ReaderEventNotification
 	// carrying a ConnectionAttemptEvent (success).
@@ -132,11 +213,6 @@ func (s *Server) handle(raw net.Conn) {
 		logf("llrp: initial notification: %v", err)
 		return
 	}
-
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	var streamWG sync.WaitGroup
-	defer streamWG.Wait()
 
 	if s.cfg.KeepaliveEvery > 0 {
 		streamWG.Add(1)
@@ -343,7 +419,9 @@ func (s *Server) streamReports(ctx context.Context, c *serverConn, cfg ROSpecCon
 		}
 		msgID++
 		err := c.send(Message{Type: MsgROAccessReport, ID: msgID, Payload: batch})
-		batch = batch[:0]
+		// The payload now sits in the writer queue; a fresh buffer
+		// keeps later appends from mutating the queued message.
+		batch = nil
 		inBatch = 0
 		return err
 	}

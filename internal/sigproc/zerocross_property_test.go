@@ -1,0 +1,117 @@
+package sigproc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property-style coverage for the Eq. 5 zero-crossing estimator: for
+// any clean sinusoid in the breathing band the recovered rate matches
+// the generating frequency within 1%, and the estimate is invariant to
+// DC offset (crossing times move, rate does not) and to amplitude
+// scaling (crossing times do not move at all — linear interpolation is
+// scale-free).
+
+// offsetSine samples amp·sin(2πf·t + phase) + dc at sampleRate for
+// duration seconds.
+func offsetSine(freqHz, amp, dc, phase, duration, sampleRate float64) []float64 {
+	n := int(duration * sampleRate)
+	out := make([]float64, n)
+	for i := range out {
+		t := float64(i) / sampleRate
+		out[i] = amp*math.Sin(2*math.Pi*freqHz*t+phase) + dc
+	}
+	return out
+}
+
+// rateOver applies Eq. 5 across the crossings of x, trimmed to a
+// rising-to-rising window so the span covers whole breaths. Without the
+// trim a DC offset biases the finite-window estimate: the offset makes
+// the rising→falling half-cycle longer than falling→rising (or vice
+// versa), so a window bounded by opposite-direction crossings picks up
+// a fraction of a period of error. Rising-to-rising spacing is exactly
+// one period regardless of offset.
+func rateOver(x []float64, sampleRate float64) float64 {
+	zc := ZeroCrossings(x, 0, sampleRate, 0.1)
+	for len(zc) > 0 && !zc[0].Rising {
+		zc = zc[1:]
+	}
+	for len(zc) > 0 && !zc[len(zc)-1].Rising {
+		zc = zc[:len(zc)-1]
+	}
+	return RateFromCrossings(zc, len(zc))
+}
+
+func TestZeroCrossingRateMatchesSineFrequency(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const sampleRate = 16.0
+	const duration = 120.0
+	// Breathing-band rates, Table I's 5-40 bpm span.
+	for _, bpm := range []float64{5, 8, 10, 13, 20, 30, 40} {
+		f := bpm / 60
+		for trial := 0; trial < 5; trial++ {
+			phase := rng.Float64() * 2 * math.Pi
+			amp := 0.5 + rng.Float64()*10
+			x := offsetSine(f, amp, 0, phase, duration, sampleRate)
+			got := rateOver(x, sampleRate)
+			if got <= 0 {
+				t.Fatalf("bpm=%v phase=%.3f: no rate recovered", bpm, phase)
+			}
+			if rel := math.Abs(got-f) / f; rel > 0.01 {
+				t.Errorf("bpm=%v phase=%.3f amp=%.2f: rate %.5f Hz vs true %.5f Hz (%.2f%% off)",
+					bpm, phase, amp, got, f, rel*100)
+			}
+		}
+	}
+}
+
+func TestZeroCrossingRateInvariantToDCOffset(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const sampleRate = 16.0
+	for trial := 0; trial < 20; trial++ {
+		f := (5 + rng.Float64()*30) / 60
+		amp := 0.5 + rng.Float64()*4
+		dc := (rng.Float64()*1.6 - 0.8) * amp // |dc| < amp keeps crossings
+		phase := rng.Float64() * 2 * math.Pi
+		base := rateOver(offsetSine(f, amp, 0, phase, 120, sampleRate), sampleRate)
+		offs := rateOver(offsetSine(f, amp, dc, phase, 120, sampleRate), sampleRate)
+		if base <= 0 || offs <= 0 {
+			t.Fatalf("trial %d: no rate (base %v, offset %v)", trial, base, offs)
+		}
+		if rel := math.Abs(offs-base) / base; rel > 0.01 {
+			t.Errorf("trial %d (f=%.4f, dc=%.2f·amp): rate moved %.2f%% under DC offset",
+				trial, f, dc/amp, rel*100)
+		}
+	}
+}
+
+func TestZeroCrossingsInvariantToAmplitudeScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const sampleRate = 16.0
+	for trial := 0; trial < 20; trial++ {
+		f := (5 + rng.Float64()*30) / 60
+		phase := rng.Float64() * 2 * math.Pi
+		scale := math.Pow(10, rng.Float64()*6-3) // 1e-3 .. 1e3
+		x := offsetSine(f, 1, 0, phase, 60, sampleRate)
+		y := make([]float64, len(x))
+		for i, v := range x {
+			y[i] = v * scale
+		}
+		zx := ZeroCrossings(x, 0, sampleRate, 0.1)
+		zy := ZeroCrossings(y, 0, sampleRate, 0.1)
+		if len(zx) == 0 || len(zx) != len(zy) {
+			t.Fatalf("trial %d: crossing counts %d vs %d", trial, len(zx), len(zy))
+		}
+		for i := range zx {
+			if zx[i].Rising != zy[i].Rising {
+				t.Fatalf("trial %d: crossing %d direction changed under scaling", trial, i)
+			}
+			// Interpolation frac a/(a-b) is exactly scale-free; allow
+			// only float rounding.
+			if d := math.Abs(zx[i].T - zy[i].T); d > 1e-9 {
+				t.Errorf("trial %d: crossing %d moved %g s under ×%g scaling", trial, i, d, scale)
+			}
+		}
+	}
+}

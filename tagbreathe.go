@@ -72,6 +72,18 @@ type (
 	RateUpdate = core.RateUpdate
 	// DisplacementSample is one Eq. 3 displacement value.
 	DisplacementSample = core.DisplacementSample
+	// OverloadPolicy selects what the monitor does when a per-user
+	// shard queue overflows (see MonitorConfig.Overload).
+	OverloadPolicy = core.OverloadPolicy
+)
+
+// Overload policies for MonitorConfig.Overload.
+const (
+	// OverloadBlock applies lossless backpressure to Ingest (default).
+	OverloadBlock = core.OverloadBlock
+	// OverloadDropNewest sheds the incoming report for a full shard
+	// queue and counts it (Monitor.DroppedReports).
+	OverloadDropNewest = core.OverloadDropNewest
 )
 
 // Reader-facing types.
