@@ -160,6 +160,46 @@ func BenchmarkMonitorUsers(b *testing.B) {
 	}
 }
 
+// BenchmarkMonitorInstrumentation pins the observability overhead: the
+// same 64-user stream through the monitor with instruments wired to a
+// nil registry (the disabled default — live handles, no exposition)
+// and to a real registry. The two reports/s figures must stay within
+// 2% of each other; every hot-path update is a single atomic op, so
+// the difference is expected to be noise.
+func BenchmarkMonitorInstrumentation(b *testing.B) {
+	const users = 64
+	reports := synthMultiUserReports(users, 30*time.Second, 8)
+	for _, mode := range []struct {
+		name string
+		reg  func() *tagbreathe.MetricsRegistry
+	}{
+		{"disabled", func() *tagbreathe.MetricsRegistry { return nil }},
+		{"enabled", tagbreathe.NewMetricsRegistry},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				updates, err := tagbreathe.MonitorStream(reports, tagbreathe.MonitorConfig{
+					UpdateEvery: 5 * time.Second,
+					Metrics:     tagbreathe.NewMonitorMetrics(mode.reg()),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(updates) == 0 {
+					b.Fatal("no updates")
+				}
+			}
+			b.StopTimer()
+			perOp := b.Elapsed().Seconds() / float64(b.N)
+			if perOp > 0 {
+				b.ReportMetric(float64(len(reports))/perOp, "reports/s")
+			}
+		})
+	}
+}
+
 // BenchmarkTable1Defaults times one full default-scenario pipeline run
 // (simulate + estimate), the workload every Table I default defines.
 func BenchmarkTable1Defaults(b *testing.B) {

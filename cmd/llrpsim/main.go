@@ -17,7 +17,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -27,29 +27,54 @@ import (
 
 	"tagbreathe"
 	"tagbreathe/internal/llrp"
+	"tagbreathe/internal/obs"
 	"tagbreathe/internal/reader"
 )
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":5084", "TCP listen address (5084 is the standard LLRP port)")
-		users    = flag.Int("users", 1, "simulated users")
-		distance = flag.Float64("distance", 4, "distance in meters")
-		rate     = flag.Float64("rate", 10, "breathing rate in bpm")
-		duration = flag.Duration("duration", 10*time.Minute, "simulated duration per ROSpec run")
-		pace     = flag.Float64("pace", 1, "simulated-to-wall time ratio (0 = unpaced)")
-		seed     = flag.Int64("seed", 1, "base random seed; each ROSpec run increments it")
+		listen    = flag.String("listen", ":5084", "TCP listen address (5084 is the standard LLRP port)")
+		users     = flag.Int("users", 1, "simulated users")
+		distance  = flag.Float64("distance", 4, "distance in meters")
+		rate      = flag.Float64("rate", 10, "breathing rate in bpm")
+		duration  = flag.Duration("duration", 10*time.Minute, "simulated duration per ROSpec run")
+		pace      = flag.Float64("pace", 1, "simulated-to-wall time ratio (0 = unpaced)")
+		seed      = flag.Int64("seed", 1, "base random seed; each ROSpec run increments it")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz, and pprof on this address; empty disables")
 	)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "llrpsim: ", log.LstdFlags)
+	obs.SetLogger(obs.NewTextLogger(os.Stderr, slog.LevelInfo))
+	logger := obs.Logger("llrpsim")
+	fatal := func(err error) {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
+
+	// With -debug-addr the emulator's protocol layer is observable:
+	// connections, message counts by type, send-queue depth, and
+	// streamed-report totals land on /metrics.
+	var reg *tagbreathe.MetricsRegistry
+	if *debugAddr != "" {
+		reg = tagbreathe.NewMetricsRegistry()
+		reg.PublishExpvar("llrpsim")
+		dbg, err := tagbreathe.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		logger.Info("debug server up", "metrics", "http://"+dbg.Addr()+"/metrics")
+	}
 
 	var runCounter atomic.Int64
 	runCounter.Store(*seed)
 
 	srv, err := llrp.NewServer(llrp.ServerConfig{
 		KeepaliveEvery: 10 * time.Second,
-		Logf:           logger.Printf,
+		Logf: func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		},
+		Metrics: llrp.NewServerMetrics(reg),
 		NewSource: func() llrp.ReportSource {
 			runSeed := runCounter.Add(1)
 			return llrp.ReportSourceFunc(func(ctx context.Context, emit func(reader.TagReport) error) error {
@@ -58,28 +83,28 @@ func main() {
 		},
 	})
 	if err != nil {
-		logger.Fatal(err)
+		fatal(err)
 	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		logger.Fatal(err)
+		fatal(err)
 	}
-	logger.Printf("listening on %s (%d users at %.1f m, %.0f bpm, pace %gx)",
-		ln.Addr(), *users, *distance, *rate, *pace)
+	logger.Info("listening", "addr", ln.Addr().String(), "users", *users,
+		"distance_m", *distance, "rate_bpm", *rate, "pace", *pace)
 
 	// Graceful shutdown on SIGINT/SIGTERM.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		<-sig
-		logger.Print("shutting down")
+		logger.Info("shutting down")
 		srv.Close()
 	}()
 
 	if err := srv.Serve(ln); err != nil && err != net.ErrClosed {
 		if opErr, ok := err.(*net.OpError); !ok || opErr.Err.Error() != "use of closed network connection" {
-			logger.Printf("serve: %v", err)
+			logger.Error("serve", "err", err)
 		}
 	}
 }

@@ -21,10 +21,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"tagbreathe"
+	"tagbreathe/internal/obs"
 )
 
 func main() {
@@ -47,6 +49,7 @@ func main() {
 		heart       = flag.Bool("heart", false, "also run the experimental cardiac estimator")
 		motion      = flag.Bool("motion", false, "enable motion-artifact rejection")
 		quiet       = flag.Bool("quiet", false, "suppress realtime updates; print only the summary")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /healthz, and pprof on this address (e.g. 127.0.0.1:9464); empty disables")
 	)
 	flag.Parse()
 
@@ -55,6 +58,26 @@ func main() {
 		posture: *posture, orientation: *orientation, contending: *contending,
 		pattern: *pattern, fidget: *fidget, seed: *seed, csvPath: *csvPath,
 		vitals: *vitals, heart: *heart, motion: *motion, quiet: *quiet,
+	}
+
+	// With -debug-addr the full run is observable: every stage's
+	// instruments land in one registry served at /metrics. Without it
+	// the registry stays nil and instrumentation is unexposed.
+	var logger *slog.Logger
+	if *debugAddr != "" {
+		logger = obs.NewTextLogger(os.Stderr, slog.LevelInfo)
+		obs.SetLogger(logger)
+		opts.metrics = tagbreathe.NewMetricsRegistry()
+		opts.metrics.PublishExpvar("tagbreathe")
+		dbg, err := tagbreathe.ServeDebug(*debugAddr, opts.metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tagbreathe: %v\n", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		obs.Logger("cli").Info("debug server up",
+			"metrics", "http://"+dbg.Addr()+"/metrics",
+			"healthz", "http://"+dbg.Addr()+"/healthz")
 	}
 
 	var (
@@ -67,7 +90,10 @@ func main() {
 	case *replayPath != "":
 		reports, err = replayTrace(*replayPath)
 	case *connectAddr != "":
-		reports, err = streamLLRP(*connectAddr, *listenFor)
+		reports, err = streamLLRP(*connectAddr, *listenFor, opts)
+		// The -connect path monitors live while streaming; analyze
+		// should not replay the realtime updates a second time.
+		opts.livePrinted = true
 	default:
 		reports, truth, userIDs, err = simulate(opts)
 	}
@@ -91,6 +117,8 @@ type runOptions struct {
 	seed                        int64
 	vitals, heart, motion       bool
 	quiet                       bool
+	metrics                     *tagbreathe.MetricsRegistry
+	livePrinted                 bool
 }
 
 // simulate builds and runs the scenario described by the flags.
@@ -179,9 +207,12 @@ func replayTrace(path string) ([]tagbreathe.TagReport, error) {
 }
 
 // streamLLRP connects to a reader (or llrpsim), starts an ROSpec, and
-// collects reports for the listen window.
-func streamLLRP(addr string, listenFor time.Duration) ([]tagbreathe.TagReport, error) {
-	client, err := tagbreathe.DialLLRP(addr)
+// collects reports for the listen window. Unless -quiet, the reports
+// also feed a live Monitor as they arrive, so realtime updates print
+// (and the monitor's metrics are live on -debug-addr) while the
+// stream is still running — the deployment shape of Fig. 11.
+func streamLLRP(addr string, listenFor time.Duration, o runOptions) ([]tagbreathe.TagReport, error) {
+	client, err := tagbreathe.DialLLRPWithMetrics(addr, tagbreathe.NewLLRPClientMetrics(o.metrics))
 	if err != nil {
 		return nil, err
 	}
@@ -201,6 +232,32 @@ func streamLLRP(addr string, listenFor time.Duration) ([]tagbreathe.TagReport, e
 	}
 	fmt.Printf("streaming from %s for %v\n", addr, listenFor)
 
+	// The live monitor runs whenever its output is consumed somewhere:
+	// printed updates, or metrics on -debug-addr (so a -quiet run still
+	// populates /metrics while streaming).
+	var mon *tagbreathe.Monitor
+	monDone := make(chan struct{})
+	close(monDone)
+	if !o.quiet || o.metrics != nil {
+		mon = tagbreathe.NewMonitor(tagbreathe.MonitorConfig{
+			Pipeline:    tagbreathe.Config{MotionRejection: o.motion},
+			UpdateEvery: 5 * time.Second,
+			Metrics:     tagbreathe.NewMonitorMetrics(o.metrics),
+		})
+		monDone = make(chan struct{})
+		go func() {
+			defer close(monDone)
+			if !o.quiet {
+				fmt.Println("realtime estimates (25 s sliding window):")
+			}
+			for u := range mon.Updates() {
+				if !o.quiet {
+					printUpdate(u)
+				}
+			}
+		}()
+	}
+
 	var reports []tagbreathe.TagReport
 	deadline := time.After(listenFor)
 collect:
@@ -211,6 +268,9 @@ collect:
 				break collect
 			}
 			reports = append(reports, r)
+			if mon != nil {
+				mon.Ingest(r)
+			}
 		case <-deadline:
 			break collect
 		}
@@ -218,8 +278,18 @@ collect:
 	if err := client.StopROSpec(spec); err != nil {
 		fmt.Fprintf(os.Stderr, "tagbreathe: stop rospec: %v\n", err)
 	}
+	if mon != nil {
+		mon.CloseInput()
+	}
+	<-monDone
 	fmt.Printf("collected %d reads\n\n", len(reports))
 	return reports, nil
+}
+
+// printUpdate renders one realtime update line.
+func printUpdate(u tagbreathe.RateUpdate) {
+	fmt.Printf("  t=%6.1fs  user %x  %5.1f bpm (instant %5.1f)  [%d reads, antenna %d]\n",
+		u.Time.Seconds(), u.UserID, u.RateBPM, u.InstantBPM, u.Reads, u.AntennaPort)
 }
 
 // analyze runs the pipeline (and optional extensions) and prints
@@ -229,20 +299,24 @@ func analyze(reports []tagbreathe.TagReport, truth map[uint64]float64, userIDs [
 	if len(reports) == 0 {
 		return fmt.Errorf("no reports to analyze")
 	}
-	cfg := tagbreathe.Config{Users: userIDs, MotionRejection: o.motion}
+	cfg := tagbreathe.Config{
+		Users:           userIDs,
+		MotionRejection: o.motion,
+		Metrics:         tagbreathe.NewEstimateMetrics(o.metrics),
+	}
 
-	if !o.quiet {
+	if !o.quiet && !o.livePrinted {
 		updates, err := tagbreathe.MonitorStream(reports, tagbreathe.MonitorConfig{
 			Pipeline:    cfg,
 			UpdateEvery: 5 * time.Second,
+			Metrics:     tagbreathe.NewMonitorMetrics(o.metrics),
 		})
 		if err != nil {
 			return err
 		}
 		fmt.Println("realtime estimates (25 s sliding window):")
 		for _, u := range updates {
-			fmt.Printf("  t=%6.1fs  user %x  %5.1f bpm (instant %5.1f)  [%d reads, antenna %d]\n",
-				u.Time.Seconds(), u.UserID, u.RateBPM, u.InstantBPM, u.Reads, u.AntennaPort)
+			printUpdate(u)
 		}
 		fmt.Println()
 	}

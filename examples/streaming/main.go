@@ -6,16 +6,24 @@
 // prints breathing-rate updates as they emerge — the paper's Fig. 11
 // pipeline end to end.
 //
+// Every stage is instrumented through a shared metrics registry, and a
+// debug HTTP server exposes the whole pipeline on /metrics and /healthz
+// while it runs — the same wiring `-debug-addr` enables in the CLIs.
+//
 // Run with:
 //
 //	go run ./examples/streaming
 package main
 
 import (
+	"bufio"
 	"context"
 	"fmt"
+	"io"
 	"log"
 	"net"
+	"net/http"
+	"strings"
 	"time"
 
 	"tagbreathe"
@@ -24,12 +32,23 @@ import (
 )
 
 func main() {
+	// --- Observability: one registry shared by both ends of the wire
+	// and the monitor, exposed over HTTP for the lifetime of the run.
+	metrics := tagbreathe.NewMetricsRegistry()
+	debug, err := tagbreathe.ServeDebug("127.0.0.1:0", metrics)
+	if err != nil {
+		log.Fatalf("debug server: %v", err)
+	}
+	defer debug.Close()
+	fmt.Printf("debug server on http://%s/metrics\n", debug.Addr())
+
 	// --- Reader side: an LLRP server backed by the simulator. Each
 	// started ROSpec replays a 90-second, two-user session unpaced
 	// (pace 0 would be realtime in production; here we want the demo
 	// to finish quickly, and stream time is carried by timestamps).
 	server, err := llrp.NewServer(llrp.ServerConfig{
 		KeepaliveEvery: 2 * time.Second,
+		Metrics:        tagbreathe.NewLLRPServerMetrics(metrics),
 		NewSource: func() llrp.ReportSource {
 			return llrp.ReportSourceFunc(func(ctx context.Context, emit func(reader.TagReport) error) error {
 				sc := tagbreathe.DefaultScenario()
@@ -59,7 +78,8 @@ func main() {
 	fmt.Printf("reader emulator listening on %s\n", ln.Addr())
 
 	// --- Host side: connect, configure, start an ROSpec.
-	client, err := tagbreathe.DialLLRP(ln.Addr().String())
+	client, err := tagbreathe.DialLLRPWithMetrics(ln.Addr().String(),
+		tagbreathe.NewLLRPClientMetrics(metrics))
 	if err != nil {
 		log.Fatalf("dial: %v", err)
 	}
@@ -84,6 +104,7 @@ func main() {
 	// realtime monitor; updates print as the stream advances.
 	monitor := tagbreathe.NewMonitor(tagbreathe.MonitorConfig{
 		UpdateEvery: 10 * time.Second,
+		Metrics:     tagbreathe.NewMonitorMetrics(metrics),
 	})
 	done := make(chan struct{})
 	go func() {
@@ -126,4 +147,51 @@ loop:
 		log.Fatalf("connection error: %v", err)
 	}
 	fmt.Printf("stream ended after %d reports\n", total)
+
+	// --- What did the pipeline look like from the outside? Scrape our
+	// own debug server the way an operator (or Prometheus) would.
+	base := "http://" + debug.Addr()
+	health, err := fetch(base + "/healthz")
+	if err != nil {
+		log.Fatalf("healthz: %v", err)
+	}
+	fmt.Printf("healthz: %s\n", strings.TrimSpace(health))
+
+	exposition, err := fetch(base + "/metrics")
+	if err != nil {
+		log.Fatalf("metrics: %v", err)
+	}
+	fmt.Println("selected metrics:")
+	sc := bufio.NewScanner(strings.NewReader(exposition))
+	for sc.Scan() {
+		line := sc.Text()
+		for _, prefix := range []string{
+			"tagbreathe_monitor_reports_ingested_total",
+			"tagbreathe_monitor_updates_total",
+			"tagbreathe_antenna_score",
+			"tagbreathe_llrp_server_reports_streamed_total",
+			"tagbreathe_llrp_client_reports_total",
+		} {
+			if strings.HasPrefix(line, prefix) {
+				fmt.Printf("  %s\n", line)
+			}
+		}
+	}
+}
+
+// fetch GETs a URL and returns the body, insisting on a 200.
+func fetch(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return string(body), nil
 }

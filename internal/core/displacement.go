@@ -229,6 +229,10 @@ type Config struct {
 	// goroutine (the reference path the equivalence tests compare
 	// against). Both paths produce bit-identical estimates.
 	Workers int
+	// Metrics receives the batch pipeline's instrumentation (see
+	// NewEstimateMetrics). Nil disables: Estimate's results are
+	// identical either way; only observation changes.
+	Metrics *EstimateMetrics
 	// LiteralBinning reproduces the paper's Eq. 6 exactly: each
 	// displacement sample lands wholly in the bin of its later
 	// reading. The default spreads each sample over the interval it

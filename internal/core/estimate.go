@@ -48,6 +48,11 @@ type UserEstimate struct {
 // "not monitorable" (absent) from "monitored, rate r".
 func Estimate(reports []reader.TagReport, cfg Config) (map[uint64]*UserEstimate, error) {
 	cfg.fillDefaults()
+	if mt := cfg.Metrics; mt != nil {
+		mt.Runs.Inc()
+		start := time.Now()
+		defer func() { mt.RunSeconds.Observe(time.Since(start).Seconds()) }()
+	}
 	if len(reports) == 0 {
 		return map[uint64]*UserEstimate{}, nil
 	}

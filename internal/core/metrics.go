@@ -1,0 +1,128 @@
+package core
+
+import (
+	"strconv"
+
+	"tagbreathe/internal/obs"
+)
+
+// Metric name catalog for the core pipeline (see DESIGN.md §7 for the
+// full scheme). All names carry the tagbreathe_ prefix so a shared
+// Prometheus scrape can't collide with other jobs.
+
+// MonitorMetrics are the streaming pipeline's instruments. Build one
+// with NewMonitorMetrics and hand it to MonitorConfig.Metrics; a nil
+// registry yields live but unexposed instruments, so Monitor code
+// updates handles unconditionally.
+type MonitorMetrics struct {
+	// Ingested counts reports entering the demux stage (pre-filter).
+	Ingested *obs.Counter
+	// Dropped counts reports shed under OverloadDropNewest —
+	// Monitor.DroppedReports reads this counter.
+	Dropped *obs.Counter
+	// Ticks counts analysis tick broadcasts.
+	Ticks *obs.Counter
+	// Updates counts rate updates emitted to consumers.
+	Updates *obs.Counter
+	// ActiveUsers is the number of live per-user shards.
+	ActiveUsers *obs.Gauge
+	// QueueHighWater records, per user, the deepest its shard queue
+	// has been — the backpressure early-warning signal.
+	QueueHighWater *obs.GaugeVec
+	// TickLatency is the wall time from a tick's broadcast to its
+	// updates being handed to the consumer — the freshness of what a
+	// dashboard displays.
+	TickLatency *obs.Histogram
+	// AntennaReadRate, AntennaMeanRSSI, and AntennaScore surface the
+	// per-(user, antenna) §IV-D.3 selection inputs computed each tick.
+	AntennaReadRate *obs.GaugeVec
+	AntennaMeanRSSI *obs.GaugeVec
+	AntennaScore    *obs.GaugeVec
+}
+
+// NewMonitorMetrics wires monitor instruments into r (nil r: live,
+// unexposed). Two monitors on one registry share series.
+func NewMonitorMetrics(r *obs.Registry) *MonitorMetrics {
+	return &MonitorMetrics{
+		Ingested: r.Counter("tagbreathe_monitor_reports_ingested_total",
+			"Reports received by the monitor demux stage."),
+		Dropped: r.Counter("tagbreathe_monitor_reports_dropped_total",
+			"Reports shed by the OverloadDropNewest policy."),
+		Ticks: r.Counter("tagbreathe_monitor_ticks_total",
+			"Analysis ticks broadcast to shards."),
+		Updates: r.Counter("tagbreathe_monitor_updates_total",
+			"Rate updates emitted to consumers."),
+		ActiveUsers: r.Gauge("tagbreathe_monitor_active_users",
+			"Live per-user shard goroutines."),
+		QueueHighWater: r.GaugeVec("tagbreathe_monitor_shard_queue_high_water",
+			"Deepest observed shard queue depth, per user.", "user"),
+		TickLatency: r.Histogram("tagbreathe_monitor_tick_latency_seconds",
+			"Wall time from tick broadcast to updates emitted.", nil),
+		AntennaReadRate: r.GaugeVec("tagbreathe_antenna_read_rate_hz",
+			"Per-(user, antenna) read rate over the last window (§IV-D.3 input).",
+			"user", "antenna"),
+		AntennaMeanRSSI: r.GaugeVec("tagbreathe_antenna_mean_rssi_dbm",
+			"Per-(user, antenna) mean RSSI over the last window (§IV-D.3 input).",
+			"user", "antenna"),
+		AntennaScore: r.GaugeVec("tagbreathe_antenna_score",
+			"Per-(user, antenna) selection score (§IV-D.3).",
+			"user", "antenna"),
+	}
+}
+
+// observeQuality publishes one tick's §IV-D.3 inputs for one antenna.
+func (m *MonitorMetrics) observeQuality(user string, q AntennaQuality) {
+	ant := strconv.Itoa(q.Antenna)
+	m.AntennaReadRate.With(user, ant).Set(q.ReadRate)
+	m.AntennaMeanRSSI.With(user, ant).Set(q.MeanRSSI)
+	m.AntennaScore.With(user, ant).Set(q.Score())
+}
+
+// UserLabel formats a user ID for the "user" metric label, matching
+// the hex form the CLI prints so log lines and metric series join.
+func UserLabel(uid uint64) string {
+	return strconv.FormatUint(uid, 16)
+}
+
+// EstimateMetrics are the batch pipeline's instruments; hand one to
+// Config.Metrics.
+type EstimateMetrics struct {
+	// Runs counts Estimate invocations.
+	Runs *obs.Counter
+	// Shards counts per-user shards processed across runs.
+	Shards *obs.Counter
+	// NoSignal counts shards that yielded no estimate (too little
+	// data or no extractable breathing signal).
+	NoSignal *obs.Counter
+	// ShardSeconds is the wall time of one shard's full pipeline.
+	ShardSeconds *obs.Histogram
+	// RunSeconds is the wall time of one whole Estimate call.
+	RunSeconds *obs.Histogram
+	// Workers is the pool size of the last run.
+	Workers *obs.Gauge
+	// WorkerUtilization is the last run's busy fraction: summed shard
+	// wall time over (run wall time × workers). Near 1.0 the pool is
+	// the bottleneck; near 1/workers one giant shard dominates.
+	WorkerUtilization *obs.Gauge
+}
+
+// NewEstimateMetrics wires batch-pipeline instruments into r (nil r:
+// live, unexposed).
+func NewEstimateMetrics(r *obs.Registry) *EstimateMetrics {
+	return &EstimateMetrics{
+		Runs: r.Counter("tagbreathe_estimate_runs_total",
+			"Batch Estimate invocations."),
+		Shards: r.Counter("tagbreathe_estimate_shards_total",
+			"Per-user shards processed by the batch pipeline."),
+		NoSignal: r.Counter("tagbreathe_estimate_no_signal_total",
+			"Shards with no extractable breathing signal."),
+		ShardSeconds: r.Histogram("tagbreathe_estimate_shard_seconds",
+			"Wall time of one per-user shard's pipeline.", nil),
+		RunSeconds: r.Histogram("tagbreathe_estimate_run_seconds",
+			"Wall time of one whole Estimate call.", nil),
+		Workers: r.Gauge("tagbreathe_estimate_workers",
+			"Worker pool size of the last Estimate run."),
+		WorkerUtilization: r.Gauge("tagbreathe_estimate_worker_utilization",
+			"Busy fraction of the last run's worker pool (0..1)."),
+	}
+}

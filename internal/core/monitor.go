@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"tagbreathe/internal/obs"
 	"tagbreathe/internal/reader"
 )
 
@@ -52,6 +52,11 @@ type MonitorConfig struct {
 	// OverloadBlock (default, lossless backpressure) or
 	// OverloadDropNewest (shed the report, count it).
 	Overload OverloadPolicy
+	// Metrics receives the monitor's instrumentation (see
+	// NewMonitorMetrics). Nil builds private, unexposed instruments —
+	// the monitor always counts (DroppedReports reads the drop
+	// counter) but exposes nothing.
+	Metrics *MonitorMetrics
 }
 
 func (c *MonitorConfig) fillDefaults() {
@@ -119,7 +124,7 @@ type Monitor struct {
 
 	in      chan reader.TagReport
 	updates chan RateUpdate
-	dropped atomic.Uint64
+	metrics *MonitorMetrics
 
 	stopOnce  sync.Once
 	closeOnce sync.Once
@@ -134,6 +139,12 @@ func NewMonitor(cfg MonitorConfig) *Monitor {
 		cfg:     cfg,
 		in:      make(chan reader.TagReport, 256),
 		updates: make(chan RateUpdate, 64),
+		metrics: cfg.Metrics,
+	}
+	if m.metrics == nil {
+		// Unexposed instruments: the hot path never branches on
+		// whether observability is wired (see internal/obs).
+		m.metrics = NewMonitorMetrics(nil)
 	}
 	// Tick descriptors flow demux → collector with a small buffer: the
 	// pipeline depth. A deeper buffer lets ingest run further ahead of
@@ -167,9 +178,10 @@ func (m *Monitor) Updates() <-chan RateUpdate {
 
 // DroppedReports returns how many reports the demux stage has shed
 // under the OverloadDropNewest policy. Always zero under
-// OverloadBlock. Safe to call concurrently with ingest.
+// OverloadBlock. Safe to call concurrently with ingest. It is a thin
+// reader over the tagbreathe_monitor_reports_dropped_total counter.
 func (m *Monitor) DroppedReports() uint64 {
-	return m.dropped.Load()
+	return m.metrics.Dropped.Value()
 }
 
 // CloseInput signals that no further reports will arrive. Pending
@@ -200,6 +212,9 @@ type monitorTick struct {
 	asOf    time.Duration
 	shards  int
 	results chan []RateUpdate
+	// wall is the broadcast wall-clock time, the start point of the
+	// tick-to-update latency histogram.
+	wall time.Time
 }
 
 // shardInput is one queue entry for a shard goroutine: a report, or an
@@ -227,8 +242,15 @@ type antennaMeta struct {
 func (m *Monitor) demuxLoop(ticks chan<- *monitorTick) {
 	defer m.wg.Done()
 
-	shards := make(map[uint64]chan shardInput)
-	var order []chan shardInput // broadcast in creation order
+	// monitorShard pairs a shard's queue with its pre-resolved
+	// high-water gauge, so the per-report depth update costs one
+	// atomic load (and a CAS only on a new maximum).
+	type monitorShard struct {
+		q  chan shardInput
+		hw *obs.Gauge
+	}
+	shards := make(map[uint64]monitorShard)
+	var order []monitorShard // broadcast in creation order
 	var nextUpdate time.Duration
 	started := false
 
@@ -237,14 +259,17 @@ func (m *Monitor) demuxLoop(ticks chan<- *monitorTick) {
 			asOf:    asOf,
 			shards:  len(order),
 			results: make(chan []RateUpdate, len(order)),
+			wall:    time.Now(),
 		}
-		for _, q := range order {
-			q <- shardInput{tick: tick} // ticks always block; they are rare
+		for _, sh := range order {
+			sh.q <- shardInput{tick: tick} // ticks always block; they are rare
 		}
+		m.metrics.Ticks.Inc()
 		ticks <- tick
 	}
 
 	for r := range m.in {
+		m.metrics.Ingested.Inc()
 		uid := r.EPC.UserID()
 		if !m.cfg.Pipeline.allowsUser(uid) {
 			continue
@@ -253,23 +278,28 @@ func (m *Monitor) demuxLoop(ticks chan<- *monitorTick) {
 			started = true
 			nextUpdate = r.Timestamp + m.cfg.Window
 		}
-		q, ok := shards[uid]
+		sh, ok := shards[uid]
 		if !ok {
-			q = make(chan shardInput, m.cfg.ShardQueue)
-			shards[uid] = q
-			order = append(order, q)
+			sh = monitorShard{
+				q:  make(chan shardInput, m.cfg.ShardQueue),
+				hw: m.metrics.QueueHighWater.With(UserLabel(uid)),
+			}
+			shards[uid] = sh
+			order = append(order, sh)
+			m.metrics.ActiveUsers.Set(float64(len(order)))
 			m.wg.Add(1)
-			go m.shardLoop(uid, q)
+			go m.shardLoop(uid, sh.q)
 		}
 		if m.cfg.Overload == OverloadDropNewest {
 			select {
-			case q <- shardInput{report: r}:
+			case sh.q <- shardInput{report: r}:
 			default:
-				m.dropped.Add(1)
+				m.metrics.Dropped.Inc()
 			}
 		} else {
-			q <- shardInput{report: r}
+			sh.q <- shardInput{report: r}
 		}
+		sh.hw.SetMax(float64(len(sh.q)))
 
 		if r.Timestamp >= nextUpdate {
 			broadcast(r.Timestamp)
@@ -284,8 +314,8 @@ func (m *Monitor) demuxLoop(ticks chan<- *monitorTick) {
 	if started {
 		broadcast(nextUpdate)
 	}
-	for _, q := range order {
-		close(q)
+	for _, sh := range order {
+		close(sh.q)
 	}
 	close(ticks)
 }
@@ -346,6 +376,7 @@ func (m *Monitor) analyzeShard(uid uint64, asOf time.Duration,
 	bestPort := 0
 	bestScore := 0.0
 	found := false
+	user := UserLabel(uid)
 	for port, mt := range meta {
 		span := mt.latest - mt.earliest
 		if span <= 0 {
@@ -358,6 +389,7 @@ func (m *Monitor) analyzeShard(uid uint64, asOf time.Duration,
 			ReadRate: float64(mt.reads) / span,
 			MeanRSSI: mt.rssiSum / float64(mt.reads),
 		}
+		m.metrics.observeQuality(user, q)
 		s := q.Score()
 		if !found || s > bestScore || (s == bestScore && port < bestPort) {
 			found = true
@@ -427,6 +459,8 @@ func (m *Monitor) collectLoop(ticks <-chan *monitorTick) {
 		for _, u := range ups {
 			m.updates <- u
 		}
+		m.metrics.Updates.Add(uint64(len(ups)))
+		m.metrics.TickLatency.Observe(time.Since(tick.wall).Seconds())
 	}
 }
 

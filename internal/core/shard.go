@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"tagbreathe/internal/reader"
 )
@@ -123,31 +125,61 @@ func estimateShard(sh userShard, t0, t1 float64, cfg Config) *UserEstimate {
 // runShards executes estimateShard over every shard, sequentially when
 // workers is 1 and on a bounded worker pool otherwise. Each worker
 // writes only its own result slots, so results need no synchronization
-// beyond the pool's WaitGroup.
+// beyond the pool's WaitGroup. With cfg.Metrics wired it also times
+// each shard and computes the pool's busy fraction; results are
+// identical either way.
 func runShards(shards []userShard, t0, t1 float64, cfg Config) []*UserEstimate {
 	results := make([]*UserEstimate, len(shards))
 	workers := cfg.workerCount(len(shards))
-	if workers <= 1 {
-		for i, sh := range shards {
-			results[i] = estimateShard(sh, t0, t1, cfg)
+	mt := cfg.Metrics
+	var start time.Time
+	var busyNanos atomic.Int64
+	if mt != nil {
+		mt.Shards.Add(uint64(len(shards)))
+		mt.Workers.Set(float64(workers))
+		start = time.Now()
+	}
+	run := func(i int) {
+		if mt == nil {
+			results[i] = estimateShard(shards[i], t0, t1, cfg)
+			return
 		}
-		return results
+		s0 := time.Now()
+		results[i] = estimateShard(shards[i], t0, t1, cfg)
+		d := time.Since(s0)
+		busyNanos.Add(int64(d))
+		mt.ShardSeconds.Observe(d.Seconds())
+		if results[i] == nil {
+			mt.NoSignal.Inc()
+		}
 	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				results[i] = estimateShard(shards[i], t0, t1, cfg)
-			}
-		}()
+	if workers <= 1 {
+		for i := range shards {
+			run(i)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					run(i)
+				}
+			}()
+		}
+		for i := range shards {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
 	}
-	for i := range shards {
-		jobs <- i
+	if mt != nil {
+		if wall := time.Since(start).Seconds(); wall > 0 && workers > 0 {
+			util := (time.Duration(busyNanos.Load()).Seconds()) / (wall * float64(workers))
+			mt.WorkerUtilization.Set(util)
+		}
 	}
-	close(jobs)
-	wg.Wait()
 	return results
 }

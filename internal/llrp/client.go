@@ -15,7 +15,8 @@ import (
 // LLRP Toolkit plays): it configures the reader, drives the ROSpec
 // lifecycle, answers keepalives, and surfaces the tag report stream.
 type Client struct {
-	conn net.Conn
+	conn    net.Conn
+	metrics *ClientMetrics
 
 	writeMu sync.Mutex
 
@@ -32,32 +33,48 @@ type Client struct {
 // Dial connects to an LLRP endpoint and waits for the reader's
 // connection-accepted event notification.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
+	return DialWithMetrics(addr, timeout, nil)
+}
+
+// DialWithMetrics is Dial with protocol instrumentation attached (see
+// NewClientMetrics). A nil metrics value builds private, unexposed
+// instruments.
+func DialWithMetrics(addr string, timeout time.Duration, m *ClientMetrics) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("llrp: dial %s: %w", addr, err)
 	}
-	return NewClient(conn)
+	return NewClientWithMetrics(conn, m)
 }
 
 // NewClient wraps an established connection (useful for tests with
 // net.Pipe) and performs the connection handshake.
 func NewClient(conn net.Conn) (*Client, error) {
+	return NewClientWithMetrics(conn, nil)
+}
+
+// NewClientWithMetrics is NewClient with protocol instrumentation.
+func NewClientWithMetrics(conn net.Conn, m *ClientMetrics) (*Client, error) {
+	if m == nil {
+		m = NewClientMetrics(nil)
+	}
 	c := &Client{
 		conn:    conn,
+		metrics: m,
 		nextID:  1,
 		pending: make(map[uint32]chan Message),
 		reports: make(chan reader.TagReport, 1024),
 	}
 	// The reader speaks first: a ReaderEventNotification announcing
 	// the connection attempt result.
-	m, err := ReadMessage(conn)
+	hello, err := ReadMessage(conn)
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("llrp: waiting for reader event: %w", err)
 	}
-	if m.Type != MsgReaderEventNotification {
+	if hello.Type != MsgReaderEventNotification {
 		conn.Close()
-		return nil, fmt.Errorf("llrp: expected READER_EVENT_NOTIFICATION, got %v", m.Type)
+		return nil, fmt.Errorf("llrp: expected READER_EVENT_NOTIFICATION, got %v", hello.Type)
 	}
 	c.readWG.Add(1)
 	go c.readLoop()
@@ -109,12 +126,17 @@ func (c *Client) allocID() uint32 {
 func (c *Client) send(m Message) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	return WriteMessage(c.conn, m)
+	if err := WriteMessage(c.conn, m); err != nil {
+		c.metrics.Errors.With("send").Inc()
+		return err
+	}
+	return nil
 }
 
 // request sends a message and waits for the response with the same
 // message ID, with a timeout guarding against a wedged peer.
 func (c *Client) request(t MessageType, payload []byte, timeout time.Duration) (Message, error) {
+	c.metrics.Requests.With(t.String()).Inc()
 	id := c.allocID()
 	ch := make(chan Message, 1)
 	c.mu.Lock()
@@ -223,6 +245,9 @@ func (c *Client) readLoop() {
 	for {
 		m, err := ReadMessage(c.conn)
 		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				c.metrics.Errors.With("read").Inc()
+			}
 			c.mu.Lock()
 			c.err = err
 			for id, ch := range c.pending {
@@ -236,17 +261,20 @@ func (c *Client) readLoop() {
 		case MsgROAccessReport:
 			reports, derr := DecodeTagReports(m.Payload)
 			if derr != nil {
+				c.metrics.Errors.With("decode").Inc()
 				c.mu.Lock()
 				c.err = derr
 				c.mu.Unlock()
 				return
 			}
+			c.metrics.Reports.Add(uint64(len(reports)))
 			for _, r := range reports {
 				c.reports <- r
 			}
 		case MsgKeepalive:
 			// LLRP requires the client to acknowledge keepalives or
 			// the reader drops the connection.
+			c.metrics.Keepalives.Inc()
 			if err := c.send(Message{Type: MsgKeepaliveAck, ID: m.ID}); err != nil {
 				c.mu.Lock()
 				c.err = err

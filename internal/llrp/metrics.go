@@ -1,0 +1,77 @@
+package llrp
+
+import "tagbreathe/internal/obs"
+
+// ServerMetrics are the reader-side protocol instruments. Build with
+// NewServerMetrics and hand to ServerConfig.Metrics; a nil registry
+// yields live but unexposed instruments.
+type ServerMetrics struct {
+	// Connections counts accepted connections over the server's life.
+	Connections *obs.Counter
+	// ActiveConnections is the number of connections currently open.
+	ActiveConnections *obs.Gauge
+	// MessagesIn counts inbound messages by LLRP type name.
+	MessagesIn *obs.CounterVec
+	// MessagesOut counts outbound messages by LLRP type name.
+	MessagesOut *obs.CounterVec
+	// SendQueueHighWater is the deepest any connection's outbound
+	// queue has been — the first sign of a slow or stalled host.
+	SendQueueHighWater *obs.Gauge
+	// Errors counts failures by kind: "write" (socket writes),
+	// "read" (socket reads/framing), "protocol" (requests answered
+	// with a non-success LLRPStatus).
+	Errors *obs.CounterVec
+	// ReportsStreamed counts tag reports shipped inside
+	// RO_ACCESS_REPORT batches.
+	ReportsStreamed *obs.Counter
+}
+
+// NewServerMetrics wires server instruments into r (nil r: live,
+// unexposed).
+func NewServerMetrics(r *obs.Registry) *ServerMetrics {
+	return &ServerMetrics{
+		Connections: r.Counter("tagbreathe_llrp_server_connections_total",
+			"LLRP connections accepted."),
+		ActiveConnections: r.Gauge("tagbreathe_llrp_server_active_connections",
+			"LLRP connections currently open."),
+		MessagesIn: r.CounterVec("tagbreathe_llrp_server_messages_in_total",
+			"Inbound LLRP messages by type.", "type"),
+		MessagesOut: r.CounterVec("tagbreathe_llrp_server_messages_out_total",
+			"Outbound LLRP messages by type.", "type"),
+		SendQueueHighWater: r.Gauge("tagbreathe_llrp_server_send_queue_high_water",
+			"Deepest observed per-connection send queue depth."),
+		Errors: r.CounterVec("tagbreathe_llrp_server_errors_total",
+			"Server failures by kind (write, read, protocol).", "kind"),
+		ReportsStreamed: r.Counter("tagbreathe_llrp_server_reports_streamed_total",
+			"Tag reports shipped in RO_ACCESS_REPORT batches."),
+	}
+}
+
+// ClientMetrics are the host-side protocol instruments; pass to
+// NewClientWithMetrics or DialWithMetrics.
+type ClientMetrics struct {
+	// Reports counts decoded tag reports surfaced on Reports().
+	Reports *obs.Counter
+	// Keepalives counts reader keepalives acknowledged.
+	Keepalives *obs.Counter
+	// Requests counts request/response exchanges by request type.
+	Requests *obs.CounterVec
+	// Errors counts failures by kind: "read" (connection read loop),
+	// "decode" (report payloads), "send" (socket writes).
+	Errors *obs.CounterVec
+}
+
+// NewClientMetrics wires client instruments into r (nil r: live,
+// unexposed).
+func NewClientMetrics(r *obs.Registry) *ClientMetrics {
+	return &ClientMetrics{
+		Reports: r.Counter("tagbreathe_llrp_client_reports_total",
+			"Tag reports decoded from RO_ACCESS_REPORT messages."),
+		Keepalives: r.Counter("tagbreathe_llrp_client_keepalives_total",
+			"Reader keepalives acknowledged."),
+		Requests: r.CounterVec("tagbreathe_llrp_client_requests_total",
+			"Request/response exchanges by request type.", "type"),
+		Errors: r.CounterVec("tagbreathe_llrp_client_errors_total",
+			"Client failures by kind (read, decode, send).", "kind"),
+	}
+}

@@ -1,0 +1,131 @@
+package llrp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tagbreathe/internal/obs"
+)
+
+// TestMetricsRoundtrip runs a full client/server session with both
+// sides instrumented into one registry and checks the protocol totals
+// agree with each other and with what the session actually did.
+func TestMetricsRoundtrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	sm := NewServerMetrics(reg)
+	addr := startServer(t, ServerConfig{Metrics: sm})
+
+	cm := NewClientMetrics(reg)
+	c, err := DialWithMetrics(addr, 5*time.Second, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.SetReaderConfig(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddROSpec(ROSpecConfig{ROSpecID: 1, ReportEveryN: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnableROSpec(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StartROSpec(1); err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	timeout := time.After(10 * time.Second)
+	for got < 100 {
+		select {
+		case _, ok := <-c.Reports():
+			if !ok {
+				t.Fatalf("reports closed early after %d (err: %v)", got, c.Err())
+			}
+			got++
+		case <-timeout:
+			t.Fatalf("timed out with %d/100 reports", got)
+		}
+	}
+
+	if v := sm.Connections.Value(); v != 1 {
+		t.Errorf("server connections = %d, want 1", v)
+	}
+	if v := sm.ActiveConnections.Value(); v != 1 {
+		t.Errorf("server active connections = %v, want 1", v)
+	}
+	if v := sm.ReportsStreamed.Value(); v != 100 {
+		t.Errorf("server reports streamed = %d, want 100", v)
+	}
+	if v := cm.Reports.Value(); v != 100 {
+		t.Errorf("client reports = %d, want 100", v)
+	}
+
+	// Both sides counted the same request/response traffic by type.
+	for _, typ := range []MessageType{
+		MsgSetReaderConfig, MsgAddROSpec, MsgEnableROSpec, MsgStartROSpec,
+	} {
+		if v := cm.Requests.With(typ.String()).Value(); v != 1 {
+			t.Errorf("client requests %v = %d, want 1", typ, v)
+		}
+		if v := sm.MessagesIn.With(typ.String()).Value(); v != 1 {
+			t.Errorf("server messages in %v = %d, want 1", typ, v)
+		}
+	}
+	if sm.SendQueueHighWater.Value() < 1 {
+		t.Errorf("send queue high water = %v, want >= 1", sm.SendQueueHighWater.Value())
+	}
+	if v := sm.Errors.With("protocol").Value(); v != 0 {
+		t.Errorf("protocol errors = %d on a clean session", v)
+	}
+	if v := cm.Errors.With("decode").Value(); v != 0 {
+		t.Errorf("client decode errors = %d on a clean session", v)
+	}
+
+	// The exposition surface carries both components' families.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"tagbreathe_llrp_server_connections_total 1",
+		"tagbreathe_llrp_server_reports_streamed_total 100",
+		"tagbreathe_llrp_client_reports_total 100",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Closing the session settles the active-connection gauge.
+	c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for sm.ActiveConnections.Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("active connections = %v after close", sm.ActiveConnections.Value())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClientMetricsCountKeepalives verifies the keepalive counter
+// against a server configured to ping aggressively.
+func TestClientMetricsCountKeepalives(t *testing.T) {
+	reg := obs.NewRegistry()
+	addr := startServer(t, ServerConfig{KeepaliveEvery: 50 * time.Millisecond})
+	cm := NewClientMetrics(reg)
+	c, err := DialWithMetrics(addr, 5*time.Second, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for cm.Keepalives.Value() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("keepalives = %d, want >= 2", cm.Keepalives.Value())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

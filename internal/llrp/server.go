@@ -47,6 +47,9 @@ type ServerConfig struct {
 	SendQueue int
 	// Logf receives connection lifecycle logs; nil silences them.
 	Logf func(format string, args ...any)
+	// Metrics receives the server's instrumentation (see
+	// NewServerMetrics). Nil builds private, unexposed instruments.
+	Metrics *ServerMetrics
 }
 
 // Server accepts LLRP connections and serves the ROSpec lifecycle and
@@ -73,6 +76,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewServerMetrics(nil)
 	}
 	return &Server{cfg: cfg}, nil
 }
@@ -132,15 +138,17 @@ type serverConn struct {
 	// writeErr holds the first write error (type error).
 	writeErr atomic.Value
 	writerWG sync.WaitGroup
+	metrics  *ServerMetrics
 }
 
-func newServerConn(raw net.Conn, queue int) *serverConn {
+func newServerConn(raw net.Conn, queue int, metrics *ServerMetrics) *serverConn {
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &serverConn{
-		Conn:   raw,
-		out:    make(chan Message, queue),
-		ctx:    ctx,
-		cancel: cancel,
+		Conn:    raw,
+		out:     make(chan Message, queue),
+		ctx:     ctx,
+		cancel:  cancel,
+		metrics: metrics,
 	}
 	c.writerWG.Add(1)
 	go c.writeLoop()
@@ -158,9 +166,12 @@ func (c *serverConn) writeLoop() {
 			continue
 		}
 		if err := WriteMessage(c.Conn, m); err != nil {
+			c.metrics.Errors.With("write").Inc()
 			c.writeErr.Store(err)
 			c.cancel()
+			continue
 		}
+		c.metrics.MessagesOut.With(m.Type.String()).Inc()
 	}
 }
 
@@ -173,6 +184,7 @@ func (c *serverConn) send(m Message) error {
 	}
 	select {
 	case c.out <- m:
+		c.metrics.SendQueueHighWater.SetMax(float64(len(c.out)))
 		return nil
 	case <-c.ctx.Done():
 		if err, ok := c.writeErr.Load().(error); ok {
@@ -194,7 +206,10 @@ func (c *serverConn) shutdown() {
 
 // handle runs one client connection.
 func (s *Server) handle(raw net.Conn) {
-	c := newServerConn(raw, s.cfg.SendQueue)
+	s.cfg.Metrics.Connections.Inc()
+	s.cfg.Metrics.ActiveConnections.Add(1)
+	defer s.cfg.Metrics.ActiveConnections.Add(-1)
+	c := newServerConn(raw, s.cfg.SendQueue, s.cfg.Metrics)
 	logf := s.cfg.Logf
 	logf("llrp: connection from %v", raw.RemoteAddr())
 
@@ -230,6 +245,9 @@ func (s *Server) handle(raw net.Conn) {
 	)
 
 	respond := func(req Message, t MessageType, code StatusCode, desc string) error {
+		if code != StatusSuccess {
+			s.cfg.Metrics.Errors.With("protocol").Inc()
+		}
 		return c.send(Message{Type: t, ID: req.ID, Payload: EncodeStatus(code, desc)})
 	}
 
@@ -237,10 +255,12 @@ func (s *Server) handle(raw net.Conn) {
 		m, err := ReadMessage(c.Conn)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.cfg.Metrics.Errors.With("read").Inc()
 				logf("llrp: read: %v", err)
 			}
 			return
 		}
+		s.cfg.Metrics.MessagesIn.With(m.Type.String()).Inc()
 		switch m.Type {
 		case MsgGetReaderCapabilities:
 			if err := c.send(Message{
@@ -433,6 +453,7 @@ func (s *Server) streamReports(ctx context.Context, c *serverConn, cfg ROSpecCon
 		}
 		batch = append(batch, EncodeTagReport(r)...)
 		inBatch++
+		s.cfg.Metrics.ReportsStreamed.Inc()
 		if inBatch >= batchSize {
 			return flush()
 		}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every registered family in the Prometheus
+// text exposition format (version 0.0.4). Families are sorted by name
+// and series by label values, so output is deterministic for a given
+// registry state. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshotFamilies() {
+		if err := f.writePrometheus(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writePrometheus(w io.Writer) error {
+	f.mu.Lock()
+	keys := f.sortedKeys()
+	type row struct {
+		labels []string
+		metric any
+	}
+	rows := make([]row, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, row{labels: f.keys[k], metric: f.series[k]})
+	}
+	f.mu.Unlock()
+	if len(rows) == 0 {
+		return nil
+	}
+
+	var b strings.Builder
+	if f.help != "" {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+	for _, row := range rows {
+		switch m := row.metric.(type) {
+		case *Counter:
+			b.WriteString(f.name)
+			writeLabels(&b, f.labels, row.labels, "")
+			fmt.Fprintf(&b, " %d\n", m.Value())
+		case *Gauge:
+			b.WriteString(f.name)
+			writeLabels(&b, f.labels, row.labels, "")
+			fmt.Fprintf(&b, " %s\n", formatFloat(m.Value()))
+		case *Histogram:
+			var cum uint64
+			for i, c := range m.bucketCounts() {
+				cum += c
+				le := "+Inf"
+				if i < len(m.bounds) {
+					le = formatFloat(m.bounds[i])
+				}
+				b.WriteString(f.name + "_bucket")
+				writeLabels(&b, f.labels, row.labels, le)
+				fmt.Fprintf(&b, " %d\n", cum)
+			}
+			b.WriteString(f.name + "_sum")
+			writeLabels(&b, f.labels, row.labels, "")
+			fmt.Fprintf(&b, " %s\n", formatFloat(m.Sum()))
+			b.WriteString(f.name + "_count")
+			writeLabels(&b, f.labels, row.labels, "")
+			fmt.Fprintf(&b, " %d\n", m.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeLabels renders {k="v",...}; le is the extra histogram bucket
+// label ("" for none). Nothing is written when there are no labels.
+func writeLabels(b *strings.Builder, names, values []string, le string) {
+	if len(names) == 0 && le == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Snapshot returns the registry's current state as a JSON-encodable
+// map: scalar series map name → value; labeled series map name →
+// {"label=value,...": value}; histograms expose {count, sum}. This is
+// the expvar view.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, f := range r.snapshotFamilies() {
+		f.mu.Lock()
+		keys := f.sortedKeys()
+		if len(f.labels) == 0 {
+			if len(keys) == 1 {
+				out[f.name] = seriesValue(f.series[keys[0]])
+			}
+			f.mu.Unlock()
+			continue
+		}
+		sub := make(map[string]any, len(keys))
+		for _, k := range keys {
+			parts := make([]string, len(f.labels))
+			for i, n := range f.labels {
+				parts[i] = n + "=" + f.keys[k][i]
+			}
+			sub[strings.Join(parts, ",")] = seriesValue(f.series[k])
+		}
+		f.mu.Unlock()
+		out[f.name] = sub
+	}
+	return out
+}
+
+func seriesValue(m any) any {
+	switch m := m.(type) {
+	case *Counter:
+		return m.Value()
+	case *Gauge:
+		return m.Value()
+	case *Histogram:
+		return map[string]any{"count": m.Count(), "sum": m.Sum()}
+	}
+	return nil
+}
+
+// PublishExpvar publishes the registry's snapshot under the given
+// expvar name (visible on /debug/vars). Publishing an already-taken
+// name is a no-op rather than the panic expvar.Publish raises, so
+// repeated wiring in tests is harmless.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// base is the logger components derive from; nil means slog.Default.
+var base atomic.Pointer[slog.Logger]
+
+// SetLogger replaces the base logger every subsequent Logger call
+// derives from. Pass nil to revert to slog.Default. Loggers already
+// handed out are unaffected.
+func SetLogger(l *slog.Logger) {
+	base.Store(l)
+}
+
+// NewTextLogger builds a text-format slog.Logger writing to w at the
+// given level — the conventional stderr configuration the binaries
+// install with SetLogger.
+func NewTextLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// Logger returns a structured logger scoped to one component: every
+// record carries component=<name>, so a deployment's interleaved logs
+// (monitor, llrp server, llrp client, cli) slice cleanly by origin.
+func Logger(component string) *slog.Logger {
+	l := base.Load()
+	if l == nil {
+		l = slog.Default()
+	}
+	return l.With("component", component)
+}

@@ -1,0 +1,354 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndNilSafety(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+
+	// Every instrument method must be a no-op on a nil receiver so
+	// handles thread through uninstrumented code without checks.
+	var nc *Counter
+	nc.Inc()
+	nc.Add(3)
+	if nc.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var ng *Gauge
+	ng.Set(1)
+	ng.Add(1)
+	ng.SetMax(1)
+	if ng.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	var nh *Histogram
+	nh.Observe(1)
+	if nh.Count() != 0 || nh.Sum() != 0 {
+		t.Fatal("nil histogram recorded")
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.SetMax(3)
+	g.SetMax(1) // not a new maximum
+	if g.Value() != 3 {
+		t.Fatalf("gauge = %v, want 3", g.Value())
+	}
+	g.SetMax(7)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %v, want 7", g.Value())
+	}
+	g.Set(-2)
+	g.Add(0.5)
+	if g.Value() != -1.5 {
+		t.Fatalf("gauge = %v, want -1.5", g.Value())
+	}
+}
+
+func TestNilRegistryMintsLiveInstruments(t *testing.T) {
+	// The disabled path: instruments from a nil registry work but are
+	// unexposed. This is what components get when wired without obs.
+	var r *Registry
+	c := r.Counter("orphan_total", "")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("orphan counter dead")
+	}
+	v := r.CounterVec("orphan_vec_total", "", "kind")
+	v.With("a").Add(2)
+	if v.With("a").Value() != 2 {
+		t.Fatal("orphan vec series not stable")
+	}
+	h := r.Histogram("orphan_seconds", "", nil)
+	h.Observe(0.1)
+	if h.Count() != 1 {
+		t.Fatal("orphan histogram dead")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry exposition = %q, %v", sb.String(), err)
+	}
+	if snap := r.Snapshot(); len(snap) != 0 {
+		t.Fatalf("nil registry snapshot = %v", snap)
+	}
+}
+
+func TestRegistryDedupes(t *testing.T) {
+	// Two components registering the same name share series.
+	r := NewRegistry()
+	a := r.Counter("shared_total", "")
+	b := r.Counter("shared_total", "")
+	a.Inc()
+	b.Inc()
+	if a != b || a.Value() != 2 {
+		t.Fatalf("re-registration did not share the series (%d)", a.Value())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("shared_total", "")
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []float64{0.1, 1, 10}
+
+	// le is inclusive: a value exactly on a bound lands in that bucket.
+	cases := []struct {
+		v    float64
+		want int // bucket index; 3 = +Inf overflow
+	}{
+		{0.05, 0}, {0.1, 0}, {0.100001, 1}, {1, 1},
+		{5, 2}, {10, 2}, {10.5, 3}, {math.Inf(1), 3},
+	}
+	for _, tc := range cases {
+		fresh := newHistogram(bounds)
+		fresh.Observe(tc.v)
+		counts := fresh.bucketCounts()
+		for i, c := range counts {
+			want := uint64(0)
+			if i == tc.want {
+				want = 1
+			}
+			if c != want {
+				t.Errorf("Observe(%v): bucket %d = %d, want %d", tc.v, i, c, want)
+			}
+		}
+	}
+
+	// Count and Sum accumulate across observations.
+	acc := newHistogram(bounds)
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		acc.Observe(v)
+	}
+	if acc.Count() != 4 {
+		t.Errorf("count = %d, want 4", acc.Count())
+	}
+	if acc.Sum() != 55.55 {
+		t.Errorf("sum = %v, want 55.55", acc.Sum())
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	// Hammer every concurrent surface at once under -race: scalar
+	// updates, vec resolution of hot and cold series, registration of
+	// existing names, and exposition racing the writers.
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	g := r.Gauge("conc_gauge", "")
+	h := r.Histogram("conc_seconds", "", []float64{0.01, 0.1, 1})
+	v := r.CounterVec("conc_vec_total", "", "worker")
+
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	labels := []string{"a", "b", "c"}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				g.SetMax(float64(i))
+				h.Observe(float64(i%100) / 100)
+				v.With(labels[i%len(labels)]).Inc()
+				if i%500 == 0 {
+					// Re-registration during load must dedupe safely.
+					r.Counter("conc_total", "").Inc()
+				}
+			}
+		}(w)
+	}
+	// Exposition races the writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Errorf("exposition: %v", err)
+			}
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+
+	wantC := uint64(workers*iters + workers*(iters/500))
+	if c.Value() != wantC {
+		t.Errorf("counter = %d, want %d", c.Value(), wantC)
+	}
+	if g.Value() != float64(iters-1) {
+		// SetMax(iters-1) dominates the interleaved Adds is not
+		// guaranteed; only check that no update was lost structurally.
+		t.Logf("gauge = %v (Add/SetMax interleaving)", g.Value())
+	}
+	if h.Count() != workers*iters {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	var vecSum uint64
+	for _, l := range labels {
+		vecSum += v.With(l).Value()
+	}
+	if vecSum != workers*iters {
+		t.Errorf("vec total = %d, want %d", vecSum, workers*iters)
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_requests_total", "Requests served.").Add(42)
+	r.Gauge("app_queue_depth", "Current queue depth.").Set(3.5)
+	v := r.CounterVec("app_errors_total", "Errors by kind.", "kind")
+	v.With("read").Add(2)
+	v.With("decode").Inc()
+	h := r.Histogram("app_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# HELP app_errors_total Errors by kind.`,
+		`# TYPE app_errors_total counter`,
+		`app_errors_total{kind="decode"} 1`,
+		`app_errors_total{kind="read"} 2`,
+		`# HELP app_latency_seconds Latency.`,
+		`# TYPE app_latency_seconds histogram`,
+		`app_latency_seconds_bucket{le="0.1"} 1`,
+		`app_latency_seconds_bucket{le="1"} 2`,
+		`app_latency_seconds_bucket{le="+Inf"} 3`,
+		`app_latency_seconds_sum 5.55`,
+		`app_latency_seconds_count 3`,
+		`# HELP app_queue_depth Current queue depth.`,
+		`# TYPE app_queue_depth gauge`,
+		`app_queue_depth 3.5`,
+		`# HELP app_requests_total Requests served.`,
+		`# TYPE app_requests_total counter`,
+		`app_requests_total 42`,
+		``,
+	}, "\n")
+	if sb.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "", "path").With(`a"b\c` + "\nd").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("exposition %q missing %q", sb.String(), want)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("snap_total", "").Add(7)
+	r.GaugeVec("snap_gauge", "", "user", "antenna").With("u1", "2").Set(1.5)
+	r.Histogram("snap_seconds", "", []float64{1}).Observe(0.5)
+
+	snap := r.Snapshot()
+	if snap["snap_total"] != uint64(7) {
+		t.Errorf("snap_total = %v", snap["snap_total"])
+	}
+	sub, ok := snap["snap_gauge"].(map[string]any)
+	if !ok || sub["user=u1,antenna=2"] != 1.5 {
+		t.Errorf("snap_gauge = %v", snap["snap_gauge"])
+	}
+	hist, ok := snap["snap_seconds"].(map[string]any)
+	if !ok || hist["count"] != uint64(1) || hist["sum"] != 0.5 {
+		t.Errorf("snap_seconds = %v", snap["snap_seconds"])
+	}
+	// The snapshot must be JSON-encodable: it backs /debug/vars.
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not JSON-encodable: %v", err)
+	}
+}
+
+func TestDebugServerSmoke(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("smoke_total", "Smoke.").Add(9)
+	s, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "smoke_total 9") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+
+	code, body = get("/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	// A failing health check degrades the endpoint to 503.
+	s.AddHealthCheck("pipeline", func() error { return io.ErrUnexpectedEOF })
+	code, body = get("/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, `"status":"degraded"`) {
+		t.Errorf("degraded /healthz = %d %q", code, body)
+	}
+
+	if code, _ = get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+	if code, _ = get("/debug/vars"); code != http.StatusOK {
+		t.Errorf("/debug/vars = %d", code)
+	}
+
+	if err := s.Close(); err != nil && err != http.ErrServerClosed {
+		t.Errorf("close: %v", err)
+	}
+}
+
+func TestLogger(t *testing.T) {
+	var sb strings.Builder
+	SetLogger(NewTextLogger(&sb, 0))
+	defer SetLogger(nil)
+	Logger("monitor").Info("tick", "users", 3)
+	out := sb.String()
+	if !strings.Contains(out, "component=monitor") || !strings.Contains(out, "users=3") {
+		t.Errorf("log line = %q", out)
+	}
+}

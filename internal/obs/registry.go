@@ -1,0 +1,225 @@
+// Package obs is the observability layer: a zero-dependency metrics
+// registry with Prometheus text-format and expvar exposition,
+// component-scoped structured logging on log/slog, and an optional
+// debug HTTP server (/metrics, /healthz, pprof).
+//
+// Design constraints, in order:
+//
+//  1. The hot path must stay hot. Every instrument is a pre-resolved
+//     handle whose update is one atomic operation — no map lookups, no
+//     locks, no allocation per event. Label resolution (Vec.With)
+//     happens once at wiring time, not per update.
+//  2. Disabled must be near-free. All constructors accept a nil
+//     *Registry and return live but unregistered instruments, so
+//     instrumented code never branches on "is observability on": it
+//     updates its handles unconditionally, and with no registry there
+//     is simply nothing to expose. The instrumentation benchmark in
+//     bench_test.go pins the end-to-end overhead below 2%.
+//  3. No dependencies. Exposition implements the Prometheus text
+//     format directly (it is a stable, line-oriented format) and
+//     reuses the standard library for everything else.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry holds metric families for exposition. The zero value is not
+// usable; call NewRegistry. A nil *Registry is valid everywhere and
+// means "collect but do not expose": instruments minted from it work
+// normally but are reachable only through their handles.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// metricKind discriminates the exposition format of a family.
+type metricKind int
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	case histogramKind:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// family is one named metric with zero or more label dimensions. A
+// scalar metric is a family with no labels and a single series keyed
+// by the empty string.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	labels  []string
+	buckets []float64 // histogram upper bounds, sorted ascending
+
+	mu     sync.Mutex
+	series map[string]any // seriesKey(values) → *Counter | *Gauge | *Histogram
+	keys   map[string][]string
+}
+
+func newFamily(name, help string, kind metricKind, labels []string, buckets []float64) *family {
+	return &family{
+		name:    name,
+		help:    help,
+		kind:    kind,
+		labels:  labels,
+		buckets: buckets,
+		series:  make(map[string]any),
+		keys:    make(map[string][]string),
+	}
+}
+
+// lookup returns the registered family with this name, creating it if
+// absent. On a nil registry it returns a fresh orphan family, which
+// behaves identically but is never exposed. Re-registering an existing
+// name returns the existing family, so independently wired components
+// (two monitors on one registry, say) share series rather than fight;
+// a kind mismatch is a programming error and panics.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []string, buckets []float64) *family {
+	if r == nil {
+		return newFamily(name, help, kind, labels, buckets)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v/%d labels, was %v/%d",
+				name, kind, len(labels), f.kind, len(f.labels)))
+		}
+		return f
+	}
+	f := newFamily(name, help, kind, labels, buckets)
+	r.families[name] = f
+	return f
+}
+
+// seriesKey canonicalizes label values. 0x1f (unit separator) cannot
+// appear in reasonable label values and keeps the key unambiguous.
+func seriesKey(values []string) string {
+	return strings.Join(values, "\x1f")
+}
+
+// at returns the series for these label values, creating it on first
+// use. mint builds the new instrument.
+func (f *family) at(values []string, mint func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q used with %d label values, declared %d",
+			f.name, len(values), len(f.labels)))
+	}
+	k := seriesKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[k]; ok {
+		return s
+	}
+	s := mint()
+	f.series[k] = s
+	f.keys[k] = append([]string(nil), values...)
+	return s
+}
+
+// Counter registers (or finds) a scalar counter. Counter values only
+// go up; use Gauge for values that can fall.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.lookup(name, help, counterKind, nil, nil)
+	return f.at(nil, func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge registers (or finds) a scalar gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.lookup(name, help, gaugeKind, nil, nil)
+	return f.at(nil, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram registers (or finds) a scalar histogram with the given
+// bucket upper bounds (ascending; an implicit +Inf bucket is added).
+// Nil buckets select DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.lookup(name, help, histogramKind, nil, buckets)
+	return f.at(nil, func() any { return newHistogram(buckets) }).(*Histogram)
+}
+
+// CounterVec registers a counter family with label dimensions.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.lookup(name, help, counterKind, labels, nil)}
+}
+
+// GaugeVec registers a gauge family with label dimensions.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.lookup(name, help, gaugeKind, labels, nil)}
+}
+
+// CounterVec is a counter family with labels; resolve a handle with
+// With once and update the handle on the hot path.
+type CounterVec struct{ f *family }
+
+// With returns the counter for these label values, creating it on
+// first use. The returned handle is stable: resolve outside loops.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil || v.f == nil {
+		return nil
+	}
+	return v.f.at(values, func() any { return new(Counter) }).(*Counter)
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for these label values, creating it on first
+// use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil || v.f == nil {
+		return nil
+	}
+	return v.f.at(values, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// snapshotFamilies returns the families sorted by name and, per
+// family, the series keys sorted — the deterministic exposition order
+// the golden tests rely on.
+func (r *Registry) snapshotFamilies() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedKeys returns the family's series keys in deterministic order.
+func (f *family) sortedKeys() []string {
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

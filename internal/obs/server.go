@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer serves the operational endpoints a running deployment
+// exposes when started with -debug-addr:
+//
+//	/metrics       Prometheus text exposition of the wired registry
+//	/healthz       JSON liveness: status, uptime, registered checks
+//	/debug/vars    expvar (includes the registry when published)
+//	/debug/pprof/  the standard Go profiler endpoints
+//
+// It owns its listener and serve goroutine; Close shuts both down and
+// waits (no fire-and-forget goroutines, per project style).
+type DebugServer struct {
+	reg     *Registry
+	ln      net.Listener
+	srv     *http.Server
+	started time.Time
+	done    chan struct{}
+
+	checks []healthCheck
+}
+
+type healthCheck struct {
+	name string
+	fn   func() error
+}
+
+// ServeDebug starts a debug server on addr (e.g. "127.0.0.1:9464" or
+// ":9464"; port 0 picks a free port — see Addr). The registry may be
+// nil, in which case /metrics serves an empty body.
+func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
+	}
+	s := &DebugServer{
+		reg:     r,
+		ln:      ln,
+		started: time.Now(),
+		done:    make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln) // returns http.ErrServerClosed on Close
+	}()
+	return s, nil
+}
+
+// AddHealthCheck registers a named check /healthz runs on every
+// request; a non-nil error degrades the response to 503. Register
+// checks before sharing the address — the slice is not locked.
+func (s *DebugServer) AddHealthCheck(name string, fn func() error) {
+	s.checks = append(s.checks, healthCheck{name: name, fn: fn})
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *DebugServer) Addr() string {
+	return s.ln.Addr().String()
+}
+
+// Close stops the server and waits for the serve goroutine to exit.
+func (s *DebugServer) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
+
+func (s *DebugServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *DebugServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	type check struct {
+		Name  string `json:"name"`
+		Error string `json:"error,omitempty"`
+	}
+	resp := struct {
+		Status  string  `json:"status"`
+		UptimeS float64 `json:"uptime_s"`
+		Checks  []check `json:"checks,omitempty"`
+	}{Status: "ok", UptimeS: time.Since(s.started).Seconds()}
+	code := http.StatusOK
+	for _, c := range s.checks {
+		ck := check{Name: c.name}
+		if err := c.fn(); err != nil {
+			ck.Error = err.Error()
+			resp.Status = "degraded"
+			code = http.StatusServiceUnavailable
+		}
+		resp.Checks = append(resp.Checks, ck)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(resp)
+}

@@ -79,32 +79,52 @@ func WriteAll(w io.Writer, reports []reader.TagReport) error {
 
 // ReadAll parses a recorded trace. Reports are returned in file order;
 // recorded traces are timestamp-ordered because readers emit them that
-// way, and the pipeline requires it.
+// way, and the pipeline requires it. Parse errors name the offending
+// line of the file so a bad row in a multi-hour capture can be found
+// and fixed without bisecting.
 func ReadAll(r io.Reader) ([]reader.TagReport, error) {
 	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = len(header)
-	rows, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("trace: parse CSV: %w", err)
-	}
-	if len(rows) == 0 {
+	// Column counts are validated per row below so the error can name
+	// the offending line. Traces never contain quoted multi-line
+	// fields, so FieldPos line numbers are the file's physical lines.
+	cr.FieldsPerRecord = -1
+
+	hdr, err := cr.Read()
+	if err == io.EOF {
 		return nil, fmt.Errorf("trace: empty file")
 	}
-	// Validate the header row.
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(hdr) != len(header) {
+		return nil, fmt.Errorf("trace: line 1: header has %d columns, want %d", len(hdr), len(header))
+	}
 	for i, want := range header {
-		if rows[0][i] != want {
-			return nil, fmt.Errorf("trace: column %d is %q, want %q", i, rows[0][i], want)
+		if hdr[i] != want {
+			return nil, fmt.Errorf("trace: line 1: column %d is %q, want %q", i+1, hdr[i], want)
 		}
 	}
-	out := make([]reader.TagReport, 0, len(rows)-1)
-	for n, row := range rows[1:] {
+
+	out := make([]reader.TagReport, 0, 64)
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			// csv.ParseError already names the line.
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		line, _ := cr.FieldPos(0)
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("trace: line %d: %d columns, want %d", line, len(row), len(header))
+		}
 		rep, err := parseRow(row)
 		if err != nil {
-			return nil, fmt.Errorf("trace: row %d: %w", n+2, err)
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
 		out = append(out, rep)
 	}
-	return out, nil
 }
 
 func parseRow(row []string) (reader.TagReport, error) {

@@ -98,6 +98,56 @@ func TestReadAllRejectsMalformed(t *testing.T) {
 	}
 }
 
+func TestReadAllErrorsNameLine(t *testing.T) {
+	// A bad row in a long capture must be findable: the error names the
+	// physical line of the file, not just "parse error".
+	hdr := strings.Join(header, ",")
+	good := "1.0,000000000000000000000001,1,0,920000000,-50,1.0,0.0"
+	cases := map[string]struct {
+		input string
+		want  string
+	}{
+		"malformed row on line 3": {
+			input: hdr + "\n" + good + "\n" +
+				"nope,000000000000000000000001,1,0,920000000,-50,1.0,0.0\n",
+			want: "line 3",
+		},
+		"short row on line 4": {
+			input: hdr + "\n" + good + "\n" + good + "\n1.0,aa\n",
+			want: "line 4",
+		},
+		"short header": {
+			input: "timestamp_s,epc,antenna\n",
+			want:  "line 1",
+		},
+		"wrong header name": {
+			input: "timestamp_s,epc,antenna,channel,freq_hz,rssi_dbm,phase_rad,bogus\n",
+			want:  "line 1",
+		},
+	}
+	for name, tc := range cases {
+		_, err := ReadAll(strings.NewReader(tc.input))
+		if err == nil {
+			t.Errorf("%s: expected error", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %q", name, err, tc.want)
+		}
+	}
+}
+
+func TestReadAllHeaderOnly(t *testing.T) {
+	// A capture that ended before any reports is a valid empty trace.
+	out, err := ReadAll(strings.NewReader(strings.Join(header, ",") + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("got %d reports from header-only trace", len(out))
+	}
+}
+
 func TestWriterHeaderOnce(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)

@@ -48,6 +48,7 @@ import (
 	"tagbreathe/internal/epc"
 	"tagbreathe/internal/llrp"
 	"tagbreathe/internal/multimodal"
+	"tagbreathe/internal/obs"
 	"tagbreathe/internal/reader"
 	"tagbreathe/internal/sim"
 	"tagbreathe/internal/trace"
@@ -203,6 +204,66 @@ func NewUserTagEPC(userID uint64, tagID uint32) EPC96 {
 // DialLLRP connects to an LLRP reader (or the llrpsim emulator).
 func DialLLRP(addr string) (*LLRPClient, error) {
 	return llrp.Dial(addr, 10*time.Second)
+}
+
+// Observability. The obs layer is zero-dependency: a concurrent
+// metrics registry with Prometheus text-format and expvar exposition,
+// plus an optional debug HTTP server (/metrics, /healthz, pprof).
+// Every pipeline stage accepts a metrics set built from one registry;
+// passing nil disables exposition at zero hot-path cost.
+type (
+	// MetricsRegistry collects metric families for exposition.
+	MetricsRegistry = obs.Registry
+	// DebugServer serves /metrics, /healthz, and pprof endpoints.
+	DebugServer = obs.DebugServer
+	// MonitorMetrics instruments the streaming Monitor (see
+	// MonitorConfig.Metrics).
+	MonitorMetrics = core.MonitorMetrics
+	// EstimateMetrics instruments the batch pipeline (see
+	// Config.Metrics).
+	EstimateMetrics = core.EstimateMetrics
+	// LLRPServerMetrics instruments the reader-side protocol end.
+	LLRPServerMetrics = llrp.ServerMetrics
+	// LLRPClientMetrics instruments the host-side protocol end.
+	LLRPClientMetrics = llrp.ClientMetrics
+)
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry {
+	return obs.NewRegistry()
+}
+
+// NewMonitorMetrics wires streaming-monitor instruments into r (nil r:
+// instruments work but are not exposed anywhere).
+func NewMonitorMetrics(r *MetricsRegistry) *MonitorMetrics {
+	return core.NewMonitorMetrics(r)
+}
+
+// NewEstimateMetrics wires batch-pipeline instruments into r.
+func NewEstimateMetrics(r *MetricsRegistry) *EstimateMetrics {
+	return core.NewEstimateMetrics(r)
+}
+
+// NewLLRPServerMetrics wires reader-side protocol instruments into r.
+func NewLLRPServerMetrics(r *MetricsRegistry) *LLRPServerMetrics {
+	return llrp.NewServerMetrics(r)
+}
+
+// NewLLRPClientMetrics wires host-side protocol instruments into r.
+func NewLLRPClientMetrics(r *MetricsRegistry) *LLRPClientMetrics {
+	return llrp.NewClientMetrics(r)
+}
+
+// ServeDebug starts the debug HTTP server on addr, exposing the
+// registry at /metrics plus /healthz and /debug/pprof. Close the
+// returned server when done.
+func ServeDebug(addr string, r *MetricsRegistry) (*DebugServer, error) {
+	return obs.ServeDebug(addr, r)
+}
+
+// DialLLRPWithMetrics is DialLLRP with protocol instrumentation.
+func DialLLRPWithMetrics(addr string, m *LLRPClientMetrics) (*LLRPClient, error) {
+	return llrp.DialWithMetrics(addr, 10*time.Second, m)
 }
 
 // Baseline estimators for comparison studies.
