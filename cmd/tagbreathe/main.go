@@ -48,6 +48,7 @@ func main() {
 		vitals      = flag.Bool("vitals", false, "print the respiratory summary (breaths, depth, I:E, apneas)")
 		heart       = flag.Bool("heart", false, "also run the experimental cardiac estimator")
 		motion      = flag.Bool("motion", false, "enable motion-artifact rejection")
+		filterName  = flag.String("filter", "fft", "band-pass filter: fft, fir (batch FIR), stream (incremental FIR; realtime ticks cost O(new samples), updates lag by the filter delay)")
 		quiet       = flag.Bool("quiet", false, "suppress realtime updates; print only the summary")
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /healthz, and pprof on this address (e.g. 127.0.0.1:9464); empty disables")
 	)
@@ -58,6 +59,17 @@ func main() {
 		posture: *posture, orientation: *orientation, contending: *contending,
 		pattern: *pattern, fidget: *fidget, seed: *seed, csvPath: *csvPath,
 		vitals: *vitals, heart: *heart, motion: *motion, quiet: *quiet,
+	}
+	switch *filterName {
+	case "fft":
+		opts.filter = tagbreathe.FilterFFT
+	case "fir":
+		opts.filter = tagbreathe.FilterFIRBatch
+	case "stream":
+		opts.filter = tagbreathe.FilterFIRStreaming
+	default:
+		fmt.Fprintf(os.Stderr, "tagbreathe: unknown -filter %q (want fft, fir, or stream)\n", *filterName)
+		os.Exit(2)
 	}
 
 	// With -debug-addr the full run is observable: every stage's
@@ -116,6 +128,7 @@ type runOptions struct {
 	contending                  int
 	seed                        int64
 	vitals, heart, motion       bool
+	filter                      tagbreathe.FilterMode
 	quiet                       bool
 	metrics                     *tagbreathe.MetricsRegistry
 	livePrinted                 bool
@@ -240,7 +253,7 @@ func streamLLRP(addr string, listenFor time.Duration, o runOptions) ([]tagbreath
 	close(monDone)
 	if !o.quiet || o.metrics != nil {
 		mon = tagbreathe.NewMonitor(tagbreathe.MonitorConfig{
-			Pipeline:    tagbreathe.Config{MotionRejection: o.motion},
+			Pipeline:    tagbreathe.Config{MotionRejection: o.motion, Filter: o.filter},
 			UpdateEvery: 5 * time.Second,
 			Metrics:     tagbreathe.NewMonitorMetrics(o.metrics),
 		})
@@ -302,6 +315,7 @@ func analyze(reports []tagbreathe.TagReport, truth map[uint64]float64, userIDs [
 	cfg := tagbreathe.Config{
 		Users:           userIDs,
 		MotionRejection: o.motion,
+		Filter:          o.filter,
 		Metrics:         tagbreathe.NewEstimateMetrics(o.metrics),
 	}
 

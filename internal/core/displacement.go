@@ -207,6 +207,15 @@ type Config struct {
 	// alternative) instead of the FFT filter; used by the ablation
 	// benchmarks.
 	UseFIRFilter bool
+	// Filter selects the stage engine's band-pass implementation:
+	// FilterDefault resolves via UseFIRFilter; FilterFFT and
+	// FilterFIRBatch recompute the window each tick (the reference
+	// semantics); FilterFIRStreaming runs the causal streaming chain,
+	// making Monitor ticks O(new samples + taps) independent of window
+	// length at the price of the filter's group delay. Consumed by
+	// Estimate and Monitor; ExtractBreath keeps its UseFIRFilter
+	// switch.
+	Filter FilterMode
 	// MotionRejection blanks fused bins whose magnitude marks
 	// non-respiratory body motion (postural shifts move the torso by
 	// centimeters — orders beyond breathing) and drops zero crossings

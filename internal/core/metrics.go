@@ -33,6 +33,15 @@ type MonitorMetrics struct {
 	// updates being handed to the consumer — the freshness of what a
 	// dashboard displays.
 	TickLatency *obs.Histogram
+	// ShardTickSeconds is the wall time of one shard's per-tick
+	// analysis (engine settle + select + extract/advance) — the
+	// incremental engine's per-tick work, per user.
+	ShardTickSeconds *obs.Histogram
+	// TickBins is the fused-bin work of one shard tick: the window
+	// length in the recompute filter modes, or only the newly
+	// finalized bins in streaming mode — the direct evidence that a
+	// streaming tick's work is independent of the window length.
+	TickBins *obs.Histogram
 	// AntennaReadRate, AntennaMeanRSSI, and AntennaScore surface the
 	// per-(user, antenna) §IV-D.3 selection inputs computed each tick.
 	AntennaReadRate *obs.GaugeVec
@@ -58,6 +67,10 @@ func NewMonitorMetrics(r *obs.Registry) *MonitorMetrics {
 			"Deepest observed shard queue depth, per user.", "user"),
 		TickLatency: r.Histogram("tagbreathe_monitor_tick_latency_seconds",
 			"Wall time from tick broadcast to updates emitted.", nil),
+		ShardTickSeconds: r.Histogram("tagbreathe_monitor_shard_tick_seconds",
+			"Wall time of one shard's per-tick incremental analysis.", nil),
+		TickBins: r.Histogram("tagbreathe_monitor_tick_bins",
+			"Fused bins processed per shard tick (window length in recompute modes, newly finalized bins in streaming mode).", nil),
 		AntennaReadRate: r.GaugeVec("tagbreathe_antenna_read_rate_hz",
 			"Per-(user, antenna) read rate over the last window (§IV-D.3 input).",
 			"user", "antenna"),

@@ -226,16 +226,6 @@ type shardInput struct {
 	tick   *monitorTick
 }
 
-// antennaMeta is the per-(antenna) quality bookkeeping one shard keeps
-// between ticks for §IV-D.3 antenna selection.
-type antennaMeta struct {
-	reads    int
-	rssiSum  float64
-	earliest float64
-	latest   float64
-	started  bool
-}
-
 // demuxLoop is the routing stage: it owns the shard table (nobody else
 // touches it), forwards each report to its user's shard queue, and
 // broadcasts analysis ticks on UpdateEvery boundaries of stream time.
@@ -321,125 +311,41 @@ func (m *Monitor) demuxLoop(ticks chan<- *monitorTick) {
 }
 
 // shardLoop owns one user's complete pipeline state — the only writer.
-// It differences reports incrementally and answers ticks with this
-// user's windowed estimate; per-shard analysis is where the monitor's
-// parallelism across users comes from.
+// It feeds every report into the user's stage engine as it arrives (so
+// differencing and Eq. 6 fusion are already done when a tick lands)
+// and answers ticks with the engine's windowed update; per-shard
+// analysis is where the monitor's parallelism across users comes from.
 func (m *Monitor) shardLoop(uid uint64, q <-chan shardInput) {
 	defer m.wg.Done()
 
-	df := NewDifferencer(m.cfg.Pipeline)
-	samples := make(map[int][]DisplacementSample) // per antenna port
-	meta := make(map[int]antennaMeta)
+	eng := NewEngine(m.cfg.Pipeline, EngineOptions{
+		Window:        m.cfg.Window.Seconds(),
+		TickStride:    m.cfg.UpdateEvery.Seconds(),
+		ApneaAlarmSec: m.cfg.ApneaAlarmSec,
+		UserID:        uid,
+		Metrics:       m.metrics,
+	})
 
 	for in := range q {
 		if in.tick != nil {
 			tick := in.tick
-			tick.results <- m.analyzeShard(uid, tick.asOf, samples, meta)
-			// Metadata is windowed per tick: reset counters so the
-			// next update reflects the recent stream, not all history.
-			clear(meta)
-			// Evict samples that have slid out of the window.
-			cutoff := (tick.asOf - m.cfg.Window).Seconds()
-			if cutoff > 0 {
-				for port, v := range samples {
-					idx := sort.Search(len(v), func(i int) bool { return v[i].T >= cutoff })
-					if idx > 0 {
-						samples[port] = append(v[:0:0], v[idx:]...)
-					}
-				}
+			start := time.Now()
+			if up, ok := eng.TickUpdate(tick.asOf.Seconds()); ok {
+				up.Time = tick.asOf
+				tick.results <- []RateUpdate{up}
+			} else {
+				tick.results <- nil
 			}
+			m.metrics.ShardTickSeconds.Observe(time.Since(start).Seconds())
+			// Selection stats are windowed per tick: reset so the next
+			// update reflects the recent stream, not all history.
+			eng.ResetTickStats()
+			// Release fused bins that slid out of the window.
+			eng.EvictBefore((tick.asOf - m.cfg.Window).Seconds())
 			continue
 		}
-		r := in.report
-		mt := meta[r.AntennaPort]
-		mt.reads++
-		mt.rssiSum += float64(r.RSSI)
-		if !mt.started {
-			mt.earliest = r.Timestamp.Seconds()
-			mt.started = true
-		}
-		mt.latest = r.Timestamp.Seconds()
-		meta[r.AntennaPort] = mt
-
-		if d, ok := df.Ingest(r); ok {
-			samples[r.AntennaPort] = append(samples[r.AntennaPort], d.Sample)
-		}
+		eng.Feed(in.report)
 	}
-}
-
-// analyzeShard runs §IV-D.3 antenna selection, Eq. 6/7 fusion, §IV-B
-// extraction, and Eq. 5 for one user at one tick. It returns zero or
-// one updates.
-func (m *Monitor) analyzeShard(uid uint64, asOf time.Duration,
-	samples map[int][]DisplacementSample, meta map[int]antennaMeta) []RateUpdate {
-
-	bestPort := 0
-	bestScore := 0.0
-	found := false
-	user := UserLabel(uid)
-	for port, mt := range meta {
-		span := mt.latest - mt.earliest
-		if span <= 0 {
-			span = 1
-		}
-		q := AntennaQuality{
-			UserID:   uid,
-			Antenna:  port,
-			Reads:    mt.reads,
-			ReadRate: float64(mt.reads) / span,
-			MeanRSSI: mt.rssiSum / float64(mt.reads),
-		}
-		m.metrics.observeQuality(user, q)
-		s := q.Score()
-		if !found || s > bestScore || (s == bestScore && port < bestPort) {
-			found = true
-			bestPort = port
-			bestScore = s
-		}
-	}
-	if !found {
-		return nil
-	}
-	ss := samples[bestPort]
-	if len(ss) < 4 {
-		return nil
-	}
-	t1 := asOf.Seconds()
-	t0 := t1 - m.cfg.Window.Seconds()
-	if t0 < 0 {
-		t0 = 0
-	}
-	binSec := m.cfg.Pipeline.BinInterval.Seconds()
-	bins := FuseBins(ss, binSec, t0, t1)
-	if m.cfg.Pipeline.LiteralBinning {
-		bins = FuseBinsLiteral(ss, binSec, t0, t1)
-	}
-	sig, err := ExtractBreath(bins, binSec, t0, m.cfg.Pipeline)
-	if err != nil {
-		return nil
-	}
-	rate := sig.OverallRateBPM()
-	if rate <= 0 {
-		return nil
-	}
-	instant := rate
-	if series := sig.InstantRateSeriesBPM(m.cfg.Pipeline.CrossingBufferM); len(series) > 0 {
-		instant = series[len(series)-1].V
-	}
-	var pauses [][2]float64
-	if m.cfg.ApneaAlarmSec > 0 {
-		pauses = sig.DetectPauses(m.cfg.ApneaAlarmSec)
-	}
-	return []RateUpdate{{
-		UserID:      uid,
-		Time:        asOf,
-		RateBPM:     rate,
-		InstantBPM:  instant,
-		Crossings:   len(sig.Crossings),
-		Reads:       meta[bestPort].reads,
-		AntennaPort: bestPort,
-		Pauses:      pauses,
-	}}
 }
 
 // collectLoop reassembles the sharded analyses into one ordered update

@@ -2,7 +2,6 @@ package core
 
 import (
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,61 +64,22 @@ func (c *Config) workerCount(shards int) int {
 }
 
 // estimateShard runs the full per-user pipeline on one shard over the
-// window [t0, t1]. It returns nil when the user is not monitorable in
-// this window (too little data, or no extractable breathing signal).
+// window [t0, t1]: feed every report into a stage engine, flush once.
+// It returns nil when the user is not monitorable in this window (too
+// little data, or no extractable breathing signal). The engine is the
+// same one the streaming Monitor ticks over — batch is just its
+// single-flush mode.
 func estimateShard(sh userShard, t0, t1 float64, cfg Config) *UserEstimate {
-	span := t1 - t0
-	selected := SelectAntenna(RankAntennas(sh.reports, cfg, span))
-	port, ok := selected[sh.uid]
-	if !ok {
-		return nil
-	}
-
-	df := NewDifferencer(cfg)
-	var samples []DisplacementSample
-	reads := 0
-	tagsSeen := make(map[uint32]bool)
+	eng := NewEngine(cfg, EngineOptions{
+		Origin:    t0,
+		OriginSet: true,
+		Window:    t1 - t0,
+		UserID:    sh.uid,
+	})
 	for _, r := range sh.reports {
-		if r.AntennaPort != port {
-			continue
-		}
-		reads++
-		tagsSeen[r.EPC.TagID()] = true
-		if d, ok := df.Ingest(r); ok {
-			samples = append(samples, d.Sample)
-		}
+		eng.Feed(r)
 	}
-	if len(samples) == 0 {
-		return nil
-	}
-
-	// Displacement samples arrive interleaved across the user's tags
-	// and channels; binning needs time order.
-	sort.Slice(samples, func(i, j int) bool { return samples[i].T < samples[j].T })
-	binSec := cfg.BinInterval.Seconds()
-	bins := FuseBins(samples, binSec, t0, t1)
-	if cfg.LiteralBinning {
-		bins = FuseBinsLiteral(samples, binSec, t0, t1)
-	}
-	sig, err := ExtractBreath(bins, binSec, t0, cfg)
-	if err != nil {
-		return nil // not enough data for this user in this window
-	}
-	rms, _ := fusedStats(bins)
-	est := &UserEstimate{
-		UserID:      sh.uid,
-		RateBPM:     sig.OverallRateBPM(),
-		RateSeries:  sig.InstantRateSeriesBPM(cfg.CrossingBufferM),
-		Signal:      sig,
-		AntennaPort: port,
-		Reads:       reads,
-		TagsSeen:    len(tagsSeen),
-		FusedRMS:    rms,
-	}
-	if est.RateBPM <= 0 {
-		return nil
-	}
-	return est
+	return eng.FlushEstimate(t0, t1)
 }
 
 // runShards executes estimateShard over every shard, sequentially when

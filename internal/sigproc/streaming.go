@@ -1,0 +1,205 @@
+package sigproc
+
+import "fmt"
+
+// Streaming counterparts of the batch filtering primitives. The batch
+// pipeline filters a whole window at once (Convolve, MovingAverage,
+// BandPassFFT); the incremental stage engine instead pushes one sample
+// at a time through stateful operators whose per-sample cost is O(taps)
+// regardless of how long the stream or the analysis window is. All
+// operators here are causal: the price of statefulness is group delay —
+// a linear-phase FIR of m taps reports the signal (m−1)/2 samples late.
+
+// StreamFIR is a causal FIR filter: Push(x) returns
+//
+//	y[n] = Σ_j h[j]·x[n−j]
+//
+// with the stream zero-padded before its start. For a linear-phase
+// (symmetric) h the output is the input delayed by Delay() samples, so
+// callers align timestamps by subtracting Delay() sample periods.
+type StreamFIR struct {
+	h    []float64
+	ring []float64 // last len(h) inputs; zero-initialized = zero padding
+	pos  int       // slot the next input will be written to
+}
+
+// NewStreamFIR builds a streaming FIR from coefficients h (most callers
+// design h with FIRLowPass). h is not copied; do not mutate it.
+func NewStreamFIR(h []float64) (*StreamFIR, error) {
+	if len(h) == 0 {
+		return nil, fmt.Errorf("sigproc: empty FIR coefficient vector")
+	}
+	return &StreamFIR{h: h, ring: make([]float64, len(h))}, nil
+}
+
+// Delay returns the filter's group delay in samples, (len(h)−1)/2.
+func (f *StreamFIR) Delay() int { return (len(f.h) - 1) / 2 }
+
+// Push consumes one input sample and returns the next output sample.
+func (f *StreamFIR) Push(x float64) float64 {
+	m := len(f.h)
+	f.ring[f.pos] = x
+	var acc float64
+	// ring[pos] holds x[n], ring[pos-1] holds x[n-1], …
+	k := f.pos
+	for j := 0; j < m; j++ {
+		acc += f.h[j] * f.ring[k]
+		k--
+		if k < 0 {
+			k = m - 1
+		}
+	}
+	f.pos++
+	if f.pos == m {
+		f.pos = 0
+	}
+	return acc
+}
+
+// Rebase subtracts c from every retained input sample, as if the whole
+// stream so far had been shifted down by c. For a DC-normalized h
+// (Σh = 1) the post-warmup output shifts by exactly −c; the engine uses
+// this to fold window-exited mass out of its running Eq. 7 accumulator
+// without injecting a step transient into the filter.
+func (f *StreamFIR) Rebase(c float64) {
+	for i := range f.ring {
+		f.ring[i] -= c
+	}
+}
+
+// StreamBandPass is the causal streaming equivalent of the batch FIR
+// band-pass used by ExtractBreath's FIR path: a windowed-sinc low-pass
+// at highHz followed by subtraction of a centered moving average of
+// width ≈ rate/lowHz (the drift-removal high-pass leg). Push returns,
+// for the n-th input sample, the band-passed value of input sample
+// n − Delay(); outputs are fully settled once Warmup() samples have
+// been pushed (before that the implicit zero padding still rings).
+type StreamBandPass struct {
+	fir  *StreamFIR
+	win  []float64 // last w low-passed values
+	sum  float64   // running sum of win
+	w    int
+	half int
+	idx  int // samples pushed so far
+}
+
+// NewStreamBandPass designs a streaming band-pass for the given sample
+// rate keeping [lowHz, highHz]. The low-pass leg uses 4·rate/highHz
+// taps and the drift leg a rate/lowHz-sample moving average, matching
+// the batch FIR path's design choices.
+func NewStreamBandPass(rate, lowHz, highHz float64) (*StreamBandPass, error) {
+	if rate <= 0 || lowHz <= 0 || highHz <= lowHz {
+		return nil, fmt.Errorf("sigproc: invalid streaming band [%v, %v] Hz at rate %v", lowHz, highHz, rate)
+	}
+	taps := int(4*rate/highHz) | 1
+	h, err := FIRLowPass(taps, rate, highHz)
+	if err != nil {
+		return nil, err
+	}
+	fir, err := NewStreamFIR(h)
+	if err != nil {
+		return nil, err
+	}
+	w := int(rate/lowHz) | 1
+	if w < 3 {
+		w = 3
+	}
+	return &StreamBandPass{
+		fir:  fir,
+		win:  make([]float64, w),
+		w:    w,
+		half: w / 2,
+	}, nil
+}
+
+// Delay returns the total group delay in samples: the FIR's linear
+// phase delay plus half the moving-average width.
+func (f *StreamBandPass) Delay() int { return f.fir.Delay() + f.half }
+
+// Warmup returns how many samples must be pushed before outputs are
+// free of start-of-stream padding transients.
+func (f *StreamBandPass) Warmup() int { return len(f.fir.h) + f.w }
+
+// Push consumes one input sample and returns the band-passed value of
+// the input Delay() samples ago (zero while that index is still before
+// the stream start).
+func (f *StreamBandPass) Push(x float64) float64 {
+	lp := f.fir.Push(x)
+	slot := f.idx % f.w
+	f.sum += lp - f.win[slot]
+	f.win[slot] = lp
+	center := f.idx - f.half
+	f.idx++
+	if center < 0 {
+		return 0
+	}
+	// win still holds lp[center]: the ring spans the last w values and
+	// half < w.
+	return f.win[center%f.w] - f.sum/float64(f.w)
+}
+
+// Rebase subtracts c from every retained sample of both stages, as if
+// the input stream had been c lower all along. Post-warmup outputs are
+// unchanged (the band-pass rejects DC), so the engine can keep its
+// running accumulator bounded on unbounded streams.
+func (f *StreamBandPass) Rebase(c float64) {
+	f.fir.Rebase(c)
+	for i := range f.win {
+		f.win[i] -= c
+	}
+	f.sum -= c * float64(f.w)
+}
+
+// CrossingTracker is the incremental form of ZeroCrossings: push
+// (time, value) samples in order and collect the same crossings the
+// batch detector finds, including its exact-zero handling, linear
+// interpolation, and minGap hysteresis against the last accepted
+// crossing.
+type CrossingTracker struct {
+	minGap   float64
+	primed   bool
+	prevV    float64
+	prevT    float64
+	prevSign int
+	lastT    float64
+	hasLast  bool
+}
+
+// NewCrossingTracker builds a tracker with the given minimum spacing
+// between accepted crossings (seconds).
+func NewCrossingTracker(minGap float64) *CrossingTracker {
+	return &CrossingTracker{minGap: minGap}
+}
+
+// Push consumes one sample and reports the zero crossing it completed,
+// if any. Fed the same uniform series sample-by-sample, the sequence of
+// returned crossings is identical to ZeroCrossings' output.
+func (c *CrossingTracker) Push(t, v float64) (ZeroCrossing, bool) {
+	if !c.primed {
+		c.primed = true
+		c.prevV, c.prevT, c.prevSign = v, t, sign(v)
+		return ZeroCrossing{}, false
+	}
+	s := sign(v)
+	var out ZeroCrossing
+	var ok bool
+	if s != 0 && c.prevSign != 0 && s != c.prevSign {
+		a, b := c.prevV, v
+		frac := 0.0
+		if b != a {
+			frac = a / (a - b)
+		}
+		tc := c.prevT + frac*(t-c.prevT)
+		if !c.hasLast || tc-c.lastT >= c.minGap {
+			out = ZeroCrossing{T: tc, Rising: s > 0}
+			ok = true
+			c.lastT = tc
+			c.hasLast = true
+		}
+		c.prevSign = s
+	} else if s != 0 {
+		c.prevSign = s
+	}
+	c.prevV, c.prevT = v, t
+	return out, ok
+}

@@ -1,0 +1,159 @@
+package sigproc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestStreamFIRMatchesCausalConvolution: pushing a series through
+// StreamFIR must equal the direct causal convolution with zero padding.
+func TestStreamFIRMatchesCausalConvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h, err := FIRLowPass(31, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 400)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	f, err := NewStreamFIR(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range x {
+		got := f.Push(x[n])
+		var want float64
+		for j := range h {
+			if k := n - j; k >= 0 {
+				want += h[j] * x[k]
+			}
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("sample %d: stream %.15g, direct %.15g", n, got, want)
+		}
+	}
+}
+
+// TestStreamFIRDelay: a linear-phase FIR's output must be the input
+// delayed by Delay() samples (for a smooth in-band input).
+func TestStreamFIRDelay(t *testing.T) {
+	rate, fc := 16.0, 0.3
+	h, err := FIRLowPass(95, rate, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := NewStreamFIR(h)
+	d := f.Delay()
+	n := 600
+	for i := 0; i < n; i++ {
+		y := f.Push(math.Sin(2 * math.Pi * fc * float64(i) / rate))
+		if i < 3*len(h) { // warmup
+			continue
+		}
+		want := math.Sin(2 * math.Pi * fc * float64(i-d) / rate)
+		if math.Abs(y-want) > 1e-3 {
+			t.Fatalf("sample %d: delayed output %.6f, want %.6f", i, y, want)
+		}
+	}
+}
+
+// TestStreamBandPass: in-band sine passes at ~unity gain (delayed);
+// DC and drift are rejected.
+func TestStreamBandPass(t *testing.T) {
+	rate := 16.0
+	bp, err := NewStreamBandPass(rate, 0.05, 0.67)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := bp.Delay()
+	warm := bp.Warmup()
+	fc := 0.25 // breathing-band tone
+	n := warm + 1200
+	var worst float64
+	for i := 0; i < n; i++ {
+		x := 5 + 0.02*float64(i) + math.Sin(2*math.Pi*fc*float64(i)/rate)
+		y := bp.Push(x)
+		if i < warm+d {
+			continue
+		}
+		want := math.Sin(2 * math.Pi * fc * float64(i-d) / rate)
+		if e := math.Abs(y - want); e > worst {
+			worst = e
+		}
+	}
+	// The drift leg is a soft high-pass; a couple percent of residual
+	// slope leakage is expected, but the tone must dominate.
+	if worst > 0.1 {
+		t.Errorf("band-pass error %.4f on offset+drift+tone input", worst)
+	}
+}
+
+// TestStreamBandPassRebase: after warmup, Rebase must not change
+// subsequent outputs (beyond float rounding).
+func TestStreamBandPassRebase(t *testing.T) {
+	rate := 16.0
+	mk := func() *StreamBandPass {
+		bp, err := NewStreamBandPass(rate, 0.05, 0.67)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bp
+	}
+	a, b := mk(), mk()
+	warm := a.Warmup()
+	x := func(i int) float64 {
+		return 3 + math.Sin(2*math.Pi*0.2*float64(i)/rate) + 0.3*math.Cos(2*math.Pi*0.4*float64(i)/rate)
+	}
+	i := 0
+	for ; i < warm+100; i++ {
+		a.Push(x(i))
+		b.Push(x(i))
+	}
+	b.Rebase(123.456)
+	for ; i < warm+600; i++ {
+		ya, yb := a.Push(x(i)), b.Push(x(i)-123.456)
+		if math.Abs(ya-yb) > 1e-9 {
+			t.Fatalf("sample %d: rebased output %.12g, original %.12g", i, yb, ya)
+		}
+	}
+}
+
+// TestCrossingTrackerMatchesBatch: feeding random band-limited series
+// sample-by-sample must reproduce ZeroCrossings exactly, including
+// interpolation and minGap hysteresis.
+func TestCrossingTrackerMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 50 + rng.Intn(400)
+		rate := 4 + 28*rng.Float64()
+		t0 := rng.Float64() * 10
+		minGap := rng.Float64() * 0.5
+		x := make([]float64, n)
+		phase := rng.Float64() * 2 * math.Pi
+		f := 0.1 + rng.Float64()
+		for i := range x {
+			x[i] = math.Sin(2*math.Pi*f*float64(i)/rate+phase) + 0.3*rng.NormFloat64()
+			if rng.Intn(20) == 0 {
+				x[i] = 0 // exercise exact-zero handling
+			}
+		}
+		want := ZeroCrossings(x, t0, rate, minGap)
+		tr := NewCrossingTracker(minGap)
+		var got []ZeroCrossing
+		for i, v := range x {
+			if zc, ok := tr.Push(t0+float64(i)/rate, v); ok {
+				got = append(got, zc)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: tracker found %d crossings, batch %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i].T-want[i].T) > 1e-9 || got[i].Rising != want[i].Rising {
+				t.Fatalf("trial %d crossing %d: tracker %+v, batch %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# CI guard for the incremental stage engine's core promise: a streaming
+# monitor tick costs the same at a 120 s analysis window as at 25 s.
+# Runs BenchmarkMonitorTickWindow/mode=stream at windows {25s, 60s,
+# 120s} and fails if per-tick ns/op grows superlinearly past the
+# allowed ratio — i.e. if someone reintroduces window-proportional work
+# (re-fusion, re-filtering, sample copies) into the tick path.
+#
+# Usage: scripts/tick_bench_smoke.sh [benchtime] [max_ratio]
+#   benchtime  go test -benchtime value (default 300x)
+#   max_ratio  max allowed ns(120s)/ns(25s) (default 3; flat is ~1)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-300x}"
+MAX_RATIO="${2:-3}"
+
+OUT=$(go test ./internal/core/ -run '^$' \
+  -bench 'BenchmarkMonitorTickWindow/mode=stream' \
+  -benchtime "$BENCHTIME" -count=1)
+echo "$OUT"
+
+echo "$OUT" | awk -v max_ratio="$MAX_RATIO" '
+/mode=stream\/window=25s/   { ns25 = $3 }
+/mode=stream\/window=1m0s/  { ns60 = $3 }
+/mode=stream\/window=2m0s/  { ns120 = $3 }
+END {
+    if (ns25 == "" || ns60 == "" || ns120 == "") {
+        print "tick_bench_smoke: missing benchmark output"; exit 1
+    }
+    ratio = ns120 / ns25
+    printf "tick_bench_smoke: stream tick ns/op 25s=%d 60s=%d 120s=%d ratio(120s/25s)=%.2f (max %.2f)\n", \
+        ns25, ns60, ns120, ratio, max_ratio
+    if (ratio > max_ratio) {
+        print "tick_bench_smoke: FAIL — streaming tick cost grows with the window"
+        exit 1
+    }
+    print "tick_bench_smoke: OK — streaming tick cost is flat in the window"
+}'

@@ -76,6 +76,27 @@ type (
 	// OverloadPolicy selects what the monitor does when a per-user
 	// shard queue overflows (see MonitorConfig.Overload).
 	OverloadPolicy = core.OverloadPolicy
+	// FilterMode selects the stage engine's band-pass implementation
+	// (see Config.Filter).
+	FilterMode = core.FilterMode
+)
+
+// Band-pass filter modes for Config.Filter.
+const (
+	// FilterDefault resolves via Config.UseFIRFilter: the FFT filter
+	// unless it asks for the batch FIR.
+	FilterDefault = core.FilterDefault
+	// FilterFFT recomputes the window each tick through the FFT
+	// band-pass — the paper's reference extraction (§IV-B).
+	FilterFFT = core.FilterFFT
+	// FilterFIRBatch recomputes the window each tick through the
+	// linear-phase FIR band-pass.
+	FilterFIRBatch = core.FilterFIRBatch
+	// FilterFIRStreaming runs the causal streaming FIR chain: Monitor
+	// ticks cost O(new samples + taps) independent of the window, at
+	// the price of the filter's group delay (~13 s at the default
+	// band) before updates reflect the newest breaths.
+	FilterFIRStreaming = core.FilterFIRStreaming
 )
 
 // Overload policies for MonitorConfig.Overload.
