@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -45,6 +46,10 @@ func main() {
 		replayPath  = flag.String("replay", "", "replay a recorded CSV trace instead of simulating")
 		connectAddr = flag.String("connect", "", "connect to an LLRP endpoint instead of simulating")
 		listenFor   = flag.Duration("listen", 30*time.Second, "with -connect: how long to stream")
+		reconnect   = flag.Bool("reconnect", true, "with -connect: supervise the link and auto-reconnect with backoff (false: one connection, fail on first error)")
+		backoffMin  = flag.Duration("reconnect-min", 100*time.Millisecond, "with -reconnect: initial reconnect backoff")
+		backoffMax  = flag.Duration("reconnect-max", 30*time.Second, "with -reconnect: backoff ceiling")
+		watchdog    = flag.Duration("watchdog", 10*time.Second, "with -reconnect: drop and redial a link silent this long (0 disables)")
 		vitals      = flag.Bool("vitals", false, "print the respiratory summary (breaths, depth, I:E, apneas)")
 		heart       = flag.Bool("heart", false, "also run the experimental cardiac estimator")
 		motion      = flag.Bool("motion", false, "enable motion-artifact rejection")
@@ -59,6 +64,8 @@ func main() {
 		posture: *posture, orientation: *orientation, contending: *contending,
 		pattern: *pattern, fidget: *fidget, seed: *seed, csvPath: *csvPath,
 		vitals: *vitals, heart: *heart, motion: *motion, quiet: *quiet,
+		reconnect: *reconnect, backoffMin: *backoffMin, backoffMax: *backoffMax,
+		watchdog: *watchdog,
 	}
 	switch *filterName {
 	case "fft":
@@ -87,6 +94,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer dbg.Close()
+		opts.dbg = dbg
 		obs.Logger("cli").Info("debug server up",
 			"metrics", "http://"+dbg.Addr()+"/metrics",
 			"healthz", "http://"+dbg.Addr()+"/healthz")
@@ -132,6 +140,10 @@ type runOptions struct {
 	quiet                       bool
 	metrics                     *tagbreathe.MetricsRegistry
 	livePrinted                 bool
+	reconnect                   bool
+	backoffMin, backoffMax      time.Duration
+	watchdog                    time.Duration
+	dbg                         *tagbreathe.DebugServer
 }
 
 // simulate builds and runs the scenario described by the flags.
@@ -219,12 +231,62 @@ func replayTrace(path string) ([]tagbreathe.TagReport, error) {
 	return reports, nil
 }
 
-// streamLLRP connects to a reader (or llrpsim), starts an ROSpec, and
-// collects reports for the listen window. Unless -quiet, the reports
-// also feed a live Monitor as they arrive, so realtime updates print
-// (and the monitor's metrics are live on -debug-addr) while the
-// stream is still running — the deployment shape of Fig. 11.
+// streamLLRP collects reports from an LLRP endpoint for the listen
+// window. With -reconnect (the default) the link is a managed session
+// that redials with backoff and re-provisions the ROSpec after any
+// failure, so a reader restart mid-run costs a gap, not the run; with
+// -reconnect=false a single connection is made and the first link
+// error ends collection. Unless -quiet, the reports also feed a live
+// Monitor as they arrive, so realtime updates print (and the
+// monitor's metrics are live on -debug-addr) while the stream is
+// still running — the deployment shape of Fig. 11.
 func streamLLRP(addr string, listenFor time.Duration, o runOptions) ([]tagbreathe.TagReport, error) {
+	if o.reconnect {
+		return streamSession(addr, listenFor, o)
+	}
+	return streamOnce(addr, listenFor, o)
+}
+
+// streamSession is the resilient -connect path: a supervised session
+// owns the connection lifecycle end to end.
+func streamSession(addr string, listenFor time.Duration, o runOptions) ([]tagbreathe.TagReport, error) {
+	logger := obs.Logger("llrp-session")
+	sess, err := tagbreathe.StartLLRPSession(context.Background(), tagbreathe.LLRPSessionConfig{
+		Addr:          addr,
+		ROSpec:        tagbreathe.ROSpecConfig{ROSpecID: 1, ReportEveryN: 32},
+		BackoffMin:    o.backoffMin,
+		BackoffMax:    o.backoffMax,
+		Watchdog:      o.watchdog,
+		ClientMetrics: tagbreathe.NewLLRPClientMetrics(o.metrics),
+		Metrics:       tagbreathe.NewLLRPSessionMetrics(o.metrics),
+		Logf: func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	if o.dbg != nil {
+		// /healthz now degrades to 503 whenever the link is down.
+		o.dbg.AddHealthCheck("llrp_session", sess.Healthy)
+	}
+	fmt.Printf("streaming from %s for %v (auto-reconnect: backoff %v..%v, watchdog %v)\n",
+		addr, listenFor, o.backoffMin, o.backoffMax, o.watchdog)
+
+	reports := collectReports(sess.Reports(), listenFor, o)
+	if err := sess.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "tagbreathe: session close: %v\n", err)
+	}
+	if n := sess.Reconnects(); n > 0 {
+		fmt.Printf("link recovered from %d outage(s) during the run\n", n)
+	}
+	fmt.Printf("collected %d reads\n\n", len(reports))
+	return reports, nil
+}
+
+// streamOnce is the legacy single-connection -connect path.
+func streamOnce(addr string, listenFor time.Duration, o runOptions) ([]tagbreathe.TagReport, error) {
 	client, err := tagbreathe.DialLLRPWithMetrics(addr, tagbreathe.NewLLRPClientMetrics(o.metrics))
 	if err != nil {
 		return nil, err
@@ -245,9 +307,20 @@ func streamLLRP(addr string, listenFor time.Duration, o runOptions) ([]tagbreath
 	}
 	fmt.Printf("streaming from %s for %v\n", addr, listenFor)
 
-	// The live monitor runs whenever its output is consumed somewhere:
-	// printed updates, or metrics on -debug-addr (so a -quiet run still
-	// populates /metrics while streaming).
+	reports := collectReports(client.Reports(), listenFor, o)
+	if err := client.StopROSpec(spec); err != nil {
+		fmt.Fprintf(os.Stderr, "tagbreathe: stop rospec: %v\n", err)
+	}
+	fmt.Printf("collected %d reads\n\n", len(reports))
+	return reports, nil
+}
+
+// collectReports drains a report channel until the listen deadline (or
+// the channel closes), feeding a live Monitor on the side. The live
+// monitor runs whenever its output is consumed somewhere: printed
+// updates, or metrics on -debug-addr (so a -quiet run still populates
+// /metrics while streaming).
+func collectReports(ch <-chan tagbreathe.TagReport, listenFor time.Duration, o runOptions) []tagbreathe.TagReport {
 	var mon *tagbreathe.Monitor
 	monDone := make(chan struct{})
 	close(monDone)
@@ -276,7 +349,7 @@ func streamLLRP(addr string, listenFor time.Duration, o runOptions) ([]tagbreath
 collect:
 	for {
 		select {
-		case r, ok := <-client.Reports():
+		case r, ok := <-ch:
 			if !ok {
 				break collect
 			}
@@ -288,15 +361,11 @@ collect:
 			break collect
 		}
 	}
-	if err := client.StopROSpec(spec); err != nil {
-		fmt.Fprintf(os.Stderr, "tagbreathe: stop rospec: %v\n", err)
-	}
 	if mon != nil {
 		mon.CloseInput()
 	}
 	<-monDone
-	fmt.Printf("collected %d reads\n\n", len(reports))
-	return reports, nil
+	return reports
 }
 
 // printUpdate renders one realtime update line.

@@ -1,10 +1,11 @@
 // Streaming: the full distributed deployment in one process. An LLRP
 // server (the reader emulator, playing the Impinj R420's role) listens
-// on a loopback TCP port; an LLRP client (the host side, playing the
-// paper's LLRP-Toolkit role) connects, drives the ROSpec lifecycle,
-// and feeds the decoded tag reports into the realtime Monitor, which
-// prints breathing-rate updates as they emerge — the paper's Fig. 11
-// pipeline end to end.
+// on a loopback TCP port; the host side runs a managed LLRP session
+// (playing the paper's LLRP-Toolkit role) that connects, drives the
+// ROSpec lifecycle — and would redial with backoff and re-provision if
+// the link ever died — feeding the decoded tag reports into the
+// realtime Monitor, which prints breathing-rate updates as they emerge:
+// the paper's Fig. 11 pipeline end to end.
 //
 // Every stage is instrumented through a shared metrics registry, and a
 // debug HTTP server exposes the whole pipeline on /metrics and /healthz
@@ -77,28 +78,27 @@ func main() {
 	defer server.Close()
 	fmt.Printf("reader emulator listening on %s\n", ln.Addr())
 
-	// --- Host side: connect, configure, start an ROSpec.
-	client, err := tagbreathe.DialLLRPWithMetrics(ln.Addr().String(),
-		tagbreathe.NewLLRPClientMetrics(metrics))
+	// --- Host side: a managed session owns the whole connection
+	// lifecycle. It dials, configures the reader, and provisions the
+	// ROSpec; if the link later drops it redials with exponential
+	// backoff, re-provisions, and keeps delivering on the same Reports
+	// channel — the consumer below never re-wires. The watchdog redials
+	// a link that goes silent past three keepalive periods.
+	session, err := tagbreathe.StartLLRPSession(context.Background(),
+		tagbreathe.LLRPSessionConfig{
+			Addr:          ln.Addr().String(),
+			ROSpec:        tagbreathe.ROSpecConfig{ROSpecID: 1, ReportEveryN: 32},
+			Watchdog:      6 * time.Second,
+			ClientMetrics: tagbreathe.NewLLRPClientMetrics(metrics),
+			Metrics:       tagbreathe.NewLLRPSessionMetrics(metrics),
+		})
 	if err != nil {
-		log.Fatalf("dial: %v", err)
+		log.Fatalf("session: %v", err)
 	}
-	defer client.Close()
-
-	if err := client.SetReaderConfig(); err != nil {
-		log.Fatalf("set config: %v", err)
-	}
-	const roSpecID = 1
-	if err := client.AddROSpec(tagbreathe.ROSpecConfig{ROSpecID: roSpecID, ReportEveryN: 32}); err != nil {
-		log.Fatalf("add rospec: %v", err)
-	}
-	if err := client.EnableROSpec(roSpecID); err != nil {
-		log.Fatalf("enable rospec: %v", err)
-	}
-	if err := client.StartROSpec(roSpecID); err != nil {
-		log.Fatalf("start rospec: %v", err)
-	}
-	fmt.Println("ROSpec started; streaming low-level data over LLRP")
+	defer session.Close()
+	// /healthz reports 503 whenever the reader link is down.
+	debug.AddHealthCheck("llrp_session", session.Healthy)
+	fmt.Println("session started; streaming low-level data over LLRP")
 
 	// --- Pipeline: reports from the wire go straight into the
 	// realtime monitor; updates print as the stream advances. The
@@ -126,14 +126,15 @@ func main() {
 	}()
 
 	// A real deployment consumes Reports forever; the reader keeps the
-	// connection alive after the ROSpec drains. For the demo, an idle
+	// connection alive after the ROSpec drains, and the session keeps
+	// the channel open across any reconnects. For the demo, an idle
 	// timeout detects that the replayed session is complete.
 	var total int
 	idle := time.NewTimer(3 * time.Second)
 loop:
 	for {
 		select {
-		case r, ok := <-client.Reports():
+		case r, ok := <-session.Reports():
 			if !ok {
 				break loop
 			}
@@ -147,25 +148,25 @@ loop:
 			break loop
 		}
 	}
-	if err := client.StopROSpec(roSpecID); err != nil {
-		log.Printf("stop rospec: %v", err)
-	}
-	monitor.CloseInput()
-	<-done
-
-	if err := client.Err(); err != nil {
-		log.Fatalf("connection error: %v", err)
-	}
-	fmt.Printf("stream ended after %d reports\n", total)
-
 	// --- What did the pipeline look like from the outside? Scrape our
-	// own debug server the way an operator (or Prometheus) would.
+	// own debug server the way an operator (or Prometheus) would —
+	// /healthz while the session is still up (after Close it would
+	// honestly report degraded), /metrics after the stream settles.
 	base := "http://" + debug.Addr()
 	health, err := fetch(base + "/healthz")
 	if err != nil {
 		log.Fatalf("healthz: %v", err)
 	}
 	fmt.Printf("healthz: %s\n", strings.TrimSpace(health))
+
+	if err := session.Close(); err != nil {
+		log.Printf("session close: %v", err)
+	}
+	monitor.CloseInput()
+	<-done
+
+	fmt.Printf("stream ended after %d reports (%d reconnects)\n",
+		total, session.Reconnects())
 
 	exposition, err := fetch(base + "/metrics")
 	if err != nil {

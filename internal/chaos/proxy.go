@@ -1,0 +1,333 @@
+// Package chaos is a fault-injection TCP proxy for exercising the
+// transport resilience layer. A Proxy sits between an LLRP client and
+// server as a programmable man-in-the-middle: tests point the client at
+// Proxy.Addr and then inject disconnects, mid-frame cuts, corrupt
+// frames, latency spikes, and byte-level stalls on the live link,
+// either directly or from a scripted scenario schedule (RunScript).
+//
+// The package deliberately knows nothing about LLRP — it moves bytes.
+// That keeps it importable from the llrp package's own tests (no
+// cycle) and reusable against any TCP protocol.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is a single-target TCP relay with programmable faults. All
+// fault setters are safe for concurrent use and act on current and
+// future connections. Downstream below means server→client — the
+// direction report frames travel, and the one faults target.
+type Proxy struct {
+	target string
+	ln     net.Listener
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	mu          sync.Mutex
+	conns       map[*link]struct{}
+	latency     time.Duration // added before relaying each downstream chunk
+	stallUntil  time.Time     // downstream bytes withheld until this instant
+	cutAfter    int64         // kill the link after this many more downstream bytes; -1 = disarmed
+	corruptNext int64         // XOR this many upcoming downstream bytes
+
+	totalConns  atomic.Uint64
+	activeConns atomic.Int64
+	bytesUp     atomic.Uint64 // client→server
+	bytesDown   atomic.Uint64 // server→client
+}
+
+// link is one client connection paired with its upstream dial.
+type link struct {
+	client net.Conn
+	server net.Conn
+	once   sync.Once
+}
+
+func (l *link) kill() {
+	l.once.Do(func() {
+		l.client.Close()
+		l.server.Close()
+	})
+}
+
+// NewProxy starts relaying a loopback listener to target. Close tears
+// down the listener and every live link.
+func NewProxy(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listen: %w", err)
+	}
+	p := &Proxy{
+		target:   target,
+		ln:       ln,
+		closed:   make(chan struct{}),
+		conns:    make(map[*link]struct{}),
+		cutAfter: -1,
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address clients should dial instead of the real target.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// TotalConns is how many client connections the proxy has accepted.
+func (p *Proxy) TotalConns() uint64 { return p.totalConns.Load() }
+
+// ActiveConns is how many links are currently relaying.
+func (p *Proxy) ActiveConns() int64 { return p.activeConns.Load() }
+
+// BytesDown is the total server→client bytes relayed (pre-fault).
+func (p *Proxy) BytesDown() uint64 { return p.bytesDown.Load() }
+
+// BytesUp is the total client→server bytes relayed.
+func (p *Proxy) BytesUp() uint64 { return p.bytesUp.Load() }
+
+// Disconnect abruptly kills every live link (a reader reboot / cable
+// pull). New connections are still accepted, so a reconnecting client
+// gets back in.
+func (p *Proxy) Disconnect() {
+	p.mu.Lock()
+	links := make([]*link, 0, len(p.conns))
+	for l := range p.conns {
+		links = append(links, l)
+	}
+	p.mu.Unlock()
+	for _, l := range links {
+		l.kill()
+	}
+}
+
+// CutAfter arms a mid-frame cut: after n more downstream bytes are
+// relayed, the link carrying the n-th byte is killed. With n smaller
+// than a frame, the client sees a truncated message. One-shot.
+func (p *Proxy) CutAfter(n int64) {
+	p.mu.Lock()
+	p.cutAfter = n
+	p.mu.Unlock()
+}
+
+// CorruptNext flips every bit of the next n downstream bytes, which a
+// framed protocol sees as garbage (bad version bits, absurd lengths).
+// One-shot.
+func (p *Proxy) CorruptNext(n int64) {
+	p.mu.Lock()
+	p.corruptNext = n
+	p.mu.Unlock()
+}
+
+// SetLatency adds d of delay before each downstream chunk is relayed
+// (a latency spike); zero restores normal relaying.
+func (p *Proxy) SetLatency(d time.Duration) {
+	p.mu.Lock()
+	p.latency = d
+	p.mu.Unlock()
+}
+
+// StallFor withholds all downstream bytes for d from now — the
+// connection stays open but goes silent, exactly the wedged-TCP shape
+// a keepalive watchdog exists to catch.
+func (p *Proxy) StallFor(d time.Duration) {
+	p.mu.Lock()
+	p.stallUntil = time.Now().Add(d)
+	p.mu.Unlock()
+}
+
+// Step is one entry in a scenario schedule: wait After, then apply Act.
+type Step struct {
+	// After is the pause before this step fires (relative to the
+	// previous step, not the script start).
+	After time.Duration
+	// Act injects the step's fault.
+	Act func(p *Proxy)
+}
+
+// RunScript plays a scenario schedule against the proxy, blocking
+// until the last step has fired, ctx ends, or the proxy closes.
+func (p *Proxy) RunScript(ctx context.Context, steps []Step) error {
+	for i, s := range steps {
+		t := time.NewTimer(s.After)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-p.closed:
+			t.Stop()
+			return fmt.Errorf("chaos: proxy closed at step %d", i)
+		}
+		if s.Act != nil {
+			s.Act(p)
+		}
+	}
+	return nil
+}
+
+// Close stops accepting, kills every live link, and waits for all
+// proxy goroutines to exit. Idempotent.
+func (p *Proxy) Close() error {
+	p.closeOnce.Do(func() {
+		close(p.closed)
+		p.ln.Close()
+		p.Disconnect()
+	})
+	p.wg.Wait()
+	return nil
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		server, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		l := &link{client: client, server: server}
+		p.mu.Lock()
+		p.conns[l] = struct{}{}
+		p.mu.Unlock()
+		p.totalConns.Add(1)
+		p.activeConns.Add(1)
+
+		p.wg.Add(2)
+		var pumps sync.WaitGroup
+		pumps.Add(2)
+		go func() {
+			defer p.wg.Done()
+			defer pumps.Done()
+			p.pumpUp(l)
+		}()
+		go func() {
+			defer p.wg.Done()
+			defer pumps.Done()
+			p.pumpDown(l)
+		}()
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			pumps.Wait()
+			l.kill()
+			p.mu.Lock()
+			delete(p.conns, l)
+			p.mu.Unlock()
+			p.activeConns.Add(-1)
+		}()
+	}
+}
+
+// pumpUp relays client→server verbatim; host-side traffic (requests,
+// keepalive acks) is not fault-injected — the interesting failures are
+// on the report path.
+func (p *Proxy) pumpUp(l *link) {
+	buf := make([]byte, 4096)
+	for {
+		n, err := l.client.Read(buf)
+		if n > 0 {
+			p.bytesUp.Add(uint64(n))
+			if _, werr := l.server.Write(buf[:n]); werr != nil {
+				l.kill()
+				return
+			}
+		}
+		if err != nil {
+			l.kill()
+			return
+		}
+	}
+}
+
+// pumpDown relays server→client, applying the armed faults to each
+// chunk: latency first, then stall, then corruption, then the cut.
+func (p *Proxy) pumpDown(l *link) {
+	buf := make([]byte, 4096)
+	for {
+		n, err := l.server.Read(buf)
+		if n > 0 {
+			p.bytesDown.Add(uint64(n))
+			if !p.deliver(l, buf[:n]) {
+				return
+			}
+		}
+		if err != nil {
+			l.kill()
+			return
+		}
+	}
+}
+
+// deliver applies the current fault set to one downstream chunk and
+// writes it to the client; false means the link is dead.
+func (p *Proxy) deliver(l *link, chunk []byte) bool {
+	p.mu.Lock()
+	latency := p.latency
+	stallUntil := p.stallUntil
+	if c := p.corruptNext; c > 0 {
+		m := int64(len(chunk))
+		if m > c {
+			m = c
+		}
+		for i := int64(0); i < m; i++ {
+			chunk[i] ^= 0xFF
+		}
+		p.corruptNext -= m
+	}
+	cut := int64(-1)
+	if p.cutAfter >= 0 {
+		if p.cutAfter < int64(len(chunk)) {
+			cut = p.cutAfter
+			p.cutAfter = -1
+		} else {
+			p.cutAfter -= int64(len(chunk))
+		}
+	}
+	p.mu.Unlock()
+
+	if latency > 0 && !p.sleep(latency) {
+		l.kill()
+		return false
+	}
+	if wait := time.Until(stallUntil); wait > 0 && !p.sleep(wait) {
+		l.kill()
+		return false
+	}
+	if cut >= 0 {
+		// Relay the bytes before the cut point — landing the client
+		// mid-frame — then kill the link.
+		if cut > 0 {
+			_, _ = l.client.Write(chunk[:cut])
+		}
+		l.kill()
+		return false
+	}
+	if _, err := l.client.Write(chunk); err != nil {
+		l.kill()
+		return false
+	}
+	return true
+}
+
+// sleep waits d unless the proxy closes first.
+func (p *Proxy) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-p.closed:
+		return false
+	}
+}

@@ -1,0 +1,238 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and writes back everything it reads.
+// Returns the address and a stop func.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conn.Close()
+				_, _ = io.Copy(conn, conn)
+			}()
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		wg.Wait()
+	})
+	return ln.Addr().String()
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func newTestProxy(t *testing.T, target string) *Proxy {
+	t.Helper()
+	p, err := NewProxy(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// roundtrip writes msg and expects it echoed back verbatim.
+func roundtrip(t *testing.T, conn net.Conn, msg []byte) {
+	t.Helper()
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo mismatch: sent %q got %q", msg, got)
+	}
+}
+
+func TestProxyRelaysCleanly(t *testing.T) {
+	p := newTestProxy(t, echoServer(t))
+	conn := dialProxy(t, p)
+	roundtrip(t, conn, []byte("hello through the middle"))
+	if p.TotalConns() != 1 {
+		t.Fatalf("TotalConns = %d, want 1", p.TotalConns())
+	}
+	if p.BytesDown() == 0 || p.BytesUp() == 0 {
+		t.Fatalf("byte counters not advancing: up=%d down=%d", p.BytesUp(), p.BytesDown())
+	}
+}
+
+func TestProxyDisconnectKillsLiveLinks(t *testing.T) {
+	p := newTestProxy(t, echoServer(t))
+	conn := dialProxy(t, p)
+	roundtrip(t, conn, []byte("warmup"))
+
+	p.Disconnect()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 16)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("read succeeded after Disconnect; want connection error")
+	}
+
+	// The proxy keeps accepting: a reconnect gets through.
+	conn2 := dialProxy(t, p)
+	roundtrip(t, conn2, []byte("back again"))
+	if p.TotalConns() != 2 {
+		t.Fatalf("TotalConns = %d, want 2", p.TotalConns())
+	}
+}
+
+func TestProxyCutAfterTruncatesMidMessage(t *testing.T) {
+	p := newTestProxy(t, echoServer(t))
+	conn := dialProxy(t, p)
+	roundtrip(t, conn, []byte("warmup"))
+
+	p.CutAfter(3)
+	msg := []byte("0123456789")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, _ := io.ReadAll(conn) // reads until the injected kill
+	if len(got) > 3 {
+		t.Fatalf("got %d bytes past the cut point (%q)", len(got), got)
+	}
+}
+
+func TestProxyCorruptNextFlipsBytes(t *testing.T) {
+	p := newTestProxy(t, echoServer(t))
+	conn := dialProxy(t, p)
+	roundtrip(t, conn, []byte("warmup"))
+
+	p.CorruptNext(4)
+	msg := []byte{1, 2, 3, 4, 5, 6}
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1 ^ 0xFF, 2 ^ 0xFF, 3 ^ 0xFF, 4 ^ 0xFF, 5, 6}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("corruption mismatch: got %v want %v", got, want)
+	}
+	// One-shot: the next message is clean again.
+	roundtrip(t, conn, []byte("clean"))
+}
+
+func TestProxyStallWithholdsBytes(t *testing.T) {
+	p := newTestProxy(t, echoServer(t))
+	conn := dialProxy(t, p)
+	roundtrip(t, conn, []byte("warmup"))
+
+	const stall = 300 * time.Millisecond
+	p.StallFor(stall)
+	start := time.Now()
+	if _, err := conn.Write([]byte("delayed")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 7)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < stall/2 {
+		t.Fatalf("bytes arrived in %v during a %v stall", elapsed, stall)
+	}
+}
+
+func TestProxyLatencyDelaysChunks(t *testing.T) {
+	p := newTestProxy(t, echoServer(t))
+	conn := dialProxy(t, p)
+	roundtrip(t, conn, []byte("warmup"))
+
+	p.SetLatency(100 * time.Millisecond)
+	start := time.Now()
+	roundtrip(t, conn, []byte("slow"))
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("latency spike not applied: roundtrip %v", elapsed)
+	}
+	p.SetLatency(0)
+}
+
+func TestProxyRunScript(t *testing.T) {
+	p := newTestProxy(t, echoServer(t))
+	conn := dialProxy(t, p)
+	roundtrip(t, conn, []byte("warmup"))
+
+	done := make(chan error, 1)
+	go func() {
+		done <- p.RunScript(context.Background(), []Step{
+			{After: 10 * time.Millisecond, Act: func(p *Proxy) { p.CorruptNext(1) }},
+			{After: 10 * time.Millisecond, Act: func(p *Proxy) { p.Disconnect() }},
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("script: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("script did not finish")
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 4)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("link survived scripted Disconnect")
+	}
+}
+
+func TestProxyRunScriptContextCancel(t *testing.T) {
+	p := newTestProxy(t, echoServer(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := p.RunScript(ctx, []Step{{After: time.Hour}})
+	if err == nil {
+		t.Fatal("want context error from canceled script")
+	}
+}
+
+func TestProxyCloseIsIdempotentAndJoins(t *testing.T) {
+	p := newTestProxy(t, echoServer(t))
+	conn := dialProxy(t, p)
+	roundtrip(t, conn, []byte("warmup"))
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := p.ActiveConns(); n != 0 {
+		t.Fatalf("ActiveConns = %d after Close, want 0", n)
+	}
+}

@@ -392,11 +392,9 @@ type antennaState struct {
 	crossings []sigproc.ZeroCrossing
 	next      int // next bin index to push through the chain
 
-	// Ring of filtered outputs (window length) for pause detection;
-	// nil unless apnea alarms are enabled. filtHi is one past the
-	// newest output bin index held.
-	filt   []float64
-	filtHi int
+	// Incremental apnea detector over the filtered outputs; nil unless
+	// apnea alarms are enabled.
+	pause *PauseTracker
 }
 
 // Engine runs the full per-user pipeline incrementally. It is not safe
@@ -476,7 +474,7 @@ func (e *Engine) ant(port int) *antennaState {
 			e.delay = bp.Delay()
 			e.warm = bp.Warmup()
 			if e.apneaSec > 0 {
-				a.filt = make([]float64, e.windowBins)
+				a.pause = NewPauseTracker(1/e.binSec, e.origin, e.apneaSec, e.windowBins)
 			}
 		}
 	}
@@ -635,11 +633,8 @@ func (e *Engine) advance(a *antennaState, limIdx int) int {
 				a.crossings = append(a.crossings, zc)
 			}
 		}
-		if a.filt != nil {
-			if o := i - e.delay; o >= 0 {
-				a.filt[o%len(a.filt)] = y
-				a.filtHi = o + 1
-			}
+		if a.pause != nil && i >= e.delay {
+			a.pause.Push(y)
 		}
 		n++
 	}
@@ -673,21 +668,11 @@ func (e *Engine) streamingUpdate(a *antennaState, port int, t0 float64) (RateUpd
 		instant = r * 60
 	}
 	var pauses [][2]float64
-	if e.apneaSec > 0 && a.filt != nil && a.filtHi > 0 {
-		lo := a.filtHi - len(a.filt)
-		if lo < 0 {
-			lo = 0
-		}
-		e.scratch = e.scratch[:0]
-		for i := lo; i < a.filtHi; i++ {
-			e.scratch = append(e.scratch, a.filt[i%len(a.filt)])
-		}
-		sig := BreathSignal{
-			T0:         e.origin + float64(lo)*e.binSec,
-			SampleRate: 1 / e.binSec,
-			Samples:    e.scratch,
-		}
-		pauses = sig.DetectPauses(e.apneaSec)
+	if a.pause != nil {
+		// Incremental: the tracker followed the filtered stream as bins
+		// finalized; the tick only refreshes the envelope threshold and
+		// reads out the window's runs.
+		pauses = a.pause.Tick()
 	}
 	return RateUpdate{
 		UserID:      e.userID,

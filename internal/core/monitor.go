@@ -129,6 +129,13 @@ type Monitor struct {
 	stopOnce  sync.Once
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+
+	// last mirrors the most recent update per user, written by the
+	// collector; LastUpdates snapshots it so operators (and chaos
+	// tests) can check per-user estimates survive transport outages
+	// without consuming the update stream.
+	lastMu sync.Mutex
+	last   map[uint64]RateUpdate
 }
 
 // NewMonitor starts a streaming monitor. Callers must eventually call
@@ -140,6 +147,7 @@ func NewMonitor(cfg MonitorConfig) *Monitor {
 		in:      make(chan reader.TagReport, 256),
 		updates: make(chan RateUpdate, 64),
 		metrics: cfg.Metrics,
+		last:    make(map[uint64]RateUpdate),
 	}
 	if m.metrics == nil {
 		// Unexposed instruments: the hot path never branches on
@@ -182,6 +190,21 @@ func (m *Monitor) Updates() <-chan RateUpdate {
 // reader over the tagbreathe_monitor_reports_dropped_total counter.
 func (m *Monitor) DroppedReports() uint64 {
 	return m.metrics.Dropped.Value()
+}
+
+// LastUpdates snapshots the most recent rate update per user. It is a
+// read-side window onto the stream — consuming Updates is still how
+// the data leaves the monitor — kept for operators and fault-tolerance
+// tests verifying that per-user estimates resume (rather than reset)
+// across transport outages. Safe to call at any time.
+func (m *Monitor) LastUpdates() map[uint64]RateUpdate {
+	m.lastMu.Lock()
+	defer m.lastMu.Unlock()
+	out := make(map[uint64]RateUpdate, len(m.last))
+	for uid, u := range m.last {
+		out[uid] = u
+	}
+	return out
 }
 
 // CloseInput signals that no further reports will arrive. Pending
@@ -362,6 +385,13 @@ func (m *Monitor) collectLoop(ticks <-chan *monitorTick) {
 			ups = append(ups, <-tick.results...)
 		}
 		sort.Slice(ups, func(i, j int) bool { return ups[i].UserID < ups[j].UserID })
+		if len(ups) > 0 {
+			m.lastMu.Lock()
+			for _, u := range ups {
+				m.last[u.UserID] = u
+			}
+			m.lastMu.Unlock()
+		}
 		for _, u := range ups {
 			m.updates <- u
 		}

@@ -256,3 +256,82 @@ func TestMonitorApneaAlarms(t *testing.T) {
 		t.Errorf("false alarms on steady breathing: %d/%d updates", steadyAlarms, steadyTotal)
 	}
 }
+
+func TestMonitorApneaAlarmsStreaming(t *testing.T) {
+	// The incremental chain end to end: FilterFIRStreaming ticks use
+	// the PauseTracker instead of re-detecting over the window, and
+	// must reach the same clinical verdicts — alarms for an irregular
+	// breather with pauses, none (within noise) for a metronome.
+	run := func(pattern sim.PatternKind) (withPauses, total int) {
+		res := runScenario(t, 28, func(sc *sim.Scenario) {
+			sc.Duration = 2 * time.Minute
+			sc.DefaultDistance = 2
+			sc.Users[0].Pattern = pattern
+			sc.Users[0].RateBPM = 20
+		})
+		updates, err := core.MonitorStream(res.Reports, core.MonitorConfig{
+			Pipeline:      core.Config{Users: res.UserIDs, Filter: core.FilterFIRStreaming},
+			UpdateEvery:   5 * time.Second,
+			ApneaAlarmSec: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range updates {
+			total++
+			if len(u.Pauses) > 0 {
+				withPauses++
+			}
+		}
+		return withPauses, total
+	}
+	irregularAlarms, irregularTotal := run(sim.PatternIrregular)
+	steadyAlarms, steadyTotal := run(sim.PatternMetronome)
+	if irregularTotal == 0 || steadyTotal == 0 {
+		t.Fatal("no updates")
+	}
+	if irregularAlarms == 0 {
+		t.Error("no apnea alarms for an irregular breather in streaming mode")
+	}
+	if float64(steadyAlarms) > 0.1*float64(steadyTotal) {
+		t.Errorf("false alarms on steady breathing in streaming mode: %d/%d updates", steadyAlarms, steadyTotal)
+	}
+}
+
+func TestMonitorLastUpdates(t *testing.T) {
+	res := runScenario(t, 21, nil)
+	m := core.NewMonitor(core.MonitorConfig{
+		Pipeline:    core.Config{Users: res.UserIDs},
+		UpdateEvery: 5 * time.Second,
+	})
+	if snap := m.LastUpdates(); len(snap) != 0 {
+		t.Fatalf("LastUpdates before any input: %v", snap)
+	}
+	var last core.RateUpdate
+	var count int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for u := range m.Updates() {
+			last = u
+			count++
+		}
+	}()
+	for _, r := range res.Reports {
+		m.Ingest(r)
+	}
+	m.CloseInput()
+	<-done
+	m.Stop()
+	if count == 0 {
+		t.Fatal("no updates")
+	}
+	snap := m.LastUpdates()
+	u, ok := snap[res.UserIDs[0]]
+	if !ok {
+		t.Fatalf("LastUpdates missing user %x: %v", res.UserIDs[0], snap)
+	}
+	if u.UserID != last.UserID || u.Time != last.Time || u.RateBPM != last.RateBPM {
+		t.Errorf("LastUpdates = %+v, want the stream's final update %+v", u, last)
+	}
+}

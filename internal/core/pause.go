@@ -1,0 +1,254 @@
+package core
+
+import "math"
+
+// PauseTracker is the incremental form of BreathSignal.DetectPauses:
+// it watches the streaming band-pass output one sample at a time and
+// tracks the current sub-threshold run as bins finalize, so a Monitor
+// tick's apnea check costs O(new bins) like the rest of the streaming
+// chain — not O(window) re-detection over a copied-out signal.
+//
+// Semantics follow the batch detector: the local breathing envelope is
+// a 2 s rolling RMS, and a pause is a stretch of at least minPauseSec
+// where the envelope stays below pauseEnvelopeFraction of the
+// window's 80th-percentile envelope, with an open trailing run
+// reported up to the window edge. Exact batch equality is impossible
+// online — the batch threshold is retroactive (the whole window's
+// percentile re-judges every sample, including ones long past) — so
+// the tracker makes three causal approximations, each bounded:
+//
+//   - The envelope percentile comes from a 256-bucket quarter-octave
+//     log histogram of the window's envelope values (O(1) insert,
+//     O(256) per-tick readout), quantizing the reference level by at
+//     most one bucket ratio (2^¼ ≈ 1.19×) against a 0.3 fraction.
+//   - Each envelope sample is judged against the threshold current
+//     when it finalizes (last tick's percentile), not the end-of-
+//     window percentile that batch hindsight would apply.
+//   - Envelope samples are emitted only with full centered support, so
+//     run edges lag the filter head by half the RMS width (~1 s) and
+//     stream-start edge truncation is skipped (the chain is inside its
+//     warmup there anyway).
+//
+// Pauses are drastic envelope collapses (the 0.3 fraction), so these
+// quantization and hysteresis effects move pause edges by around a
+// second rather than flipping detections; the equivalence tests bound
+// the drift against the batch detector.
+type PauseTracker struct {
+	rate     float64 // envelope sample rate (bins per second)
+	origin   float64 // stream time of sample index 0
+	minPause float64
+	window   int // envelope samples the analysis window holds
+
+	// Rolling mean of squares over win samples (the 2 s RMS support).
+	win   int
+	half  int
+	sq    []float64
+	sqSum float64
+	n     int // samples pushed
+
+	// Envelope histogram over the last window envelope values:
+	// bucketRing remembers each value's bucket for eviction.
+	hist       [256]int
+	bucketRing []uint8
+	ringN      int // envelope values emitted (ring entries = min(ringN, len))
+
+	threshold float64 // fraction × approx P80, refreshed each Tick
+
+	inRun    bool
+	runStart float64
+	done     [][2]float64 // completed runs ≥ minPause, pruned on Tick
+}
+
+// NewPauseTracker builds a tracker for a filtered-bin stream at rate
+// samples per second whose index-0 sample sits at stream time origin.
+// windowBins is the analysis window length in bins (the reference
+// population for the envelope percentile); minPauseSec the alarm
+// threshold, as in DetectPauses.
+func NewPauseTracker(rate, origin, minPauseSec float64, windowBins int) *PauseTracker {
+	if windowBins < 1 {
+		windowBins = 1
+	}
+	win := int(2*rate) | 1
+	return &PauseTracker{
+		rate:       rate,
+		origin:     origin,
+		minPause:   minPauseSec,
+		window:     windowBins,
+		win:        win,
+		half:       win / 2,
+		sq:         make([]float64, win),
+		bucketRing: make([]uint8, windowBins),
+	}
+}
+
+// timeOf converts an envelope/sample index to stream time.
+func (p *PauseTracker) timeOf(i int) float64 {
+	return p.origin + float64(i)/p.rate
+}
+
+// envBucket maps an envelope value onto the quarter-octave log grid.
+// Bucket 0 is reserved for (effectively) zero so the batch detector's
+// threshold≤0 degenerate case survives the quantization.
+func envBucket(e float64) uint8 {
+	if e <= 0 {
+		return 0
+	}
+	b := int(math.Floor(math.Log2(e)*4)) + 160
+	if b < 1 {
+		if b < -200 { // truly negligible (< 2^-90): call it zero
+			return 0
+		}
+		b = 1
+	}
+	if b > 255 {
+		b = 255
+	}
+	return uint8(b)
+}
+
+// bucketValue is the geometric midpoint of a bucket — the
+// representative the percentile readout returns.
+func bucketValue(b uint8) float64 {
+	if b == 0 {
+		return 0
+	}
+	return math.Pow(2, (float64(b)-160+0.5)/4)
+}
+
+// Push feeds the next filtered sample (consecutive bin outputs). O(1)
+// amortized: the rolling sum is re-derived exactly once per ring lap
+// to cancel floating-point drift.
+func (p *PauseTracker) Push(y float64) {
+	slot := p.n % p.win
+	if p.n >= p.win {
+		p.sqSum -= p.sq[slot]
+	}
+	p.sq[slot] = y * y
+	p.sqSum += y * y
+	p.n++
+	if slot == p.win-1 {
+		// Lap boundary: rebuild the sum exactly.
+		s := 0.0
+		for _, v := range p.sq {
+			s += v
+		}
+		p.sqSum = s
+	}
+	if p.n < p.win {
+		return // no full centered support yet
+	}
+	env := math.Sqrt(p.sqSum / float64(p.win))
+	if env < 0 || math.IsNaN(env) {
+		env = 0
+	}
+	p.emit(p.n-1-p.half, env)
+}
+
+// emit finalizes envelope sample j: histogram upkeep, then run
+// tracking against the current (causal) threshold.
+func (p *PauseTracker) emit(j int, env float64) {
+	slot := p.ringN % len(p.bucketRing)
+	if p.ringN >= len(p.bucketRing) {
+		p.hist[p.bucketRing[slot]]--
+	}
+	b := envBucket(env)
+	p.bucketRing[slot] = b
+	p.hist[b]++
+	p.ringN++
+
+	if p.threshold > 0 && env < p.threshold {
+		if !p.inRun {
+			p.inRun = true
+			p.runStart = p.timeOf(j)
+		}
+		return
+	}
+	if p.inRun {
+		end := p.timeOf(j)
+		if end-p.runStart >= p.minPause {
+			p.done = append(p.done, [2]float64{p.runStart, end})
+		}
+		p.inRun = false
+	}
+}
+
+// approxP80 reads the 80th percentile off the histogram: O(256).
+func (p *PauseTracker) approxP80() float64 {
+	count := p.ringN
+	if count > len(p.bucketRing) {
+		count = len(p.bucketRing)
+	}
+	if count == 0 {
+		return 0
+	}
+	rank := int(0.8 * float64(count-1))
+	cum := 0
+	for b := 0; b < 256; b++ {
+		cum += p.hist[b]
+		if cum > rank {
+			return bucketValue(uint8(b))
+		}
+	}
+	return 0
+}
+
+// Tick refreshes the threshold from the window's envelope population
+// and returns the pauses inside the current analysis window — the
+// last windowBins filtered outputs, ending at the newest consumed bin
+// (the same lagged view the streaming rate estimate describes).
+// Completed runs that slid out of the window are pruned for good;
+// an open trailing run is reported up to the window edge once it is
+// long enough, exactly like the batch detector's trailing clause.
+// O(new-samples-since-last-Tick + 256).
+func (p *PauseTracker) Tick() [][2]float64 {
+	p.threshold = pauseEnvelopeFraction * p.approxP80()
+
+	edge := p.timeOf(p.n) // one past the newest output, as in batch
+	t0 := p.timeOf(p.n - p.window)
+	if t0 < p.origin {
+		t0 = p.origin
+	}
+	if p.n == 0 {
+		return nil
+	}
+
+	// Prune completed pauses that ended at or before the window start.
+	keep := p.done[:0]
+	for _, d := range p.done {
+		if d[1] > t0 {
+			keep = append(keep, d)
+		}
+	}
+	p.done = keep
+
+	if p.threshold <= 0 {
+		// Degenerate window (envelope is zero at the 80th percentile):
+		// the whole window is a pause if long enough, per the batch
+		// detector's threshold≤0 clause.
+		if edge-t0 >= p.minPause {
+			return [][2]float64{{t0, edge}}
+		}
+		return nil
+	}
+
+	var out [][2]float64
+	for _, d := range p.done {
+		start := d[0]
+		if start < t0 {
+			start = t0
+		}
+		if d[1]-start >= p.minPause {
+			out = append(out, [2]float64{start, d[1]})
+		}
+	}
+	if p.inRun {
+		start := p.runStart
+		if start < t0 {
+			start = t0
+		}
+		if edge-start >= p.minPause {
+			out = append(out, [2]float64{start, edge})
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"tagbreathe/internal/core"
+)
+
+// synthBreath builds a filtered-looking breathing signal at rate Hz:
+// a sine with the given zeroed pause intervals.
+func synthBreath(durSec, rate, freq float64, pauses [][2]float64) []float64 {
+	n := int(durSec * rate)
+	out := make([]float64, n)
+	for i := range out {
+		t := float64(i) / rate
+		v := math.Sin(2 * math.Pi * freq * t)
+		for _, p := range pauses {
+			if t >= p[0] && t < p[1] {
+				v = 0
+				break
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// feed pushes a signal through a tracker with periodic threshold
+// refreshes (every second of samples), the way Monitor ticks would.
+func feed(tr *core.PauseTracker, samples []float64, rate float64) {
+	tick := int(rate)
+	for i, v := range samples {
+		tr.Push(v)
+		if (i+1)%tick == 0 {
+			tr.Tick()
+		}
+	}
+}
+
+// TestPauseTrackerMatchesBatchDetector runs the incremental tracker
+// and the batch DetectPauses over the same synthetic signal and
+// demands the same pauses with edges within the documented drift
+// (half the RMS support + one causal tick ≈ 2 s).
+func TestPauseTrackerMatchesBatchDetector(t *testing.T) {
+	const rate, dur = 10.0, 120.0
+	truePauses := [][2]float64{{40, 52}, {80, 90}}
+	samples := synthBreath(dur, rate, 0.25, truePauses)
+
+	sig := core.BreathSignal{T0: 0, SampleRate: rate, Samples: samples}
+	batch := sig.DetectPauses(4)
+	if len(batch) != len(truePauses) {
+		t.Fatalf("batch found %d pauses, want %d: %v", len(batch), len(truePauses), batch)
+	}
+
+	// Window longer than the signal: both detectors see everything.
+	tr := core.NewPauseTracker(rate, 0, 4, int(dur*rate)+100)
+	feed(tr, samples, rate)
+	got := tr.Tick()
+
+	if len(got) != len(batch) {
+		t.Fatalf("tracker found %d pauses, batch %d\n tracker: %v\n batch:   %v",
+			len(got), len(batch), got, batch)
+	}
+	const tol = 2.0
+	for i := range got {
+		if math.Abs(got[i][0]-batch[i][0]) > tol || math.Abs(got[i][1]-batch[i][1]) > tol {
+			t.Errorf("pause %d: tracker %v vs batch %v (tolerance %.1fs)", i, got[i], batch[i], tol)
+		}
+	}
+}
+
+// TestPauseTrackerTrailingOpenRun: a pause running into the edge of
+// the stream is reported up to the edge, matching the batch trailing
+// clause.
+func TestPauseTrackerTrailingOpenRun(t *testing.T) {
+	const rate = 10.0
+	samples := synthBreath(60, rate, 0.25, [][2]float64{{50, 60}})
+	tr := core.NewPauseTracker(rate, 0, 4, 1000)
+	feed(tr, samples, rate)
+	got := tr.Tick()
+	if len(got) != 1 {
+		t.Fatalf("got %v, want one trailing pause", got)
+	}
+	if got[0][0] < 49 || got[0][0] > 53 {
+		t.Errorf("trailing pause starts at %.1f, want ≈ 50", got[0][0])
+	}
+	if got[0][1] < 58 {
+		t.Errorf("trailing pause ends at %.1f, want near the stream edge 60", got[0][1])
+	}
+}
+
+// TestPauseTrackerZeroSignal mirrors the batch threshold≤0 clause: a
+// window with no envelope at all is one long pause.
+func TestPauseTrackerZeroSignal(t *testing.T) {
+	const rate = 10.0
+	tr := core.NewPauseTracker(rate, 0, 4, 1000)
+	for i := 0; i < 600; i++ { // 60 s of silence
+		tr.Push(0)
+	}
+	got := tr.Tick()
+	if len(got) != 1 {
+		t.Fatalf("got %v, want the whole window as one pause", got)
+	}
+	if got[0][0] > 1 || got[0][1] < 55 {
+		t.Errorf("degenerate pause %v does not span the window", got[0])
+	}
+}
+
+// TestPauseTrackerPrunesSlidOutPauses: with a sliding window, a pause
+// that scrolled out of range must disappear from Tick's readout while
+// a recent one stays.
+func TestPauseTrackerPrunesSlidOutPauses(t *testing.T) {
+	const rate = 10.0
+	const windowSec = 30.0
+	samples := synthBreath(120, rate, 0.25, [][2]float64{{20, 30}, {100, 108}})
+	tr := core.NewPauseTracker(rate, 0, 4, int(windowSec*rate))
+	feed(tr, samples, rate)
+	got := tr.Tick()
+	if len(got) != 1 {
+		t.Fatalf("got %v, want only the recent pause (window %.0fs)", got, windowSec)
+	}
+	if got[0][0] < 98 || got[0][0] > 103 {
+		t.Errorf("surviving pause %v is not the recent one", got[0])
+	}
+}
+
+// TestPauseTrackerNoFalsePauses: steady breathing must produce no
+// pauses at any tick.
+func TestPauseTrackerNoFalsePauses(t *testing.T) {
+	const rate = 10.0
+	samples := synthBreath(120, rate, 0.3, nil)
+	tr := core.NewPauseTracker(rate, 0, 4, 300)
+	tick := int(rate)
+	for i, v := range samples {
+		tr.Push(v)
+		if (i+1)%tick == 0 {
+			if got := tr.Tick(); len(got) != 0 {
+				t.Fatalf("false pause %v at t=%.1f on steady breathing", got, float64(i)/rate)
+			}
+		}
+	}
+}

@@ -1,11 +1,13 @@
 package llrp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tagbreathe/internal/reader"
@@ -19,6 +21,11 @@ type Client struct {
 	metrics *ClientMetrics
 
 	writeMu sync.Mutex
+
+	// lastActivity is the wall time (UnixNano) of the last inbound
+	// message — keepalive, report, or response. Session watchdogs read
+	// it to declare a silent link dead.
+	lastActivity atomic.Int64
 
 	mu      sync.Mutex
 	nextID  uint32
@@ -40,11 +47,40 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 // NewClientMetrics). A nil metrics value builds private, unexposed
 // instruments.
 func DialWithMetrics(addr string, timeout time.Duration, m *ClientMetrics) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return DialContextWithMetrics(ctx, addr, m)
+}
+
+// DialContext is Dial with cancelable connection setup: both the TCP
+// dial and the reader's greeting handshake abort when ctx ends. The
+// returned client's lifetime is independent of ctx — cancel after
+// setup does not tear the connection down; use Close for that.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	return DialContextWithMetrics(ctx, addr, nil)
+}
+
+// DialContextWithMetrics is DialContext with protocol instrumentation.
+func DialContextWithMetrics(ctx context.Context, addr string, m *ClientMetrics) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("llrp: dial %s: %w", addr, err)
 	}
-	return NewClientWithMetrics(conn, m)
+	// The handshake below is a blocking read; closing the socket is the
+	// only way to abort it when ctx ends first.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	c, err := NewClientWithMetrics(conn, m)
+	if !stop() && err != nil {
+		// The AfterFunc already ran: ctx ended mid-handshake, and the
+		// read error is just the closed socket. Surface the cause.
+		return nil, fmt.Errorf("llrp: dial %s: %w", addr, context.Cause(ctx))
+	}
+	return c, err
 }
 
 // NewClient wraps an established connection (useful for tests with
@@ -76,9 +112,18 @@ func NewClientWithMetrics(conn net.Conn, m *ClientMetrics) (*Client, error) {
 		conn.Close()
 		return nil, fmt.Errorf("llrp: expected READER_EVENT_NOTIFICATION, got %v", hello.Type)
 	}
+	c.lastActivity.Store(time.Now().UnixNano())
 	c.readWG.Add(1)
 	go c.readLoop()
 	return c, nil
+}
+
+// LastActivity returns the wall time of the last inbound message on
+// this connection (keepalive, tag report, or response). A link that is
+// nominally open but silent past the reader's keepalive period is
+// wedged; Session's watchdog uses this to declare it dead.
+func (c *Client) LastActivity() time.Time {
+	return time.Unix(0, c.lastActivity.Load())
 }
 
 // Reports returns the stream of decoded tag reports. The channel is
@@ -98,17 +143,24 @@ func (c *Client) Err() error {
 	return c.err
 }
 
-// Close sends CLOSE_CONNECTION (best effort) and tears down.
+// Close sends CLOSE_CONNECTION (best effort) and tears down. It is
+// idempotent: every call after the first is a no-op returning nil, and
+// concurrent calls are safe (later callers wait for the read loop to
+// unwind too).
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
+		c.readWG.Wait()
 		return nil
 	}
 	c.closed = true
 	c.mu.Unlock()
 
-	// Best-effort polite close; the reader may already be gone.
+	// Best-effort polite close; the reader may already be gone, and a
+	// stalled peer must not be able to wedge Close on a full socket
+	// buffer — bound the farewell write.
+	_ = c.conn.SetWriteDeadline(time.Now().Add(time.Second))
 	_ = c.send(Message{Type: MsgCloseConnection, ID: c.allocID()})
 	err := c.conn.Close()
 	c.readWG.Wait()
@@ -257,6 +309,7 @@ func (c *Client) readLoop() {
 			c.mu.Unlock()
 			return
 		}
+		c.lastActivity.Store(time.Now().UnixNano())
 		switch m.Type {
 		case MsgROAccessReport:
 			reports, derr := DecodeTagReports(m.Payload)

@@ -47,6 +47,49 @@ func NewServerMetrics(r *obs.Registry) *ServerMetrics {
 	}
 }
 
+// SessionMetrics instrument the managed reconnecting session layer
+// (see Session). Build with NewSessionMetrics and hand to
+// SessionConfig.Metrics; a nil registry yields live but unexposed
+// instruments.
+type SessionMetrics struct {
+	// Reconnects counts successful re-establishments after a lost
+	// link — the first connect is not a reconnect.
+	Reconnects *obs.Counter
+	// State is the session's current lifecycle state as a small
+	// integer: 0 connecting, 1 up, 2 backoff (link lost, waiting to
+	// retry), 3 closed.
+	State *obs.Gauge
+	// OutageSeconds observes, at each successful reconnect, how long
+	// the report stream was down (link declared dead → reports flowing
+	// again).
+	OutageSeconds *obs.Histogram
+	// ConnectFailures counts failed connection attempts by stage:
+	// "dial" (TCP + handshake) or "provision" (reader config / ROSpec
+	// lifecycle rejected).
+	ConnectFailures *obs.CounterVec
+	// WatchdogTrips counts links declared dead by the keepalive
+	// watchdog (no inbound traffic within the deadline).
+	WatchdogTrips *obs.Counter
+}
+
+// NewSessionMetrics wires session instruments into r (nil r: live,
+// unexposed).
+func NewSessionMetrics(r *obs.Registry) *SessionMetrics {
+	return &SessionMetrics{
+		Reconnects: r.Counter("tagbreathe_llrp_session_reconnects_total",
+			"Successful session re-establishments after a lost link."),
+		State: r.Gauge("tagbreathe_llrp_session_state",
+			"Session state (0 connecting, 1 up, 2 backoff, 3 closed)."),
+		OutageSeconds: r.Histogram("tagbreathe_llrp_session_outage_seconds",
+			"Report-stream outage duration per reconnect (link dead to reports flowing).",
+			[]float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 300}),
+		ConnectFailures: r.CounterVec("tagbreathe_llrp_session_connect_failures_total",
+			"Failed connection attempts by stage (dial, provision).", "stage"),
+		WatchdogTrips: r.Counter("tagbreathe_llrp_session_watchdog_trips_total",
+			"Links declared dead by the keepalive watchdog."),
+	}
+}
+
 // ClientMetrics are the host-side protocol instruments; pass to
 // NewClientWithMetrics or DialWithMetrics.
 type ClientMetrics struct {

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"tagbreathe/internal/chaos"
 	"tagbreathe/internal/obs"
 )
 
@@ -127,5 +128,61 @@ func TestClientMetricsCountKeepalives(t *testing.T) {
 			t.Fatalf("keepalives = %d, want >= 2", cm.Keepalives.Value())
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSessionMetricsExposition runs a session through a real
+// disconnect cycle with instruments in a registry and checks every
+// session family lands on the exposition surface with sane values.
+func TestSessionMetricsExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	addr := startServer(t, ServerConfig{NewSource: func() ReportSource { return testSource(1 << 20) }})
+	p, err := chaos.NewProxy(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+
+	cfg := fastSessionConfig(p.Addr())
+	cfg.Metrics = NewSessionMetrics(reg)
+	cfg.ClientMetrics = NewClientMetrics(reg)
+	s := startSessionTest(t, cfg)
+	recvReports(t, s, 10)
+
+	p.Disconnect()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Reconnects() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no reconnect (state %v, err %v)", s.State(), s.Err())
+		}
+		select {
+		case <-s.Reports():
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	recvReports(t, s, 10)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	exp := sb.String()
+	for _, want := range []string{
+		"tagbreathe_llrp_session_reconnects_total 1",
+		"tagbreathe_llrp_session_state 1", // back up after the cycle
+		"tagbreathe_llrp_session_outage_seconds_count 1",
+		"tagbreathe_llrp_session_outage_seconds_bucket",
+	} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if v := cfg.Metrics.OutageSeconds.Count(); v != 1 {
+		t.Errorf("outage observations = %d, want 1", v)
+	}
+
+	s.Close()
+	if v := cfg.Metrics.State.Value(); v != float64(SessionClosed) {
+		t.Errorf("state gauge = %v after Close, want %v", v, float64(SessionClosed))
 	}
 }

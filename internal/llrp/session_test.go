@@ -1,0 +1,312 @@
+package llrp
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"tagbreathe/internal/chaos"
+	"tagbreathe/internal/reader"
+)
+
+// fastSessionConfig is a session tuned for test latencies: millisecond
+// backoff so a dozen reconnect cycles finish in well under a second.
+func fastSessionConfig(addr string) SessionConfig {
+	return SessionConfig{
+		Addr:        addr,
+		ROSpec:      ROSpecConfig{ROSpecID: 1, ReportEveryN: 4},
+		DialTimeout: 2 * time.Second,
+		BackoffMin:  5 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+		backoffSeed: 42,
+	}
+}
+
+func startSessionTest(t *testing.T, cfg SessionConfig) *Session {
+	t.Helper()
+	s, err := StartSession(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// recvReports drains n reports from the session, failing on timeout.
+func recvReports(t *testing.T, s *Session, n int) []reader.TagReport {
+	t.Helper()
+	out := make([]reader.TagReport, 0, n)
+	deadline := time.After(10 * time.Second)
+	for len(out) < n {
+		select {
+		case r, ok := <-s.Reports():
+			if !ok {
+				t.Fatalf("Reports closed after %d/%d reports (err: %v)", len(out), n, s.Err())
+			}
+			out = append(out, r)
+		case <-deadline:
+			t.Fatalf("timeout waiting for %d reports (got %d, state %v, err %v)",
+				n, len(out), s.State(), s.Err())
+		}
+	}
+	return out
+}
+
+func TestSessionConnectAndStream(t *testing.T) {
+	addr := startServer(t, ServerConfig{})
+	s := startSessionTest(t, fastSessionConfig(addr))
+
+	if err := s.WaitUp(context.Background()); err != nil {
+		t.Fatalf("WaitUp: %v", err)
+	}
+	if st := s.State(); st != SessionUp {
+		t.Fatalf("state = %v, want up", st)
+	}
+	recvReports(t, s, 20)
+	if n := s.Reconnects(); n != 0 {
+		t.Fatalf("Reconnects = %d on a healthy first connection", n)
+	}
+	if err := s.Healthy(); err != nil {
+		t.Fatalf("Healthy: %v", err)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.State(); st != SessionClosed {
+		t.Fatalf("state after Close = %v, want closed", st)
+	}
+	// The stable channel must close, possibly after buffered drain.
+	for {
+		if _, ok := <-s.Reports(); !ok {
+			break
+		}
+	}
+	if err := s.Healthy(); err == nil {
+		t.Fatal("Healthy = nil after Close")
+	}
+}
+
+func TestSessionReconnectsAfterDisconnect(t *testing.T) {
+	// An endless source so the stream never runs dry mid-test.
+	addr := startServer(t, ServerConfig{NewSource: func() ReportSource { return testSource(1 << 20) }})
+	p, err := chaos.NewProxy(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+
+	s := startSessionTest(t, fastSessionConfig(p.Addr()))
+	ch := s.Reports() // the one stable channel, grabbed once
+	recvReports(t, s, 10)
+
+	for cycle := 1; cycle <= 3; cycle++ {
+		p.Disconnect()
+		// Keep draining while waiting: detecting the dead link requires
+		// the pipeline to move (a full buffer parks the read loop on a
+		// send, masking the closed socket until the next read).
+		deadline := time.Now().Add(10 * time.Second)
+		for s.Reconnects() < uint64(cycle) {
+			if time.Now().After(deadline) {
+				t.Fatalf("cycle %d: no reconnect (state %v, err %v)", cycle, s.State(), s.Err())
+			}
+			select {
+			case _, ok := <-ch:
+				if !ok {
+					t.Fatalf("cycle %d: stable channel closed (err %v)", cycle, s.Err())
+				}
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+		// Same channel keeps delivering after the reconnect.
+		got := 0
+		deliverBy := time.After(10 * time.Second)
+		for got < 10 {
+			select {
+			case _, ok := <-ch:
+				if !ok {
+					t.Fatalf("cycle %d: stable channel closed post-reconnect (err %v)", cycle, s.Err())
+				}
+				got++
+			case <-deliverBy:
+				t.Fatalf("cycle %d: no reports after reconnect (state %v, err %v)",
+					cycle, s.State(), s.Err())
+			}
+		}
+	}
+	if p.TotalConns() < 4 {
+		t.Fatalf("proxy saw %d connections, want ≥ 4", p.TotalConns())
+	}
+}
+
+func TestSessionWatchdogTripsOnStall(t *testing.T) {
+	// Keepalives flow constantly, so only a stalled pipe goes silent.
+	addr := startServer(t, ServerConfig{
+		NewSource:      func() ReportSource { return testSource(1 << 20) },
+		KeepaliveEvery: 20 * time.Millisecond,
+	})
+	p, err := chaos.NewProxy(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+
+	cfg := fastSessionConfig(p.Addr())
+	cfg.Watchdog = 150 * time.Millisecond
+	cfg.Metrics = NewSessionMetrics(nil)
+	s := startSessionTest(t, cfg)
+	recvReports(t, s, 10)
+
+	// Stall well past the watchdog deadline: bytes stop, socket stays
+	// up. Keep draining while waiting — in-flight socket buffers feed
+	// the read loop for a while after the stall starts, and activity
+	// only goes quiet once they empty.
+	p.StallFor(5 * time.Second)
+	waitFor := func(what string, ok func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for !ok() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timeout waiting for %s (state %v, err %v, trips %d, reconnects %d)",
+					what, s.State(), s.Err(), cfg.Metrics.WatchdogTrips.Value(), s.Reconnects())
+			}
+			select {
+			case <-s.Reports():
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}
+	waitFor("watchdog trip", func() bool { return cfg.Metrics.WatchdogTrips.Value() >= 1 })
+	waitFor("reconnect", func() bool { return s.Reconnects() >= 1 })
+	recvReports(t, s, 10) // stream is flowing again on the same channel
+}
+
+func TestSessionMaxAttemptsEndsSession(t *testing.T) {
+	// A port with nothing behind it: every dial is refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	cfg := fastSessionConfig(deadAddr)
+	cfg.MaxAttempts = 3
+	cfg.Metrics = NewSessionMetrics(nil)
+	s := startSessionTest(t, cfg)
+
+	select {
+	case _, ok := <-s.Reports():
+		if ok {
+			t.Fatal("report from a dead address")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("Reports still open after MaxAttempts (state %v)", s.State())
+	}
+	if st := s.State(); st != SessionClosed {
+		t.Fatalf("state = %v, want closed", st)
+	}
+	if err := s.Err(); err == nil {
+		t.Fatal("Err = nil after exhausting attempts")
+	}
+	if n := cfg.Metrics.ConnectFailures.With("dial").Value(); n != 3 {
+		t.Fatalf("dial failures = %d, want 3", n)
+	}
+}
+
+func TestSessionCloseDuringBackoff(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	cfg := fastSessionConfig(deadAddr)
+	cfg.BackoffMin = 10 * time.Second // park the session in backoff
+	cfg.BackoffMax = 10 * time.Second
+	s := startSessionTest(t, cfg)
+
+	// Let it fail at least once and settle into the long backoff.
+	for s.State() != SessionBackoff {
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked on a backoff sleep")
+	}
+}
+
+func TestSessionContextCancelEndsSession(t *testing.T) {
+	addr := startServer(t, ServerConfig{NewSource: func() ReportSource { return testSource(1 << 20) }})
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := StartSession(ctx, fastSessionConfig(addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	recvReports(t, s, 5)
+
+	cancel()
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case _, ok := <-s.Reports():
+			if !ok {
+				if st := s.State(); st != SessionClosed {
+					t.Fatalf("state = %v after context cancel, want closed", st)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("Reports still open after context cancel")
+		}
+	}
+}
+
+func TestSessionRequiresAddr(t *testing.T) {
+	if _, err := StartSession(context.Background(), SessionConfig{}); err == nil {
+		t.Fatal("StartSession accepted an empty Addr")
+	}
+}
+
+func TestSessionStateString(t *testing.T) {
+	want := map[SessionState]string{
+		SessionConnecting: "connecting",
+		SessionUp:         "up",
+		SessionBackoff:    "backoff",
+		SessionClosed:     "closed",
+	}
+	for st, s := range want {
+		if st.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", st, st.String(), s)
+		}
+	}
+}
+
+func TestBackoffDelayGrowsAndCaps(t *testing.T) {
+	cfg := SessionConfig{BackoffMin: 10 * time.Millisecond, BackoffMax: 80 * time.Millisecond, Jitter: -1}
+	cfg.fillDefaults()
+	// Jitter < 0 disables randomization, making growth exact.
+	var prev time.Duration
+	for attempt, want := range map[int]time.Duration{
+		1: 10 * time.Millisecond,
+		2: 20 * time.Millisecond,
+		3: 40 * time.Millisecond,
+		4: 80 * time.Millisecond,
+		9: 80 * time.Millisecond, // capped
+	} {
+		got := backoffDelay(cfg, attempt, nil)
+		if got != want {
+			t.Fatalf("attempt %d: delay = %v, want %v", attempt, got, want)
+		}
+		_ = prev
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
@@ -27,7 +28,8 @@ type DebugServer struct {
 	started time.Time
 	done    chan struct{}
 
-	checks []healthCheck
+	checksMu sync.RWMutex
+	checks   []healthCheck
 }
 
 type healthCheck struct {
@@ -67,10 +69,13 @@ func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
 }
 
 // AddHealthCheck registers a named check /healthz runs on every
-// request; a non-nil error degrades the response to 503. Register
-// checks before sharing the address — the slice is not locked.
+// request; a non-nil error degrades the response to 503. Safe to call
+// while the server is live — components that come up after the
+// endpoint (a reader session mid-connect, say) register when ready.
 func (s *DebugServer) AddHealthCheck(name string, fn func() error) {
+	s.checksMu.Lock()
 	s.checks = append(s.checks, healthCheck{name: name, fn: fn})
+	s.checksMu.Unlock()
 }
 
 // Addr returns the bound listen address (useful with port 0).
@@ -101,7 +106,10 @@ func (s *DebugServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Checks  []check `json:"checks,omitempty"`
 	}{Status: "ok", UptimeS: time.Since(s.started).Seconds()}
 	code := http.StatusOK
-	for _, c := range s.checks {
+	s.checksMu.RLock()
+	checks := append([]healthCheck(nil), s.checks...)
+	s.checksMu.RUnlock()
+	for _, c := range checks {
 		ck := check{Name: c.name}
 		if err := c.fn(); err != nil {
 			ck.Error = err.Error()

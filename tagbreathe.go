@@ -37,6 +37,7 @@
 package tagbreathe
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"time"
@@ -161,6 +162,23 @@ type (
 	LLRPServer = llrp.Server
 	// ROSpecConfig selects antennas and report batching.
 	ROSpecConfig = llrp.ROSpecConfig
+	// LLRPSession is a managed reader connection: it dials, provisions
+	// the ROSpec, and reconnects with backoff after any link failure,
+	// delivering reports on one stable channel throughout.
+	LLRPSession = llrp.Session
+	// LLRPSessionConfig tunes the session's reconnect and watchdog
+	// policy.
+	LLRPSessionConfig = llrp.SessionConfig
+	// LLRPSessionState is the session's lifecycle state.
+	LLRPSessionState = llrp.SessionState
+)
+
+// LLRP session lifecycle states (see LLRPSession.State).
+const (
+	SessionConnecting = llrp.SessionConnecting
+	SessionUp         = llrp.SessionUp
+	SessionBackoff    = llrp.SessionBackoff
+	SessionClosed     = llrp.SessionClosed
 )
 
 // Estimate runs the batch pipeline over a report window and returns
@@ -227,6 +245,17 @@ func DialLLRP(addr string) (*LLRPClient, error) {
 	return llrp.Dial(addr, 10*time.Second)
 }
 
+// StartLLRPSession starts a managed reader session: a supervision loop
+// that dials cfg.Addr, provisions cfg.ROSpec, and transparently
+// reconnects with exponential backoff whenever the link dies, so
+// long-running deployments survive reader restarts and network faults
+// without consumer-side re-wiring. Reports from every incarnation of
+// the connection arrive on the one channel Session.Reports returns.
+// Canceling ctx (or calling Close) ends the session for good.
+func StartLLRPSession(ctx context.Context, cfg LLRPSessionConfig) (*LLRPSession, error) {
+	return llrp.StartSession(ctx, cfg)
+}
+
 // Observability. The obs layer is zero-dependency: a concurrent
 // metrics registry with Prometheus text-format and expvar exposition,
 // plus an optional debug HTTP server (/metrics, /healthz, pprof).
@@ -247,6 +276,9 @@ type (
 	LLRPServerMetrics = llrp.ServerMetrics
 	// LLRPClientMetrics instruments the host-side protocol end.
 	LLRPClientMetrics = llrp.ClientMetrics
+	// LLRPSessionMetrics instruments the managed session layer
+	// (reconnects, outages, watchdog trips).
+	LLRPSessionMetrics = llrp.SessionMetrics
 )
 
 // NewMetricsRegistry builds an empty metrics registry.
@@ -273,6 +305,11 @@ func NewLLRPServerMetrics(r *MetricsRegistry) *LLRPServerMetrics {
 // NewLLRPClientMetrics wires host-side protocol instruments into r.
 func NewLLRPClientMetrics(r *MetricsRegistry) *LLRPClientMetrics {
 	return llrp.NewClientMetrics(r)
+}
+
+// NewLLRPSessionMetrics wires session-layer instruments into r.
+func NewLLRPSessionMetrics(r *MetricsRegistry) *LLRPSessionMetrics {
+	return llrp.NewSessionMetrics(r)
 }
 
 // ServeDebug starts the debug HTTP server on addr, exposing the
