@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test race lint fmt vuln fuzz-smoke bench-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint runs the repository's own analyzer suite (DESIGN.md §10). A
+# clean run is a tier-1 requirement, enforced by CI and by
+# TestRepoLintClean in internal/analyzers.
+lint:
+	$(GO) run ./cmd/tagbreathe-lint ./...
+
+fmt:
+	gofmt -l -w .
+
+# vuln needs network access to fetch the vulnerability database; CI
+# runs it, air-gapped dev machines can skip it.
+vuln:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
+
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDecodeMessage -fuzztime=10s -run '^$$' ./internal/llrp/
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkEstimateUsers|BenchmarkMonitorUsers' -benchtime=1x .

@@ -385,11 +385,11 @@ func asciiPlot(ts, vs []float64, width, height int) string {
 			maxV = v
 		}
 	}
-	if maxV == minV {
+	if maxV == minV { //tagbreathe:allow floatcmp degenerate plot range; extrema come from the same slice so exact equality is meaningful
 		maxV = minV + 1
 	}
 	t0, t1 := ts[0], ts[len(ts)-1]
-	if t1 == t0 {
+	if t1 == t0 { //tagbreathe:allow floatcmp degenerate plot range; extrema come from the same slice so exact equality is meaningful
 		t1 = t0 + 1
 	}
 	grid := make([][]byte, height)

@@ -96,6 +96,7 @@ func main() {
 	// Graceful shutdown on SIGINT/SIGTERM.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	//tagbreathe:allow goroutineleak signal watcher lives for the process; it has no earlier exit to tie to
 	go func() {
 		<-sig
 		logger.Info("shutting down")

@@ -1,0 +1,72 @@
+// Command tagbreathe-lint runs the TagBreathe static-analysis suite
+// (internal/analyzers) over the repository:
+//
+//	go run ./cmd/tagbreathe-lint ./...
+//
+// It prints one file:line:col: [analyzer] message per finding and
+// exits 1 when anything is found, 0 when the tree is clean. CI runs it
+// as a required job; lint-clean is part of tier-1 (see CONTRIBUTING
+// and DESIGN.md §10 for the analyzer catalog and the //tagbreathe:
+// annotation grammar).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"tagbreathe/internal/analyzers"
+	"tagbreathe/internal/lint"
+)
+
+func main() {
+	help := flag.Bool("help", false, "print the analyzer catalog and exit")
+	dir := flag.String("C", "", "module root to lint (default: walk up from the current directory)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tagbreathe-lint [-C dir] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs the TagBreathe analyzer suite over the given package patterns\n")
+		fmt.Fprintf(os.Stderr, "(default ./...) and exits 1 on findings.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *help {
+		printCatalog()
+		return
+	}
+	diags, err := run(*dir, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tagbreathe-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tagbreathe-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func run(dir string, patterns []string) ([]lint.Diagnostic, error) {
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return lint.Run(loader.Fset, pkgs, analyzers.All)
+}
+
+func printCatalog() {
+	sorted := append([]*lint.Analyzer(nil), analyzers.All...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	fmt.Println("tagbreathe-lint analyzers:")
+	for _, a := range sorted {
+		fmt.Printf("\n  %s\n      %s\n", a.Name, a.Doc)
+	}
+	fmt.Println("\nSuppressions: //tagbreathe:allow <check> <reason> (reason mandatory);")
+	fmt.Println("see DESIGN.md §10 for the full annotation grammar.")
+}

@@ -72,6 +72,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
+	//tagbreathe:allow goroutineleak Serve returns when the deferred server.Close below tears the listener down
 	go func() {
 		_ = server.Serve(ln)
 	}()

@@ -1,0 +1,12 @@
+package analyzers
+
+import "tagbreathe/internal/lint"
+
+// All is the suite cmd/tagbreathe-lint runs, in report order.
+var All = []*lint.Analyzer{
+	Directives,
+	HotPath,
+	GoroutineLeak,
+	MetricHygiene,
+	FloatCmp,
+}

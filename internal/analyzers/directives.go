@@ -1,0 +1,63 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"tagbreathe/internal/lint"
+)
+
+// Directives validates the //tagbreathe: annotation grammar itself:
+// known directive names, allow directives naming a real check with a
+// mandatory reason and an attachable statement, hotpath only on
+// function doc comments, labelvalue only on functions or struct
+// fields. Without this, a typo'd suppression would silently suppress
+// nothing (or worse, a bare allow would ship with no rationale).
+var Directives = &lint.Analyzer{
+	Name: "directives",
+	Doc:  "validate //tagbreathe: annotation grammar (known names, mandatory reasons, sane attachment)",
+	Run:  runDirectives,
+}
+
+// checkNames are the analyzer names an allow directive may suppress.
+var checkNames = map[string]bool{
+	HotPath.Name:       true,
+	GoroutineLeak.Name: true,
+	MetricHygiene.Name: true,
+	FloatCmp.Name:      true,
+}
+
+func runDirectives(pass *lint.Pass) error {
+	for _, dir := range pass.Dirs.All {
+		switch dir.Name {
+		case "":
+			pass.Reportf(dir.Pos, "empty //tagbreathe: directive")
+		case "hotpath":
+			if !dir.FuncScope {
+				pass.Reportf(dir.Pos, "//tagbreathe:hotpath must sit in a function's doc comment")
+			}
+		case "allow":
+			if !checkNames[dir.Check] {
+				pass.Reportf(dir.Pos, "//tagbreathe:allow names unknown check %q", dir.Check)
+				continue
+			}
+			if dir.Reason == "" {
+				pass.Reportf(dir.Pos, "//tagbreathe:allow %s has no reason; suppressions must say why", dir.Check)
+			}
+			if dir.Node == nil {
+				pass.Reportf(dir.Pos, "//tagbreathe:allow %s is not attached to any declaration or statement", dir.Check)
+			}
+		case "labelvalue":
+			if dir.Reason == "" {
+				pass.Reportf(dir.Pos, "//tagbreathe:labelvalue has no reason; say why the values are bounded")
+			}
+			switch dir.Node.(type) {
+			case *ast.FuncDecl, *ast.Field:
+			default:
+				pass.Reportf(dir.Pos, "//tagbreathe:labelvalue must annotate a function or struct field")
+			}
+		default:
+			pass.Reportf(dir.Pos, "unknown directive //tagbreathe:%s", dir.Name)
+		}
+	}
+	return nil
+}

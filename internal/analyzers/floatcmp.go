@@ -1,0 +1,50 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tagbreathe/internal/lint"
+)
+
+// FloatCmp forbids == and != on floating-point operands in non-test
+// code. Exact float equality is almost always a latent bug in a DSP
+// pipeline (accumulated FIR rounding makes "the same" phase differ in
+// the last ulp); comparisons belong in internal/fmath's epsilon
+// helpers, or under a //tagbreathe:allow floatcmp with a reason for
+// the rare exact cases (sentinel zeros, hardware-quantized values).
+var FloatCmp = &lint.Analyzer{
+	Name: "floatcmp",
+	Doc:  "forbid ==/!= on floats outside approved epsilon helpers",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := pass.TypesInfo.Types[be.X], pass.TypesInfo.Types[be.Y]
+			// Two compile-time constants compare exactly by definition.
+			if xt.Value != nil && yt.Value != nil {
+				return true
+			}
+			if isFloat(xt.Type) || isFloat(yt.Type) {
+				pass.Reportf(be.Pos(), "%s on floating-point values; use internal/fmath's epsilon helpers (or an explicit allow for exact sentinels)", be.Op)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,162 @@
+package analyzers_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"tagbreathe/internal/analyzers"
+	"tagbreathe/internal/lint"
+)
+
+// The golden tests type-check each testdata/src/<pkg> package against
+// the real module and compare one analyzer's findings to the package's
+// want comments, analysistest-style:
+//
+//	bad() // want `regex` `another regex`
+//
+// Each regex must match one finding on the comment's line, and every
+// finding must be claimed by a regex. A signed offset redirects the
+// expectation (want-1: the finding lands one line above) for lines
+// that cannot hold a trailing comment — directive comments swallow
+// trailing text into the reason.
+
+// sharedLoader amortizes the standard-library type-check across the
+// golden tests; the loader caches dependency packages by import path.
+var (
+	loaderOnce sync.Once
+	loader     *lint.Loader
+	loaderErr  error
+)
+
+func goldenLoader(t *testing.T) *lint.Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loader, loaderErr = lint.NewLoader("")
+	})
+	if loaderErr != nil {
+		t.Fatalf("building loader: %v", loaderErr)
+	}
+	return loader
+}
+
+func TestHotPathGolden(t *testing.T) { runGolden(t, analyzers.HotPath, "hotpathdata") }
+func TestGoroutineLeakGolden(t *testing.T) {
+	runGolden(t, analyzers.GoroutineLeak, "goroutineleakdata")
+}
+func TestMetricHygieneGolden(t *testing.T) { runGolden(t, analyzers.MetricHygiene, "metricdata") }
+func TestFloatCmpGolden(t *testing.T)      { runGolden(t, analyzers.FloatCmp, "floatcmpdata") }
+func TestDirectivesGolden(t *testing.T)    { runGolden(t, analyzers.Directives, "directivedata") }
+
+// TestRepoLintClean runs the full suite over the module — the same
+// gate as `make lint` and CI — and demands zero findings. Reintroduce
+// any hot-path violation and this test (and the lint job) fails.
+func TestRepoLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full-module lint in -short mode")
+	}
+	l := goldenLoader(t)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := lint.Run(l.Fset, pkgs, analyzers.All)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("repo not lint-clean: %s", d)
+	}
+}
+
+func runGolden(t *testing.T, a *lint.Analyzer, pkgName string) {
+	l := goldenLoader(t)
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", pkgName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadSynthetic("tagbreathe/internal/analyzers/testdata/src/"+pkgName, dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgName, err)
+	}
+	diags, err := lint.Run(l.Fset, []*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	wants := parseWants(t, pkg.GoFiles)
+
+	for _, d := range diags {
+		claimed := false
+		for _, w := range wants {
+			if w.met || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.met = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// want is one expectation: a regex that must match a finding on line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+var (
+	wantRE    = regexp.MustCompile(`//\s*want((?:[+-]\d+)?)\s+(.*)`)
+	wantArgRE = regexp.MustCompile("`([^`]*)`")
+)
+
+func parseWants(t *testing.T, files []string) []*want {
+	t.Helper()
+	var wants []*want
+	for _, fn := range files {
+		data, err := os.ReadFile(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			offset := 0
+			if m[1] != "" {
+				offset, err = strconv.Atoi(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want offset %q", fn, i+1, m[1])
+				}
+			}
+			args := wantArgRE.FindAllStringSubmatch(m[2], -1)
+			if len(args) == 0 {
+				t.Fatalf("%s:%d: want comment with no backquoted regex", fn, i+1)
+			}
+			for _, arg := range args {
+				re, err := regexp.Compile(arg[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regex %q: %v", fn, i+1, arg[1], err)
+				}
+				wants = append(wants, &want{file: fn, line: i + 1 + offset, re: re})
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,145 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tagbreathe/internal/lint"
+)
+
+// GoroutineLeak requires every `go` statement in non-test code to be
+// tied to a lifecycle the spawner can observe: a sync.WaitGroup.Add in
+// scope before the spawn, a deferred Done/close inside the goroutine
+// body, or an explicit //tagbreathe:allow goroutineleak with a reason.
+// This keeps supervisors like llrp.Session from accumulating
+// untracked goroutines across reconnects.
+var GoroutineLeak = &lint.Analyzer{
+	Name: "goroutineleak",
+	Doc: "require every go statement to be lifecycle-tied " +
+		"(WaitGroup.Add in scope, deferred Done/close in the body, or an explicit allow)",
+	Run: runGoroutineLeak,
+}
+
+func runGoroutineLeak(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		// Track the innermost enclosing function body so the
+		// Add-precedes-spawn scan has a scope.
+		var stack []*ast.BlockStmt
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return false
+				}
+				stack = append(stack, n.Body)
+				ast.Inspect(n.Body, visit)
+				stack = stack[:len(stack)-1]
+				return false
+			case *ast.FuncLit:
+				stack = append(stack, n.Body)
+				ast.Inspect(n.Body, visit)
+				stack = stack[:len(stack)-1]
+				return false
+			case *ast.GoStmt:
+				if !goIsTracked(pass, n, stack) {
+					pass.Reportf(n.Pos(), "goroutine is not tied to a lifecycle "+
+						"(no WaitGroup.Add before the spawn and no deferred Done/close in the body)")
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, visit)
+	}
+	return nil
+}
+
+// goIsTracked decides whether one go statement satisfies the lifecycle
+// contract.
+func goIsTracked(pass *lint.Pass, g *ast.GoStmt, stack []*ast.BlockStmt) bool {
+	// Rule 1: a WaitGroup.Add positionally before the spawn in any
+	// enclosing function body.
+	for _, body := range stack {
+		found := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok || call.Pos() >= g.Pos() {
+				return true
+			}
+			if isWaitGroupMethod(pass.TypesInfo, call, "Add") {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	// Rule 2: the spawned body signals its own exit via a deferred
+	// WaitGroup.Done or close(ch).
+	if body := spawnedBody(pass, g.Call); body != nil {
+		signalled := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if signalled {
+				return false
+			}
+			d, ok := n.(*ast.DeferStmt)
+			if !ok {
+				return true
+			}
+			if isWaitGroupMethod(pass.TypesInfo, d.Call, "Done") {
+				signalled = true
+			}
+			if id, ok := ast.Unparen(d.Call.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					signalled = true
+				}
+			}
+			return false
+		})
+		if signalled {
+			return true
+		}
+	}
+	return false
+}
+
+// spawnedBody resolves the function body a go statement runs: a
+// literal directly, or a same-package declaration by name.
+func spawnedBody(pass *lint.Pass, call *ast.CallExpr) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	fn := lint.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pass.Pkg.Path() {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if pass.TypesInfo.Defs[fd.Name] == fn {
+					return fd.Body
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isWaitGroupMethod reports whether call invokes the named method on a
+// *sync.WaitGroup receiver.
+func isWaitGroupMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	fn := lint.CalleeFunc(info, call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return lint.IsNamed(sig.Recv().Type(), "sync", "WaitGroup")
+}

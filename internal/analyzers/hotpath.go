@@ -1,0 +1,269 @@
+// Package analyzers is TagBreathe's custom lint suite: four analyzers
+// (plus a directive-grammar validator) that mechanically enforce the
+// invariants the pipeline's real-time behaviour rests on. They run on
+// the internal/lint framework via cmd/tagbreathe-lint; see DESIGN.md
+// §10 for the catalog and annotation grammar.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tagbreathe/internal/lint"
+)
+
+// HotPath enforces the streaming pipeline's per-event discipline on
+// functions marked //tagbreathe:hotpath and everything they call
+// within their package: no map allocation, no make with a runtime
+// size, no time.Now/time.Since, no fmt/log/slog calls, no mutex
+// acquisition, no goroutine spawns, and no sends on channels known to
+// be unbuffered. Cold branches inside a hot function (one-time wiring,
+// per-tick bookkeeping) carry //tagbreathe:allow hotpath suppressions
+// with reasons, which also prune the call-graph walk.
+var HotPath = &lint.Analyzer{
+	Name: "hotpath",
+	Doc: "reject allocations, clock reads, formatting, locks, and unbuffered sends " +
+		"in //tagbreathe:hotpath functions and their intra-package callees",
+	Run: runHotPath,
+}
+
+// hotWalker carries one package's state through the hot-path walk.
+type hotWalker struct {
+	pass *lint.Pass
+	// decls maps package-level function objects to their declarations.
+	decls map[types.Object]*ast.FuncDecl
+	// closures maps single-assignment local variables to the function
+	// literals they hold, so `name := func(...){...}; name()` walks
+	// into the literal.
+	closures map[types.Object]*ast.FuncLit
+	// unbuffered holds objects (vars and fields) observed being
+	// assigned a make(chan T) with no capacity argument.
+	unbuffered map[types.Object]bool
+	visited    map[ast.Node]bool
+}
+
+func runHotPath(pass *lint.Pass) error {
+	roots := pass.Dirs.FuncsWith("hotpath")
+	if len(roots) == 0 {
+		return nil
+	}
+	w := &hotWalker{
+		pass:       pass,
+		decls:      make(map[types.Object]*ast.FuncDecl),
+		closures:   make(map[types.Object]*ast.FuncLit),
+		unbuffered: make(map[types.Object]bool),
+		visited:    make(map[ast.Node]bool),
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if obj := pass.TypesInfo.Defs[n.Name]; obj != nil {
+					w.decls[obj] = n
+				}
+			case *ast.AssignStmt:
+				w.recordChanMakes(n)
+				w.recordClosures(n)
+			}
+			return true
+		})
+	}
+	for _, fd := range roots {
+		if pass.Dirs.FuncAllowed("hotpath", fd) {
+			continue
+		}
+		w.walk(fd.Body, funcDisplayName(fd))
+	}
+	return nil
+}
+
+// recordChanMakes notes variables and fields assigned an unbuffered
+// channel, the targets of the hot-path send check.
+func (w *hotWalker) recordChanMakes(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			continue // make with a capacity argument is buffered
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "make" {
+			continue
+		} else if _, isBuiltin := w.pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+			continue
+		}
+		if _, isChan := w.pass.TypesInfo.Types[call].Type.Underlying().(*types.Chan); !isChan {
+			continue
+		}
+		if obj := w.lhsObject(as.Lhs[i]); obj != nil {
+			w.unbuffered[obj] = true
+		}
+	}
+}
+
+// recordClosures notes `name := func(...){...}` definitions.
+func (w *hotWalker) recordClosures(as *ast.AssignStmt) {
+	if as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		lit, ok := ast.Unparen(rhs).(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok {
+			if obj := w.pass.TypesInfo.Defs[id]; obj != nil {
+				w.closures[obj] = lit
+			}
+		}
+	}
+}
+
+func (w *hotWalker) lhsObject(e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return w.pass.ObjectOf(e)
+	case *ast.SelectorExpr:
+		if sel, ok := w.pass.TypesInfo.Selections[e]; ok {
+			return sel.Obj()
+		}
+	}
+	return nil
+}
+
+// walk checks one function body reached from the hot root named by
+// root, descending into same-package callees.
+func (w *hotWalker) walk(body *ast.BlockStmt, root string) {
+	if body == nil || w.visited[body] {
+		return
+	}
+	w.visited[body] = true
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Literals run when called, not where written; the walk
+			// enters them through closure-variable calls.
+			return false
+		case *ast.GoStmt:
+			w.pass.Reportf(n.Pos(), "hot path %s spawns a goroutine", root)
+			return false
+		case *ast.CompositeLit:
+			if t := w.pass.TypesInfo.Types[n].Type; t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					w.pass.Reportf(n.Pos(), "hot path %s allocates a map literal", root)
+				}
+			}
+		case *ast.SendStmt:
+			if obj := w.lhsObject(n.Chan); obj != nil && w.unbuffered[obj] {
+				w.pass.Reportf(n.Pos(), "hot path %s sends on unbuffered channel %s (blocking handoff)", root, obj.Name())
+			}
+		case *ast.CallExpr:
+			w.checkCall(n, root)
+		}
+		return true
+	})
+}
+
+// checkCall judges one call in a hot function: forbidden stdlib calls,
+// allocating builtins, lock acquisitions, and the descent into
+// same-package callees.
+func (w *hotWalker) checkCall(call *ast.CallExpr, root string) {
+	// Builtins: make is the allocation gate.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := w.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			if id.Name == "make" {
+				w.checkMake(call, root)
+			}
+			return
+		}
+		// Closure-variable call: walk into the literal.
+		if obj := w.pass.ObjectOf(id); obj != nil {
+			if lit, ok := w.closures[obj]; ok && !w.allowedAt(call.Pos()) {
+				w.walk(lit.Body, root)
+			}
+		}
+	}
+	fn := lint.CalleeFunc(w.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	if fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "time":
+			if fn.Name() == "Now" || fn.Name() == "Since" {
+				w.pass.Reportf(call.Pos(), "hot path %s calls time.%s (reads the wall clock per event)", root, fn.Name())
+				return
+			}
+		case "fmt":
+			w.pass.Reportf(call.Pos(), "hot path %s calls fmt.%s (formats and allocates per event)", root, fn.Name())
+			return
+		case "log", "log/slog":
+			w.pass.Reportf(call.Pos(), "hot path %s calls %s.%s (logs per event)", root, fn.Pkg().Name(), fn.Name())
+			return
+		}
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if lint.IsNamed(recv.Type(), "sync", "Mutex") || lint.IsNamed(recv.Type(), "sync", "RWMutex") {
+			if fn.Name() == "Lock" || fn.Name() == "RLock" {
+				w.pass.Reportf(call.Pos(), "hot path %s acquires a %s.%s", root, types.TypeString(recv.Type(), nil), fn.Name())
+			}
+			return
+		}
+	}
+	// Descend into same-package callees (the intra-package call-graph
+	// walk); an allow on the call site prunes the descent.
+	if fn.Pkg() != nil && fn.Pkg().Path() == w.pass.Pkg.Path() && !w.allowedAt(call.Pos()) {
+		if decl, ok := w.decls[fn]; ok && !w.pass.Dirs.FuncAllowed("hotpath", decl) {
+			w.walk(decl.Body, root)
+		}
+	}
+}
+
+// checkMake flags make calls whose element kind or runtime size breaks
+// the no-allocation contract.
+func (w *hotWalker) checkMake(call *ast.CallExpr, root string) {
+	if len(call.Args) == 0 {
+		return
+	}
+	t := w.pass.TypesInfo.Types[call].Type
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); isMap {
+		w.pass.Reportf(call.Pos(), "hot path %s allocates a map", root)
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if w.pass.TypesInfo.Types[arg].Value == nil {
+			w.pass.Reportf(call.Pos(), "hot path %s allocates with a non-constant size (%s)", root, types.TypeString(t, types.RelativeTo(w.pass.Pkg)))
+			return
+		}
+	}
+}
+
+func (w *hotWalker) allowedAt(pos token.Pos) bool {
+	return w.pass.Dirs.Allowed("hotpath", pos)
+}
+
+// funcDisplayName renders a declaration as Recv.Name or Name for
+// diagnostics.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return fmt.Sprintf("%s.%s", id.Name, fd.Name.Name)
+		}
+		if ix, ok := t.(*ast.IndexExpr); ok {
+			if id, ok := ix.X.(*ast.Ident); ok {
+				return fmt.Sprintf("%s.%s", id.Name, fd.Name.Name)
+			}
+		}
+	}
+	return fd.Name.Name
+}

@@ -1,0 +1,279 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"tagbreathe/internal/lint"
+)
+
+// MetricHygiene enforces the DESIGN.md §7 metric-catalog contract at
+// every obs call site outside internal/obs itself:
+//
+//   - instruments come only from Registry constructors, never from
+//     struct literals or new() — otherwise they escape /metrics;
+//   - metric names are compile-time constants matching
+//     tagbreathe_<component>_<name>[_<unit>], with the unit suffix
+//     dictated by the instrument kind, and help text is non-empty;
+//   - every label value handed to CounterVec/GaugeVec.With is provably
+//     bounded: a constant, a call to a //tagbreathe:labelvalue-approved
+//     function, a read of an approved field, or a local variable
+//     traceable to one of those. Raw user/tag IDs as labels would blow
+//     up series cardinality.
+var MetricHygiene = &lint.Analyzer{
+	Name: "metrichygiene",
+	Doc: "enforce registry-only instrument construction, the tagbreathe_<component>_<name>_<unit> " +
+		"naming convention, and provably bounded label values",
+	Run: runMetricHygiene,
+}
+
+const obsPath = "tagbreathe/internal/obs"
+
+// metricNameRE is the catalog shape: tagbreathe_ then at least two more
+// lowercase segments.
+var metricNameRE = regexp.MustCompile(`^tagbreathe(_[a-z0-9]+){2,}$`)
+
+// histogramUnits are the unit suffixes DESIGN.md §7 admits for
+// histogram names.
+var histogramUnits = []string{"_seconds", "_bins", "_bytes", "_ratio"}
+
+type hygieneChecker struct {
+	pass *lint.Pass
+	// approvedFuncs holds //tagbreathe:labelvalue-annotated functions
+	// (this package's, plus a fixed cross-package list).
+	approvedFuncs map[types.Object]bool
+	approvedNames map[string]bool
+	// approvedFields holds annotated struct fields whose reads are
+	// approved label values.
+	approvedFields map[types.Object]bool
+}
+
+func runMetricHygiene(pass *lint.Pass) error {
+	if pass.Pkg.Path() == obsPath {
+		return nil // the implementation is exempt from its own API rules
+	}
+	c := &hygieneChecker{
+		pass:          pass,
+		approvedFuncs: make(map[types.Object]bool),
+		approvedNames: map[string]bool{
+			// Cross-package helpers approved at their definitions; listed
+			// here by full name because annotations are per-package.
+			"tagbreathe/internal/core.UserLabel":    true,
+			"tagbreathe/internal/core.AntennaLabel": true,
+		},
+		approvedFields: make(map[types.Object]bool),
+	}
+	for _, fd := range pass.Dirs.FuncsWith("labelvalue") {
+		if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+			c.approvedFuncs[obj] = true
+		}
+	}
+	for _, fld := range pass.Dirs.FieldsWith("labelvalue") {
+		for _, name := range fld.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				c.approvedFields[obj] = true
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				c.checkLiteralConstruction(n)
+			case *ast.CallExpr:
+				c.checkCall(n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// instrumentTypeName reports which obs instrument type t is, if any.
+func instrumentTypeName(t types.Type) string {
+	for _, name := range []string{"Counter", "Gauge", "Histogram", "CounterVec", "GaugeVec"} {
+		if lint.IsNamed(t, obsPath, name) {
+			return name
+		}
+	}
+	return ""
+}
+
+// checkLiteralConstruction flags obs instrument values built without a
+// registry.
+func (c *hygieneChecker) checkLiteralConstruction(lit *ast.CompositeLit) {
+	t := c.pass.TypesInfo.Types[lit].Type
+	if t == nil {
+		return
+	}
+	if name := instrumentTypeName(t); name != "" {
+		c.pass.Reportf(lit.Pos(), "obs.%s constructed as a literal; instruments must come from a Registry constructor so they appear on /metrics", name)
+	}
+}
+
+func (c *hygieneChecker) checkCall(call *ast.CallExpr) {
+	// new(obs.X) is registry-bypassing construction too.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "new" && len(call.Args) == 1 {
+		if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			if t := c.pass.TypesInfo.Types[call.Args[0]].Type; t != nil {
+				if name := instrumentTypeName(t); name != "" {
+					c.pass.Reportf(call.Pos(), "obs.%s constructed with new(); instruments must come from a Registry constructor so they appear on /metrics", name)
+				}
+			}
+		}
+		return
+	}
+	fn := lint.CalleeFunc(c.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	switch {
+	case lint.IsNamed(sig.Recv().Type(), obsPath, "Registry"):
+		switch fn.Name() {
+		case "Counter", "Gauge", "Histogram", "CounterVec", "GaugeVec":
+			c.checkConstructor(call, fn.Name())
+		}
+	case lint.IsNamed(sig.Recv().Type(), obsPath, "CounterVec"),
+		lint.IsNamed(sig.Recv().Type(), obsPath, "GaugeVec"):
+		if fn.Name() == "With" {
+			for _, arg := range call.Args {
+				c.checkLabelValue(call, arg)
+			}
+		}
+	}
+}
+
+// checkConstructor validates the name and help arguments of one
+// Registry constructor call.
+func (c *hygieneChecker) checkConstructor(call *ast.CallExpr, kind string) {
+	if len(call.Args) < 2 {
+		return
+	}
+	name, ok := constString(c.pass.TypesInfo, call.Args[0])
+	if !ok {
+		c.pass.Reportf(call.Args[0].Pos(), "metric name must be a compile-time constant string so the catalog is greppable")
+		return
+	}
+	if !metricNameRE.MatchString(name) {
+		c.pass.Reportf(call.Args[0].Pos(), "metric name %q does not match tagbreathe_<component>_<name>[_<unit>] (lowercase, >=3 segments)", name)
+		return
+	}
+	switch kind {
+	case "Counter", "CounterVec":
+		if !strings.HasSuffix(name, "_total") {
+			c.pass.Reportf(call.Args[0].Pos(), "counter %q must end in _total", name)
+		}
+	case "Gauge", "GaugeVec":
+		if strings.HasSuffix(name, "_total") {
+			c.pass.Reportf(call.Args[0].Pos(), "gauge %q must not end in _total (that suffix is reserved for counters)", name)
+		}
+	case "Histogram":
+		if !hasAnySuffix(name, histogramUnits) {
+			c.pass.Reportf(call.Args[0].Pos(), "histogram %q must end in a unit suffix (%s)", name, strings.Join(histogramUnits, ", "))
+		}
+	}
+	if help, ok := constString(c.pass.TypesInfo, call.Args[1]); ok && strings.TrimSpace(help) == "" {
+		c.pass.Reportf(call.Args[1].Pos(), "metric %q has empty help text", name)
+	}
+}
+
+// checkLabelValue verifies one With argument is provably bounded.
+func (c *hygieneChecker) checkLabelValue(call *ast.CallExpr, arg ast.Expr) {
+	if !c.boundedLabelExpr(arg, call) {
+		c.pass.Reportf(arg.Pos(), "label value is not provably bounded; use a constant, a //tagbreathe:labelvalue-approved helper, or annotate the source")
+	}
+}
+
+// boundedLabelExpr is the recursive approval test for label-value
+// expressions. withCall scopes the local-variable trace to the
+// enclosing function.
+func (c *hygieneChecker) boundedLabelExpr(e ast.Expr, withCall *ast.CallExpr) bool {
+	e = ast.Unparen(e)
+	// Constants (literals, consts, constant-folded expressions).
+	if tv, ok := c.pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		fn := lint.CalleeFunc(c.pass.TypesInfo, e)
+		if fn == nil {
+			return false
+		}
+		if c.approvedFuncs[fn] || c.approvedNames[fn.FullName()] {
+			return true
+		}
+		return false
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.TypesInfo.Selections[e]; ok {
+			return c.approvedFields[sel.Obj()]
+		}
+		return false
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[e]
+		if obj == nil {
+			return false
+		}
+		if v, ok := obj.(*types.Var); ok && v.IsField() {
+			return c.approvedFields[obj]
+		}
+		// Local variable: every assignment to it in the enclosing
+		// function must itself be bounded.
+		return c.boundedLocal(obj, withCall)
+	}
+	return false
+}
+
+// boundedLocal traces a local variable's assignments inside the file
+// and approves the variable when every right-hand side is bounded.
+func (c *hygieneChecker) boundedLocal(obj types.Object, withCall *ast.CallExpr) bool {
+	assigned := false
+	bounded := true
+	for _, f := range c.pass.Files {
+		if f.FileStart > obj.Pos() || obj.Pos() > f.FileEnd {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || c.pass.ObjectOf(id) != obj {
+					continue
+				}
+				assigned = true
+				if !c.boundedLabelExpr(as.Rhs[i], withCall) {
+					bounded = false
+				}
+			}
+			return true
+		})
+	}
+	return assigned && bounded
+}
+
+// constString extracts a compile-time string value.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func hasAnySuffix(s string, suffixes []string) bool {
+	for _, suf := range suffixes {
+		if strings.HasSuffix(s, suf) {
+			return true
+		}
+	}
+	return false
+}

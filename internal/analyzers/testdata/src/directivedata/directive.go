@@ -1,0 +1,57 @@
+// Package directivedata is golden-test input for the directive-grammar
+// validator. A want comment cannot share the directive's line (the
+// trailing text would be parsed as the reason), and gofmt reorders doc
+// comments to put directives last — so doc-comment expectations sit
+// first in the group and use the harness's want+2 offset to point at
+// the directive line below.
+package directivedata
+
+// want+2 `unknown directive`
+//
+//tagbreathe:frobnicate something
+func a() {}
+
+func b() {
+	//tagbreathe:
+	// want-1 `empty //tagbreathe: directive`
+	_ = v
+}
+
+// want+2 `unknown check "nosuchcheck"`
+//
+//tagbreathe:allow nosuchcheck because reasons
+func c() {}
+
+// want+2 `has no reason`
+//
+//tagbreathe:allow hotpath
+func d() {}
+
+// want+2 `has no reason`
+//
+//tagbreathe:labelvalue
+func e() string { return "ok" }
+
+// want+2 `must annotate a function or struct field`
+//
+//tagbreathe:labelvalue golden test: bounded, but a var cannot hold the annotation
+var v = "x"
+
+func g() {
+	//tagbreathe:hotpath misplaced inside a function body
+	// want-1 `must sit in a function's doc comment`
+	_ = v
+}
+
+// hot carries a correctly placed hotpath annotation: no finding.
+//
+//tagbreathe:hotpath golden test: correctly placed
+func hot() {}
+
+// ok carries a correct function-scope suppression: no finding.
+//
+//tagbreathe:allow floatcmp golden test: well-formed suppression
+func ok() bool { return v == "x" }
+
+//tagbreathe:allow hotpath dangling: nothing below to attach to
+// want-1 `not attached to any declaration or statement`

@@ -1,0 +1,38 @@
+// Package floatcmpdata is golden-test input for the floatcmp analyzer:
+// raw ==/!= on floats is flagged unless both sides are constants or an
+// allow directive blesses the exact comparison.
+package floatcmpdata
+
+const eps = 1e-9
+
+func compare(a, b float64, xs []float32, c complex128) bool {
+	if a == b { // want `== on floating-point`
+		return true
+	}
+	if a != 0 { // want `!= on floating-point`
+		return false
+	}
+	if xs[0] == 1.5 { // want `== on floating-point`
+		return true
+	}
+	if c == 2i { // want `== on floating-point`
+		return false
+	}
+	if eps == 1e-9 { // both constants: exact by definition
+		return true
+	}
+	n := 3
+	return n == 3 // integers are out of scope
+}
+
+// sentinel compares against an exact zero sentinel for the whole
+// function body.
+//
+//tagbreathe:allow floatcmp golden test: zero means unset, an exact sentinel
+func sentinel(v float64) bool {
+	return v == 0
+}
+
+func trailing(v float64) bool {
+	return v == 0 //tagbreathe:allow floatcmp golden test: trailing same-line suppression
+}

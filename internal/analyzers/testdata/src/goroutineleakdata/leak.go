@@ -1,0 +1,50 @@
+// Package goroutineleakdata is golden-test input for the goroutineleak
+// analyzer: spawns must be lifecycle-tied by a WaitGroup.Add in scope,
+// a deferred Done/close in the body, or an explicit allow.
+package goroutineleakdata
+
+import "sync"
+
+var ch = make(chan struct{})
+
+func untracked() {
+	go work() // want `not tied to a lifecycle`
+}
+
+func untrackedLiteral() {
+	go func() { // want `not tied to a lifecycle`
+		work()
+	}()
+}
+
+func waitGroupTracked(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func selfSignalling(done chan struct{}) {
+	go func() {
+		defer close(done)
+		work()
+	}()
+}
+
+func declSignalling() {
+	go closer() // the spawned declaration closes its own channel
+}
+
+// closer signals its exit by closing ch.
+func closer() {
+	defer close(ch)
+	work()
+}
+
+func allowed() {
+	//tagbreathe:allow goroutineleak golden test: process-lifetime watcher with no earlier exit
+	go work()
+}
+
+func work() {}

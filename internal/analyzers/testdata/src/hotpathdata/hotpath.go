@@ -1,0 +1,59 @@
+// Package hotpathdata is golden-test input for the hotpath analyzer:
+// every want comment is a violation the test expects the analyzer to
+// report, and every allow directive is a suppression it must accept.
+package hotpathdata
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+type state struct {
+	mu  sync.Mutex
+	buf []float64
+}
+
+//tagbreathe:hotpath golden-test root: each per-event sin below must be flagged
+func (s *state) hot(n int, ch chan int) {
+	m := make(map[string]int) // want `allocates a map`
+	_ = m
+	_ = map[int]bool{1: true} // want `allocates a map literal`
+	_ = make([]float64, n)    // want `non-constant size`
+	_ = make([]float64, 8)    // fixed size: fine
+	_ = time.Now()            // want `time\.Now`
+	fmt.Println(n)            // want `fmt\.Println`
+	s.mu.Lock()               // want `acquires a .*Mutex\.Lock`
+	s.mu.Unlock()
+	go helper() // want `spawns a goroutine`
+	helper()    // descent: the callee's sins surface under this root
+	cold()      // pruned: see the allow on cold
+}
+
+// helper is reached through the intra-package call-graph walk.
+func helper() {
+	_ = time.Since(time.Time{}) // want `time\.Since`
+}
+
+// cold is one-time wiring, pruned from the walk.
+//
+//tagbreathe:allow hotpath golden test: construction-only helper, called before steady state
+func cold() {
+	_ = make(map[string]int) // not reported: the walk never enters
+}
+
+//tagbreathe:hotpath golden-test root for channel and suppression rules
+func sends() {
+	unbuf := make(chan int)
+	buf := make(chan int, 4)
+	unbuf <- 1 // want `unbuffered channel`
+	buf <- 1   // buffered: fine
+	//tagbreathe:allow hotpath golden test: statement-scope suppression accepted
+	_ = time.Now()
+}
+
+// notHot is unannotated and unreachable from a root: unchecked.
+func notHot() {
+	_ = make(map[string]int)
+	_ = time.Now()
+}

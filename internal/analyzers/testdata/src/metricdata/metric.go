@@ -1,0 +1,55 @@
+// Package metricdata is golden-test input for the metrichygiene
+// analyzer: registry-only construction, catalog-shaped constant names,
+// and provably bounded label values.
+package metricdata
+
+import (
+	"strconv"
+
+	"tagbreathe/internal/obs"
+)
+
+type holder struct {
+	// Kind is one of a small closed set.
+	//
+	//tagbreathe:labelvalue golden test: three fixed kinds
+	Kind string
+
+	raw string
+}
+
+// stage formats one of a fixed set of pipeline stages.
+//
+//tagbreathe:labelvalue golden test: stage names are a closed set
+func stage(i int) string {
+	return strconv.Itoa(i % 3)
+}
+
+func metricName() string { return "tagbreathe_pipeline_reads_total" }
+
+func wire(r *obs.Registry, h holder, user string) {
+	bad := &obs.Counter{} // want `constructed as a literal`
+	_ = bad
+	_ = new(obs.Gauge) // want `constructed with new\(\)`
+
+	_ = r.Counter("reads_total", "Reads.")                    // want `does not match`
+	_ = r.Counter("tagbreathe_pipeline_reads", "Reads.")      // want `must end in _total`
+	_ = r.Gauge("tagbreathe_pipeline_depth_total", "Depth.")  // want `must not end in _total`
+	_ = r.Histogram("tagbreathe_pipeline_latency", "L.", nil) // want `unit suffix`
+	_ = r.Counter("tagbreathe_pipeline_reads_total", " ")     // want `empty help`
+	name := metricName()
+	_ = r.Counter(name, "Reads.") // want `compile-time constant`
+
+	vec := r.CounterVec("tagbreathe_pipeline_events_total", "Events by kind.", "kind")
+	vec.With("fixed")  // constant: fine
+	vec.With(h.Kind)   // approved field: fine
+	vec.With(stage(2)) // approved helper: fine
+	vec.With(user)     // want `not provably bounded`
+	vec.With(h.raw)    // want `not provably bounded`
+
+	k := stage(1)
+	vec.With(k) // local traceable to an approved helper: fine
+
+	u := user
+	vec.With(u) // want `not provably bounded`
+}

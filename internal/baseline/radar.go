@@ -56,7 +56,7 @@ func (rs *RadarScenario) Run() ([]float64, error) {
 		return nil, fmt.Errorf("baseline: non-positive duration %v", rs.Duration)
 	}
 	carrier := rs.Carrier
-	if carrier == 0 {
+	if carrier == 0 { //tagbreathe:allow floatcmp zero value means unset; exact sentinel
 		carrier = 5.8 * units.GHz
 	}
 	fs := rs.SampleRate
@@ -64,7 +64,7 @@ func (rs *RadarScenario) Run() ([]float64, error) {
 		fs = 100
 	}
 	noise := rs.NoiseStd
-	if noise == 0 {
+	if noise == 0 { //tagbreathe:allow floatcmp zero value means unset; exact sentinel
 		noise = 0.05
 	}
 	rng := rand.New(rand.NewSource(rs.Seed))

@@ -2,8 +2,8 @@ package core
 
 import (
 	"math"
-	"strconv"
 
+	"tagbreathe/internal/fmath"
 	"tagbreathe/internal/obs"
 	"tagbreathe/internal/reader"
 	"tagbreathe/internal/sigproc"
@@ -141,6 +141,8 @@ func (f *BinFuser) Hi() int { return f.hi }
 // Add feeds one displacement sample. Samples are expected in
 // non-decreasing T order (the Differencer emits them so); out-of-order
 // samples are deposited immediately rather than held.
+//
+//tagbreathe:hotpath Eq. 6 fusion runs once per displacement sample
 func (f *BinFuser) Add(s DisplacementSample) {
 	f.adds++
 	if len(f.pending) > 0 {
@@ -244,6 +246,9 @@ func (f *BinFuser) add(i int, v float64) {
 	}
 }
 
+// grow doubles the ring until it holds need bins.
+//
+//tagbreathe:allow hotpath amortized doubling; a ring sized for the window never grows in steady state
 func (f *BinFuser) grow(need int) {
 	cap2 := len(f.ring) * 2
 	for cap2 < need {
@@ -410,8 +415,11 @@ type Engine struct {
 	strideSec  float64
 	apneaSec   float64
 	userID     uint64
-	userLbl    string
-	metrics    *MonitorMetrics
+	// userLbl caches UserLabel(userID) for metric label reuse.
+	//
+	//tagbreathe:labelvalue assigned only from UserLabel at construction
+	userLbl string
+	metrics *MonitorMetrics
 
 	df   *Differencer
 	ants map[int]*antennaState
@@ -453,6 +461,8 @@ func NewEngine(cfg Config, opts EngineOptions) *Engine {
 }
 
 // ant returns (creating on first sight) one antenna's state.
+//
+//tagbreathe:allow hotpath construction runs once per antenna at first sight; steady-state calls return the cached state
 func (e *Engine) ant(port int) *antennaState {
 	a, ok := e.ants[port]
 	if ok {
@@ -484,6 +494,8 @@ func (e *Engine) ant(port int) *antennaState {
 
 // Feed ingests one report: tick stats, Eq. 3 differencing, and Eq. 6
 // fusion. Reports must arrive in timestamp order. O(1) amortized.
+//
+//tagbreathe:hotpath runs once per tag read inside every shard
 func (e *Engine) Feed(r reader.TagReport) {
 	if !e.started {
 		e.started = true
@@ -514,7 +526,7 @@ func (e *Engine) observeQuality(a *antennaState, q AntennaQuality) {
 		return
 	}
 	if a.gRate == nil {
-		ant := strconv.Itoa(q.Antenna)
+		ant := AntennaLabel(q.Antenna)
 		a.gRate = e.metrics.AntennaReadRate.With(e.userLbl, ant)
 		a.gRSSI = e.metrics.AntennaMeanRSSI.With(e.userLbl, ant)
 		a.gScore = e.metrics.AntennaScore.With(e.userLbl, ant)
@@ -546,7 +558,7 @@ func (e *Engine) selectAntenna(span func(a *antennaState) float64, publish bool)
 			e.observeQuality(a, q)
 		}
 		s := q.Score()
-		if best == nil || s > bestScore || (s == bestScore && port < bestPort) {
+		if best == nil || s > bestScore || (fmath.ExactEq(s, bestScore) && port < bestPort) {
 			best, bestPort, bestScore = a, port, s
 		}
 	}
@@ -558,6 +570,8 @@ func (e *Engine) selectAntenna(span func(a *antennaState) float64, publish bool)
 // caller stamps RateUpdate.Time. In streaming mode the tick costs
 // O(new bins · taps); in the recompute modes extraction is O(window)
 // but fusion stays incremental.
+//
+//tagbreathe:hotpath per-tick analysis; the streaming mode must stay O(new bins) and allocation-free
 func (e *Engine) TickUpdate(asOf float64) (RateUpdate, bool) {
 	if !e.started {
 		return RateUpdate{}, false
@@ -593,6 +607,7 @@ func (e *Engine) TickUpdate(asOf float64) (RateUpdate, bool) {
 	if e.mode == FilterFIRStreaming {
 		return e.streamingUpdate(best, bestPort, t0)
 	}
+	//tagbreathe:allow hotpath legacy O(window) recompute modes allocate by design; FIRStreaming is the enforced real-time mode
 	return e.recomputeUpdate(best, bestPort, asOf)
 }
 
@@ -701,7 +716,7 @@ func (e *Engine) recomputeUpdate(a *antennaState, port int, asOf float64) (RateU
 	}
 	nz := 0
 	for _, v := range bins {
-		if v != 0 {
+		if fmath.NonZero(v) {
 			nz++
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"tagbreathe/internal/fmath"
 	"tagbreathe/internal/sigproc"
 )
 
@@ -223,7 +224,7 @@ func rejectMotion(bins []float64, binInterval, t0 float64) ([]float64, [][2]floa
 		dev[i] = math.Abs(v - med)
 	}
 	mad := sigproc.Percentile(dev, 50)
-	if mad == 0 {
+	if fmath.ExactZero(mad) {
 		return bins, nil
 	}
 	threshold := motionRejectK * 1.4826 * mad

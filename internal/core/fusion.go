@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"tagbreathe/internal/fmath"
 	"tagbreathe/internal/reader"
 )
 
@@ -155,7 +156,7 @@ func RankAntennas(reports []reader.TagReport, cfg Config, spanSeconds float64) m
 		qs := out[uid]
 		sort.Slice(qs, func(i, j int) bool {
 			si, sj := qs[i].Score(), qs[j].Score()
-			if si != sj {
+			if !fmath.ExactEq(si, sj) {
 				return si > sj
 			}
 			return qs[i].Antenna < qs[j].Antenna // deterministic order
@@ -181,7 +182,7 @@ func fusedStats(bins []float64) (rms float64, nonZero int) {
 	var ss float64
 	for _, v := range bins {
 		ss += v * v
-		if v != 0 {
+		if fmath.NonZero(v) {
 			nonZero++
 		}
 	}

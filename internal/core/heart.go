@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"tagbreathe/internal/fmath"
 	"tagbreathe/internal/reader"
 	"tagbreathe/internal/sigproc"
 )
@@ -110,7 +111,7 @@ func EstimateHeartRate(reports []reader.TagReport, userID uint64, cfg Config) (*
 		m1 := math.Log(psd[best-1])
 		m2 := math.Log(psd[best])
 		m3 := math.Log(psd[best+1])
-		if den := m1 - 2*m2 + m3; den != 0 {
+		if den := m1 - 2*m2 + m3; fmath.NonZero(den) {
 			if delta := 0.5 * (m1 - m3) / den; delta > -1 && delta < 1 {
 				f += delta * (freqs[1] - freqs[0])
 			}

@@ -83,18 +83,19 @@ func NewMonitorMetrics(r *obs.Registry) *MonitorMetrics {
 	}
 }
 
-// observeQuality publishes one tick's §IV-D.3 inputs for one antenna.
-func (m *MonitorMetrics) observeQuality(user string, q AntennaQuality) {
-	ant := strconv.Itoa(q.Antenna)
-	m.AntennaReadRate.With(user, ant).Set(q.ReadRate)
-	m.AntennaMeanRSSI.With(user, ant).Set(q.MeanRSSI)
-	m.AntennaScore.With(user, ant).Set(q.Score())
-}
-
 // UserLabel formats a user ID for the "user" metric label, matching
 // the hex form the CLI prints so log lines and metric series join.
+//
+//tagbreathe:labelvalue one series per monitored user; deployments track a handful of users, not an open set
 func UserLabel(uid uint64) string {
 	return strconv.FormatUint(uid, 16)
+}
+
+// AntennaLabel formats an antenna port for the "antenna" metric label.
+//
+//tagbreathe:labelvalue antenna ports are hardware-bounded (LLRP readers expose at most a few)
+func AntennaLabel(port int) string {
+	return strconv.Itoa(port)
 }
 
 // EstimateMetrics are the batch pipeline's instruments; hand one to

@@ -166,6 +166,8 @@ func NewMonitor(cfg MonitorConfig) *Monitor {
 
 // Ingest submits one report. Reports must arrive in timestamp order.
 // It returns false if the monitor has been stopped.
+//
+//tagbreathe:hotpath runs once per tag read on the producer's goroutine
 func (m *Monitor) Ingest(r reader.TagReport) (ok bool) {
 	defer func() {
 		// Sending on a closed channel panics; translate the race with
@@ -219,6 +221,7 @@ func (m *Monitor) Stop() {
 	m.stopOnce.Do(func() {
 		m.CloseInput()
 		// Drain updates so the analyze stage can finish.
+		//tagbreathe:allow goroutineleak exits when m.wg.Wait closes updates; tying it to the WaitGroup would deadlock the drain
 		go func() {
 			for range m.updates {
 			}
@@ -252,6 +255,8 @@ type shardInput struct {
 // demuxLoop is the routing stage: it owns the shard table (nobody else
 // touches it), forwards each report to its user's shard queue, and
 // broadcasts analysis ticks on UpdateEvery boundaries of stream time.
+//
+//tagbreathe:hotpath every report crosses this single goroutine; a stall here backpressures the whole reader
 func (m *Monitor) demuxLoop(ticks chan<- *monitorTick) {
 	defer m.wg.Done()
 
@@ -262,12 +267,16 @@ func (m *Monitor) demuxLoop(ticks chan<- *monitorTick) {
 		q  chan shardInput
 		hw *obs.Gauge
 	}
-	shards := make(map[uint64]monitorShard)
-	var order []monitorShard // broadcast in creation order
+	shards := make(map[uint64]monitorShard) //tagbreathe:allow hotpath one routing table per monitor lifetime, built before the loop
+	var order []monitorShard                // broadcast in creation order
 	var nextUpdate time.Duration
 	started := false
 
 	broadcast := func(asOf time.Duration) {
+		// One descriptor per tick (1/UpdateEvery), not per report: the
+		// clock read here is the tick's cached wall time and the result
+		// channel's capacity is the live shard count.
+		//tagbreathe:allow hotpath per-tick descriptor; one clock read and one bounded channel per broadcast
 		tick := &monitorTick{
 			asOf:    asOf,
 			shards:  len(order),
@@ -293,6 +302,7 @@ func (m *Monitor) demuxLoop(ticks chan<- *monitorTick) {
 		}
 		sh, ok := shards[uid]
 		if !ok {
+			//tagbreathe:allow hotpath first sighting of a user: queue + gauge resolve once, then every report hits the map
 			sh = monitorShard{
 				q:  make(chan shardInput, m.cfg.ShardQueue),
 				hw: m.metrics.QueueHighWater.With(UserLabel(uid)),
@@ -301,6 +311,7 @@ func (m *Monitor) demuxLoop(ticks chan<- *monitorTick) {
 			order = append(order, sh)
 			m.metrics.ActiveUsers.Set(float64(len(order)))
 			m.wg.Add(1)
+			//tagbreathe:allow hotpath one goroutine per new user, not per report
 			go m.shardLoop(uid, sh.q)
 		}
 		if m.cfg.Overload == OverloadDropNewest {
@@ -338,9 +349,12 @@ func (m *Monitor) demuxLoop(ticks chan<- *monitorTick) {
 // differencing and Eq. 6 fusion are already done when a tick lands)
 // and answers ticks with the engine's windowed update; per-shard
 // analysis is where the monitor's parallelism across users comes from.
+//
+//tagbreathe:hotpath per-report feed path; the tick branch is the 1/s cold side and carries its own allows
 func (m *Monitor) shardLoop(uid uint64, q <-chan shardInput) {
 	defer m.wg.Done()
 
+	//tagbreathe:allow hotpath one-time per-shard construction before the loop
 	eng := NewEngine(m.cfg.Pipeline, EngineOptions{
 		Window:        m.cfg.Window.Seconds(),
 		TickStride:    m.cfg.UpdateEvery.Seconds(),
@@ -352,14 +366,14 @@ func (m *Monitor) shardLoop(uid uint64, q <-chan shardInput) {
 	for in := range q {
 		if in.tick != nil {
 			tick := in.tick
-			start := time.Now()
+			start := time.Now() //tagbreathe:allow hotpath per-tick instrumentation (1/UpdateEvery); reports are the per-event unit
 			if up, ok := eng.TickUpdate(tick.asOf.Seconds()); ok {
 				up.Time = tick.asOf
 				tick.results <- []RateUpdate{up}
 			} else {
 				tick.results <- nil
 			}
-			m.metrics.ShardTickSeconds.Observe(time.Since(start).Seconds())
+			m.metrics.ShardTickSeconds.Observe(time.Since(start).Seconds()) //tagbreathe:allow hotpath per-tick instrumentation, paired with the clock read above
 			// Selection stats are windowed per tick: reset so the next
 			// update reflects the recent stream, not all history.
 			eng.ResetTickStats()
@@ -408,6 +422,7 @@ func MonitorStream(reports []reader.TagReport, cfg MonitorConfig) ([]RateUpdate,
 	}
 	m := NewMonitor(cfg)
 	done := make(chan []RateUpdate)
+	//tagbreathe:allow goroutineleak collector exits when Updates closes and hands its result over done, which this function always receives
 	go func() {
 		var out []RateUpdate
 		for u := range m.Updates() {

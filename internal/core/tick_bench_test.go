@@ -37,8 +37,8 @@ func (g *synthGen) next() reader.TagReport {
 	g.k++
 	t := float64(k) / synthReadHz
 	tag := k % 3
-	channel := (k / 25) % 16  // ~0.4 s dwell, full revisit every 6.25 s
-	antenna := 1 + (k/32)%2   // 0.5 s antenna dwell (§IV-D.3 round-robin)
+	channel := (k / 25) % 16 // ~0.4 s dwell, full revisit every 6.25 s
+	antenna := 1 + (k/32)%2  // 0.5 s antenna dwell (§IV-D.3 round-robin)
 	freq := units.Hertz(902.75e6 + 0.5e6*float64(channel))
 	lambda := float64(freq.Wavelength())
 	// 5 mm chest excursion at 0.25 Hz (15 bpm), plus a per-channel

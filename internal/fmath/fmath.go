@@ -1,0 +1,58 @@
+// Package fmath holds the approved floating-point comparison helpers
+// the floatcmp analyzer steers code toward. Raw ==/!= on floats is
+// forbidden outside this package because it silently mixes two very
+// different intents: tolerance comparison (which needs an epsilon) and
+// exact sentinel/guard comparison (which is correct but should say
+// so). Each helper names one intent; the function-scoped
+// //tagbreathe:allow directives below are the only blessed raw float
+// comparisons in the tree.
+package fmath
+
+import "math"
+
+// Eps is the default relative tolerance for Eq: generous enough to
+// absorb accumulated FIR rounding, far below any physically meaningful
+// phase or displacement difference in the pipeline.
+const Eps = 1e-9
+
+// Eq reports whether a and b are equal within Eps, using an
+// absolute-or-relative hybrid so it behaves sanely near zero.
+//
+//tagbreathe:allow floatcmp this is the epsilon helper itself
+func Eq(a, b float64) bool {
+	if a == b { // fast path, also handles infinities
+		return true
+	}
+	diff := math.Abs(a - b)
+	if math.IsInf(diff, 1) {
+		// Opposite infinities, or finite values whose difference
+		// overflows: never equal (Eps*Inf below would absorb them).
+		return false
+	}
+	if diff <= Eps {
+		return true
+	}
+	return diff <= Eps*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// ExactEq reports a == b with no tolerance. Use it where exact
+// equality is the point — tie-breaks on identical inputs, plateau
+// detection, degenerate-range guards before division — so the intent
+// survives the floatcmp ban on raw ==.
+//
+//tagbreathe:allow floatcmp exact comparison is this helper's contract
+func ExactEq(a, b float64) bool { return a == b }
+
+// ExactZero reports x == 0 exactly. The pipeline's config structs use
+// the float zero value as "unset"; guards before division use it to
+// detect degenerate denominators. Neither wants an epsilon.
+//
+//tagbreathe:allow floatcmp exact zero sentinel is this helper's contract
+func ExactZero(x float64) bool { return x == 0 }
+
+// NonZero reports x != 0 exactly — the complement of ExactZero, for
+// denominator guards and occupancy counts where any nonzero value,
+// however small, counts.
+//
+//tagbreathe:allow floatcmp exact zero sentinel is this helper's contract
+func NonZero(x float64) bool { return x != 0 }

@@ -1,0 +1,55 @@
+package fmath
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0.1 + 0.2, 0.3, true},  // the canonical rounding case
+		{1, 1, true},            // exact fast path
+		{0, 1e-12, true},        // absolute tolerance near zero
+		{0, 1e-6, false},        // a real difference near zero
+		{1e12, 1e12 + 1, true},  // relative tolerance at scale
+		{1e12, 1.001e12, false}, // a real difference at scale
+		{1, 1.0001, false},      // beyond both tolerances
+		{math.Inf(1), math.Inf(1), true},
+		{math.Inf(1), math.Inf(-1), false},
+		{math.NaN(), math.NaN(), false}, // NaN never equals anything
+	}
+	for _, c := range cases {
+		if got := Eq(c.a, c.b); got != c.want {
+			t.Errorf("Eq(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestExactHelpers(t *testing.T) {
+	if !ExactEq(0.5, 0.5) {
+		t.Error("ExactEq(0.5, 0.5) = false")
+	}
+	if ExactEq(0.5, 0.5+1e-12) {
+		t.Error("ExactEq tolerated a difference")
+	}
+	if !ExactZero(0) {
+		t.Error("ExactZero(0) = false")
+	}
+	if ExactZero(1e-300) {
+		t.Error("ExactZero tolerated a subnormal-scale value")
+	}
+	if !NonZero(1e-300) {
+		t.Error("NonZero(1e-300) = false")
+	}
+	if NonZero(0) {
+		t.Error("NonZero(0) = true")
+	}
+	// Negative zero is exactly zero in IEEE 754; the sentinel helpers
+	// must agree.
+	if !ExactZero(math.Copysign(0, -1)) {
+		t.Error("ExactZero(-0) = false")
+	}
+}

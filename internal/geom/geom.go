@@ -6,7 +6,11 @@
 // Units are meters.
 package geom
 
-import "math"
+import (
+	"math"
+
+	"tagbreathe/internal/fmath"
+)
 
 // Vec3 is a point or displacement in 3-D space, in meters.
 type Vec3 struct {
@@ -56,7 +60,7 @@ func (v Vec3) Distance(w Vec3) float64 {
 // vector normalizes to itself, which callers treat as "no direction".
 func (v Vec3) Normalize() Vec3 {
 	n := v.Norm()
-	if n == 0 {
+	if fmath.ExactZero(n) {
 		return Vec3{}
 	}
 	return v.Scale(1 / n)
@@ -66,7 +70,7 @@ func (v Vec3) Normalize() Vec3 {
 // If either vector is zero the angle is defined as 0.
 func (v Vec3) AngleBetween(w Vec3) float64 {
 	nv, nw := v.Norm(), w.Norm()
-	if nv == 0 || nw == 0 {
+	if fmath.ExactZero(nv) || fmath.ExactZero(nw) {
 		return 0
 	}
 	c := v.Dot(w) / (nv * nw)

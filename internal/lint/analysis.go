@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check, the local equivalent of
+// golang.org/x/tools/go/analysis.Analyzer. Run inspects a single
+// package through its Pass and reports diagnostics; analyzers are
+// stateless across packages.
+type Analyzer struct {
+	// Name identifies the analyzer; //tagbreathe:allow directives
+	// reference checks by this name.
+	Name string
+	// Doc is the one-paragraph description `tagbreathe-lint -help`
+	// prints.
+	Doc string
+	// Run performs the analysis.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one package's syntax and types through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Dirs indexes the package's //tagbreathe: annotations; Reportf
+	// consults it, so analyzers rarely need to.
+	Dirs *Directives
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless an allow directive covering
+// pos suppresses this analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Dirs != nil && p.Dirs.Allowed(p.Analyzer.Name, pos) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ObjectOf resolves an identifier to its object (definition or use).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return p.TypesInfo.Uses[id]
+}
+
+// Run executes every analyzer over every package and returns the
+// findings sorted by position. Packages without retained syntax (out
+// of the main module) are skipped.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		dirs := ParseDirectives(fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Dirs:      dirs,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// IsNamed reports whether t (after pointer indirection) is the named
+// type pkgPath.name — the analyzers' workhorse type test.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// CalleeFunc resolves a call expression to the *types.Func it invokes
+// (method or function), or nil for indirect calls, conversions, and
+// builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// The annotation grammar (DESIGN.md §10):
+//
+//	//tagbreathe:hotpath <reason>
+//	    On a function's doc comment: the function (and its
+//	    intra-package callees) is a real-time hot path; the hotpath
+//	    analyzer enforces its allocation/clock/lock discipline.
+//
+//	//tagbreathe:allow <check> <reason>
+//	    Suppresses one check ("hotpath", "goroutineleak",
+//	    "metrichygiene", "floatcmp") for the annotated scope: the whole
+//	    function when placed in a function doc comment, otherwise the
+//	    single statement the comment is attached to (trailing on the
+//	    statement's first line, or on its own line directly above).
+//	    The reason is mandatory; the directives analyzer rejects bare
+//	    allows.
+//
+//	//tagbreathe:labelvalue <reason>
+//	    On a function or struct-field doc comment: values produced by
+//	    this function (or held in this field) are approved metric label
+//	    values — the reason must say why their cardinality is bounded.
+//
+// Directives are ordinary line comments with no space after `//`, the
+// same shape as go:build or go:generate, so gofmt leaves them alone.
+
+// DirectivePrefix introduces every annotation this framework parses.
+const DirectivePrefix = "//tagbreathe:"
+
+// Directive is one parsed //tagbreathe: annotation.
+type Directive struct {
+	Pos  token.Pos
+	Name string // "hotpath", "allow", "labelvalue", ...
+	// Check is the suppressed check name (allow directives only).
+	Check string
+	// Reason is the trailing free text.
+	Reason string
+	// Node is what the directive attaches to: the *ast.FuncDecl whose
+	// doc holds it, the statement it precedes or trails, or the
+	// *ast.Field it documents. Nil when nothing plausible was found
+	// (the directives analyzer flags that).
+	Node ast.Node
+	// FuncScope reports that the directive sits in a function's doc
+	// comment and therefore covers the whole function.
+	FuncScope bool
+}
+
+// Directives indexes one package's annotations for the analyzers.
+type Directives struct {
+	All []*Directive
+
+	allows []span
+}
+
+// span is one suppressed source range for one check.
+type span struct {
+	check  string
+	lo, hi token.Pos
+}
+
+// ParseDirectives extracts and attaches every //tagbreathe: annotation
+// in the package's files. Files must have been parsed with comments.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{}
+	for _, f := range files {
+		// Map doc-comment groups to their owners so a directive in a
+		// doc comment scopes to the documented declaration.
+		docOwner := make(map[*ast.CommentGroup]ast.Node)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Doc != nil {
+					docOwner[n.Doc] = n
+				}
+			case *ast.Field:
+				if n.Doc != nil {
+					docOwner[n.Doc] = n
+				}
+				if n.Comment != nil {
+					docOwner[n.Comment] = n
+				}
+			case *ast.GenDecl:
+				if n.Doc != nil {
+					docOwner[n.Doc] = n
+				}
+			case *ast.TypeSpec:
+				if n.Doc != nil {
+					docOwner[n.Doc] = n
+				}
+			case *ast.ValueSpec:
+				if n.Doc != nil {
+					docOwner[n.Doc] = n
+				}
+			}
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				dir, ok := parseDirective(c)
+				if !ok {
+					continue
+				}
+				if owner, ok := docOwner[cg]; ok {
+					dir.Node = owner
+					_, dir.FuncScope = owner.(*ast.FuncDecl)
+				} else {
+					dir.Node = attachStmt(fset, f, c)
+				}
+				d.All = append(d.All, dir)
+				if dir.Name == "allow" && dir.Check != "" && dir.Node != nil {
+					d.allows = append(d.allows, span{
+						check: dir.Check,
+						lo:    dir.Node.Pos(),
+						hi:    dir.Node.End(),
+					})
+				}
+			}
+		}
+	}
+	return d
+}
+
+// parseDirective decodes one comment line.
+func parseDirective(c *ast.Comment) (*Directive, bool) {
+	if !strings.HasPrefix(c.Text, DirectivePrefix) {
+		return nil, false
+	}
+	body := strings.TrimPrefix(c.Text, DirectivePrefix)
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		return &Directive{Pos: c.Pos()}, true
+	}
+	dir := &Directive{Pos: c.Pos(), Name: fields[0]}
+	rest := fields[1:]
+	if dir.Name == "allow" && len(rest) > 0 {
+		dir.Check = rest[0]
+		rest = rest[1:]
+	}
+	dir.Reason = strings.Join(rest, " ")
+	return dir, true
+}
+
+// attachStmt finds the statement a non-doc directive comment governs:
+// the innermost statement whose first line the comment trails, or else
+// the next statement starting within a few lines below the comment.
+func attachStmt(fset *token.FileSet, f *ast.File, c *ast.Comment) ast.Node {
+	cline := fset.Position(c.Pos()).Line
+	var trailing ast.Stmt // innermost stmt starting on the comment's line
+	var next ast.Stmt     // earliest stmt starting after the comment
+	ast.Inspect(f, func(n ast.Node) bool {
+		s, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		// A bare block is never the intended target: `if cond { //dir`
+		// means the if statement, not its body.
+		if _, isBlock := s.(*ast.BlockStmt); isBlock {
+			return true
+		}
+		sline := fset.Position(s.Pos()).Line
+		if sline == cline && s.Pos() < c.Pos() {
+			// Innermost wins: later visits of nested statements on the
+			// same line overwrite the enclosing one.
+			trailing = s
+		}
+		if s.Pos() > c.End() && (next == nil || s.Pos() < next.Pos()) {
+			next = s
+		}
+		return true
+	})
+	if trailing != nil {
+		return trailing
+	}
+	if next != nil && fset.Position(next.Pos()).Line-cline <= 3 {
+		return next
+	}
+	return nil
+}
+
+// Allowed reports whether a diagnostic for check at pos is suppressed
+// by an allow directive whose scope covers pos.
+func (d *Directives) Allowed(check string, pos token.Pos) bool {
+	for _, s := range d.allows {
+		if s.check == check && s.lo <= pos && pos <= s.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncsWith returns the function declarations carrying the named
+// directive in their doc comments, in source order.
+func (d *Directives) FuncsWith(name string) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, dir := range d.All {
+		if dir.Name != name {
+			continue
+		}
+		if fd, ok := dir.Node.(*ast.FuncDecl); ok {
+			out = append(out, fd)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// FieldsWith returns the struct fields carrying the named directive.
+func (d *Directives) FieldsWith(name string) []*ast.Field {
+	var out []*ast.Field
+	for _, dir := range d.All {
+		if dir.Name != name {
+			continue
+		}
+		if fld, ok := dir.Node.(*ast.Field); ok {
+			out = append(out, fld)
+		}
+	}
+	return out
+}
+
+// FuncAllowed reports whether fn's doc carries a function-scoped allow
+// for check (used by analyzers that must prune traversals, not just
+// filter reports).
+func (d *Directives) FuncAllowed(check string, fn *ast.FuncDecl) bool {
+	for _, dir := range d.All {
+		if dir.Name == "allow" && dir.Check == check && dir.FuncScope && dir.Node == fn {
+			return true
+		}
+	}
+	return false
+}

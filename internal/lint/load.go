@@ -1,0 +1,329 @@
+// Package lint is a self-contained static-analysis framework in the
+// spirit of golang.org/x/tools/go/analysis, built only on the standard
+// library so the repository stays dependency-free. It loads packages by
+// shelling out to `go list` for metadata and type-checking every
+// package — standard library included — from source, then runs
+// Analyzer passes over the target packages' syntax and type
+// information.
+//
+// The framework exists to mechanically enforce the invariants the
+// TagBreathe pipeline's performance and correctness rest on (see
+// internal/analyzers and DESIGN.md §10): allocation-free hot paths,
+// lifecycle-tied goroutines, a disciplined metric catalog, and
+// epsilon-aware float comparisons.
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	Module     *listModule
+	Error      *listError
+}
+
+type listModule struct {
+	Path      string
+	Main      bool
+	GoVersion string
+}
+
+type listError struct {
+	Err string
+}
+
+// Package is one loaded, type-checked package. Syntax (with comments)
+// and type information are retained only for packages in the main
+// module — dependency packages keep just their *types.Package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	GoFiles    []string
+	Types      *types.Package
+	Info       *types.Info
+	InModule   bool
+}
+
+// Loader loads and type-checks packages. It caches by import path, so
+// one Loader instance amortizes the standard-library type-check across
+// every target package of a run.
+type Loader struct {
+	Fset *token.FileSet
+	// Dir is the module root directory `go list` runs in.
+	Dir string
+
+	meta map[string]*listPackage
+	pkgs map[string]*Package
+	// checking guards against import cycles (a loader bug or a
+	// truly broken package — either way, fail loudly).
+	checking map[string]bool
+}
+
+// NewLoader builds a loader rooted at dir (the module root; "" means
+// the current directory's module, found by walking up to go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	if dir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return nil, err
+		}
+		dir = wd
+		for {
+			if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+				break
+			}
+			parent := filepath.Dir(dir)
+			if parent == dir {
+				return nil, fmt.Errorf("lint: no go.mod found above %s", wd)
+			}
+			dir = parent
+		}
+	}
+	return &Loader{
+		Fset:     token.NewFileSet(),
+		Dir:      dir,
+		meta:     make(map[string]*listPackage),
+		pkgs:     make(map[string]*Package),
+		checking: make(map[string]bool),
+	}, nil
+}
+
+// goList runs `go list -deps -json` over args and folds the results
+// into the metadata cache. CGO is disabled so every package resolves
+// to its pure-Go file set, which the source type-checker can handle.
+func (l *Loader) goList(args []string) ([]string, error) {
+	cmd := exec.Command("go", append([]string{
+		"list", "-deps",
+		"-json=ImportPath,Dir,Name,GoFiles,Imports,ImportMap,Standard,Module,Error",
+	}, args...)...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	var roots []string
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var p listPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if _, ok := l.meta[p.ImportPath]; !ok {
+			pp := p
+			l.meta[p.ImportPath] = &pp
+		}
+		roots = append(roots, p.ImportPath)
+	}
+	return roots, nil
+}
+
+// Load resolves patterns (e.g. "./...") to packages, loads their full
+// dependency graphs, and returns the matched packages type-checked,
+// in `go list` order. Only packages in the main module retain syntax
+// and type info.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	all, err := l.goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	// `go list -deps` emits dependencies before dependents; the last
+	// mention of each root pattern match is what we return. Distinguish
+	// matches from mere deps: re-list without -deps.
+	cmd := exec.Command("go", append([]string{"list"}, patterns...)...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v", strings.Join(patterns, " "), err)
+	}
+	matched := strings.Fields(out.String())
+	isMatch := make(map[string]bool, len(matched))
+	for _, m := range matched {
+		isMatch[m] = true
+	}
+	var res []*Package
+	for _, path := range all {
+		if !isMatch[path] {
+			continue
+		}
+		p, err := l.ensure(path)
+		if err != nil {
+			return nil, err
+		}
+		res = append(res, p)
+		delete(isMatch, path) // -deps can repeat roots
+	}
+	return res, nil
+}
+
+// ensure returns the type-checked package for an import path, loading
+// and checking it (and, recursively, its imports) on first use.
+func (l *Loader) ensure(path string) (*Package, error) {
+	if path == "unsafe" {
+		return &Package{ImportPath: path, Types: types.Unsafe}, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	meta, ok := l.meta[path]
+	if !ok {
+		// A path outside any previous -deps closure (synthetic
+		// packages introduce these); list it now.
+		if _, err := l.goList([]string{path}); err != nil {
+			return nil, err
+		}
+		meta, ok = l.meta[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: cannot resolve import %q", path)
+		}
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
+
+	inModule := meta.Module != nil && meta.Module.Main
+	files := make([]string, len(meta.GoFiles))
+	for i, f := range meta.GoFiles {
+		files[i] = filepath.Join(meta.Dir, f)
+	}
+	pkg, err := l.check(path, meta.Name, meta.Dir, files, meta.ImportMap, goVersionFor(meta), inModule)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// goVersionFor picks the language version for type-checking a package:
+// the module's go directive for module packages, the toolchain's own
+// version for the standard library.
+func goVersionFor(meta *listPackage) string {
+	if meta.Module != nil && meta.Module.GoVersion != "" {
+		return "go" + meta.Module.GoVersion
+	}
+	if v := runtime.Version(); strings.HasPrefix(v, "go1") {
+		return v
+	}
+	return ""
+}
+
+// check parses and type-checks one package. importMap translates
+// source-level import paths (what the files say) to canonical package
+// paths (what the loader caches) — the standard library's vendored
+// dependencies need this.
+func (l *Loader) check(path, name, dir string, filenames []string, importMap map[string]string, goVersion string, inModule bool) (*Package, error) {
+	mode := parser.SkipObjectResolution
+	if inModule {
+		mode |= parser.ParseComments
+	}
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.Fset, fn, nil, mode)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %v", fn, err)
+		}
+		files = append(files, f)
+	}
+	imp := importerFunc(func(ipath string) (*types.Package, error) {
+		if mapped, ok := importMap[ipath]; ok {
+			ipath = mapped
+		}
+		p, err := l.ensure(ipath)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := cfg.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %v", path, err)
+	}
+	if name != "" && tpkg.Name() != name {
+		return nil, fmt.Errorf("lint: package %s has name %q, go list says %q", path, tpkg.Name(), name)
+	}
+	p := &Package{
+		ImportPath: path,
+		Dir:        dir,
+		GoFiles:    filenames,
+		Types:      tpkg,
+		InModule:   inModule,
+	}
+	if inModule {
+		p.Files = files
+		p.Info = info
+	}
+	return p, nil
+}
+
+// LoadSynthetic parses dir's .go files as a standalone package under
+// the given import path and type-checks it against the loader's world
+// — the golden-test harness uses this to check testdata packages that
+// import real module packages.
+func (l *Loader) LoadSynthetic(importPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: read testdata dir: %v", err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	return l.check(importPath, "", dir, filenames, nil, goVersionFor(&listPackage{}), true)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+var _ types.Importer = importerFunc(nil)

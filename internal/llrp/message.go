@@ -55,6 +55,8 @@ const (
 )
 
 // String implements fmt.Stringer for logs.
+//
+//tagbreathe:labelvalue the LLRP type space is 10 bits and unknown types collapse to one form
 func (t MessageType) String() string {
 	switch t {
 	case MsgGetReaderCapabilities:
@@ -141,6 +143,8 @@ func WriteMessage(w io.Writer, m Message) error {
 
 // ReadMessage reads one framed message. It validates the version bits
 // and bounds the declared length before allocating.
+//
+//tagbreathe:hotpath frame decode runs once per LLRP message on the connection reader
 func ReadMessage(r io.Reader) (Message, error) {
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -149,10 +153,12 @@ func ReadMessage(r io.Reader) (Message, error) {
 	verType := binary.BigEndian.Uint16(hdr[0:2])
 	ver := verType >> 10 & 0x7
 	if ver != protocolVersion {
+		//tagbreathe:allow hotpath error path; the connection is torn down after a bad frame
 		return Message{}, fmt.Errorf("llrp: unsupported protocol version %d", ver)
 	}
 	total := binary.BigEndian.Uint32(hdr[2:6])
 	if total < headerSize || total > maxMessageSize {
+		//tagbreathe:allow hotpath error path; the connection is torn down after a bad frame
 		return Message{}, fmt.Errorf("llrp: invalid message length %d", total)
 	}
 	m := Message{
@@ -160,8 +166,10 @@ func ReadMessage(r io.Reader) (Message, error) {
 		ID:   binary.BigEndian.Uint32(hdr[6:10]),
 	}
 	if n := total - headerSize; n > 0 {
+		//tagbreathe:allow hotpath one payload buffer per message is the decode contract; n is bounded by maxMessageSize above
 		m.Payload = make([]byte, n)
 		if _, err := io.ReadFull(r, m.Payload); err != nil {
+			//tagbreathe:allow hotpath error path; the connection is torn down after a short read
 			return Message{}, fmt.Errorf("llrp: read payload: %w", err)
 		}
 	}

@@ -70,6 +70,13 @@ type SessionMetrics struct {
 	// WatchdogTrips counts links declared dead by the keepalive
 	// watchdog (no inbound traffic within the deadline).
 	WatchdogTrips *obs.Counter
+	// ReportsBuffer is the current occupancy of the session's stable
+	// report channel — the flow-control signal: a climbing value means
+	// the consumer is falling behind the reader.
+	ReportsBuffer *obs.Gauge
+	// ReportsBufferHighWater is the deepest the stable report channel
+	// has been over the session's life.
+	ReportsBufferHighWater *obs.Gauge
 }
 
 // NewSessionMetrics wires session instruments into r (nil r: live,
@@ -87,6 +94,10 @@ func NewSessionMetrics(r *obs.Registry) *SessionMetrics {
 			"Failed connection attempts by stage (dial, provision).", "stage"),
 		WatchdogTrips: r.Counter("tagbreathe_llrp_session_watchdog_trips_total",
 			"Links declared dead by the keepalive watchdog."),
+		ReportsBuffer: r.Gauge("tagbreathe_llrp_session_reports_buffer",
+			"Reports currently buffered on the session's stable channel."),
+		ReportsBufferHighWater: r.Gauge("tagbreathe_llrp_session_reports_buffer_high_water",
+			"Deepest observed occupancy of the session's stable report channel."),
 	}
 }
 

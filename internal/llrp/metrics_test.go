@@ -131,6 +131,42 @@ func TestClientMetricsCountKeepalives(t *testing.T) {
 	}
 }
 
+// TestSessionReportsBufferGauges stalls the consumer so the stable
+// report channel backs up, and checks the occupancy gauges register
+// the depth at forward time.
+func TestSessionReportsBufferGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	addr := startServer(t, ServerConfig{NewSource: func() ReportSource { return testSource(1 << 20) }})
+	cfg := fastSessionConfig(addr)
+	cfg.Metrics = NewSessionMetrics(reg)
+	s := startSessionTest(t, cfg)
+
+	// Nobody receives: with reports flowing, the channel depth climbs
+	// and every forward samples it into the gauges.
+	deadline := time.Now().Add(10 * time.Second)
+	for cfg.Metrics.ReportsBufferHighWater.Value() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("reports buffer high water = %v, want >= 2 (state %v, err %v)",
+				cfg.Metrics.ReportsBufferHighWater.Value(), s.State(), s.Err())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// High water dominates the last sampled occupancy (the two updates
+	// are not atomic together, so allow the pair a moment to settle).
+	cur := cfg.Metrics.ReportsBuffer.Value()
+	for cfg.Metrics.ReportsBufferHighWater.Value() < cur {
+		if time.Now().After(deadline) {
+			t.Fatalf("high water %v below sampled occupancy %v",
+				cfg.Metrics.ReportsBufferHighWater.Value(), cur)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The stream still works end to end behind the instrumentation.
+	recvReports(t, s, 5)
+	s.Close()
+}
+
 // TestSessionMetricsExposition runs a session through a real
 // disconnect cycle with instruments in a registry and checks every
 // session family lands on the exposition surface with sane values.

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tagbreathe/internal/fmath"
 	"tagbreathe/internal/reader"
 )
 
@@ -109,7 +110,7 @@ func (c *SessionConfig) fillDefaults() {
 			c.BackoffMax = c.BackoffMin
 		}
 	}
-	if c.Jitter == 0 {
+	if fmath.ExactZero(c.Jitter) {
 		c.Jitter = 0.2
 	}
 	if c.Jitter < 0 {
@@ -298,8 +299,8 @@ func (s *Session) run(ctx context.Context) {
 	// Only this goroutine touches the jitter source.
 	jitter := rand.New(rand.NewSource(jitterSeed))
 
-	attempts := 0         // consecutive failures since the last healthy link
-	everUp := false       // a reconnect is only counted after a first connect
+	attempts := 0           // consecutive failures since the last healthy link
+	everUp := false         // a reconnect is only counted after a first connect
 	var downSince time.Time // when the report stream was last declared dead
 
 	for {
@@ -436,6 +437,9 @@ func (s *Session) forward(ctx context.Context, client *Client) {
 			}
 			select {
 			case s.reports <- r:
+				depth := float64(len(s.reports))
+				s.cfg.Metrics.ReportsBuffer.Set(depth)
+				s.cfg.Metrics.ReportsBufferHighWater.SetMax(depth)
 			case <-ctx.Done():
 				return
 			}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -104,6 +105,50 @@ func TestRegistryDedupes(t *testing.T) {
 		}
 	}()
 	r.Gauge("shared_total", "")
+}
+
+func TestSeriesCardinalityCap(t *testing.T) {
+	// A leaking label value must not grow a family without bound: past
+	// MaxSeriesPerFamily, unseen label combinations fold into one
+	// overflow series.
+	r := NewRegistry()
+	v := r.CounterVec("cap_total", "", "id")
+	for i := 0; i < MaxSeriesPerFamily; i++ {
+		v.With(strconv.Itoa(i)).Inc()
+	}
+	a := v.With("leaked-1")
+	b := v.With("leaked-2")
+	if a != b {
+		t.Fatal("post-cap label values minted distinct series")
+	}
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 {
+		t.Fatalf("overflow series = %d, want 2", a.Value())
+	}
+	// The fold is the literal overflow series, visible on exposition.
+	if v.With(overflowLabel) != a {
+		t.Fatal("overflow values did not land on the overflow series")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `cap_total{id="overflow"} 2`) {
+		t.Errorf("exposition missing the overflow series:\n%s", sb.String())
+	}
+
+	// Series minted before the cap stay individually addressable.
+	if got := v.With("0").Value(); got != 1 {
+		t.Fatalf("pre-cap series = %d, want 1", got)
+	}
+
+	// Scalar families (no labels) are a single series and never fold.
+	c := r.Counter("cap_scalar_total", "")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("scalar counter affected by cap")
+	}
 }
 
 func TestHistogramBucketBoundaries(t *testing.T) {

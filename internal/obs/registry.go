@@ -119,8 +119,22 @@ func seriesKey(values []string) string {
 	return strings.Join(values, "\x1f")
 }
 
+// MaxSeriesPerFamily bounds how many distinct label combinations one
+// labeled family may hold. The metrichygiene analyzer proves label
+// values bounded at compile time; this cap is the runtime backstop —
+// a leaking label (a bug, or data from outside the linted tree) cannot
+// grow the registry without limit.
+const MaxSeriesPerFamily = 512
+
+// overflowLabel is the value every label dimension reports once a
+// family exceeds its series budget: the excess collapses into one
+// visible catch-all series instead of minting new ones.
+const overflowLabel = "overflow"
+
 // at returns the series for these label values, creating it on first
-// use. mint builds the new instrument.
+// use. mint builds the new instrument. Once a labeled family holds
+// MaxSeriesPerFamily series, unseen label combinations fold into the
+// overflow series.
 func (f *family) at(values []string, mint func() any) any {
 	if len(values) != len(f.labels) {
 		panic(fmt.Sprintf("obs: metric %q used with %d label values, declared %d",
@@ -131,6 +145,16 @@ func (f *family) at(values []string, mint func() any) any {
 	defer f.mu.Unlock()
 	if s, ok := f.series[k]; ok {
 		return s
+	}
+	if len(f.labels) > 0 && len(f.series) >= MaxSeriesPerFamily {
+		ov := make([]string, len(f.labels))
+		for i := range ov {
+			ov[i] = overflowLabel
+		}
+		k, values = seriesKey(ov), ov
+		if s, ok := f.series[k]; ok {
+			return s
+		}
 	}
 	s := mint()
 	f.series[k] = s

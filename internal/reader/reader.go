@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"tagbreathe/internal/epc"
+	"tagbreathe/internal/fmath"
 	"tagbreathe/internal/geom"
 	"tagbreathe/internal/rf"
 	"tagbreathe/internal/units"
@@ -168,7 +169,7 @@ func New(cfg Config, horizon time.Duration) (*Reader, error) {
 	if cfg.AntennaDwell <= 0 {
 		cfg.AntennaDwell = 500 * time.Millisecond
 	}
-	if cfg.InitialQ == 0 {
+	if fmath.ExactZero(cfg.InitialQ) {
 		cfg.InitialQ = 4
 	}
 	if horizon <= 0 {

@@ -16,6 +16,8 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+
+	"tagbreathe/internal/fmath"
 )
 
 // FFT computes the discrete Fourier transform of x and returns a new
@@ -208,7 +210,7 @@ func DominantFrequency(x []float64, sampleRate float64) (float64, error) {
 		m2 := bestMag
 		m3 := cmplx.Abs(spec[best+1])
 		den := m1 - 2*m2 + m3
-		if den != 0 {
+		if fmath.NonZero(den) {
 			delta := 0.5 * (m1 - m3) / den
 			if delta > -1 && delta < 1 {
 				f = (float64(best) + delta) * df

@@ -3,6 +3,8 @@ package sigproc
 import (
 	"fmt"
 	"math"
+
+	"tagbreathe/internal/fmath"
 )
 
 // LowPassFFT filters x with an ideal ("brick-wall") frequency-domain
@@ -37,7 +39,7 @@ func BandPassFFT(x []float64, sampleRate, lowHz, highHz float64) ([]float64, err
 			f = float64(n-i) * df // mirror bin; same |frequency|
 		}
 		keep := f >= lowHz && f <= highHz
-		if i == 0 && lowHz == 0 {
+		if i == 0 && fmath.ExactZero(lowHz) {
 			keep = true // DC passes a pure low-pass
 		}
 		if !keep {
@@ -73,7 +75,7 @@ func FIRLowPass(taps int, sampleRate, cutoffHz float64) ([]float64, error) {
 	for i := range h {
 		m := float64(i - mid)
 		var v float64
-		if m == 0 {
+		if fmath.ExactZero(m) {
 			v = 2 * math.Pi * fc
 		} else {
 			v = math.Sin(2*math.Pi*fc*m) / m

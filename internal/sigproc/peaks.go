@@ -1,5 +1,7 @@
 package sigproc
 
+import "tagbreathe/internal/fmath"
+
 // Peak is a local maximum of a series: its index and value.
 type Peak struct {
 	Index int
@@ -29,7 +31,7 @@ func FindPeaks(x []float64, minHeight float64, minDistance int) []Peak {
 		if x[i] > x[i-1] && x[i] >= x[i+1] {
 			// Skip to the end of a plateau so it yields one peak.
 			j := i
-			for j+1 < n && x[j+1] == x[i] {
+			for j+1 < n && fmath.ExactEq(x[j+1], x[i]) {
 				j++
 			}
 			if j+1 >= n || x[j+1] < x[i] {
@@ -99,7 +101,7 @@ func Autocorrelation(x []float64, maxLag int) []float64 {
 		d := v - m
 		energy += d * d
 	}
-	if energy == 0 {
+	if fmath.ExactZero(energy) {
 		return out
 	}
 	for lag := 0; lag <= maxLag; lag++ {

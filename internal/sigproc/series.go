@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"tagbreathe/internal/fmath"
 )
 
 // Sample is one point of an irregularly sampled time series: a value
@@ -48,7 +50,7 @@ func Resample(s []Sample, sampleRate float64) ([]float64, error) {
 			j++
 		}
 		a, b := s[j], s[j+1]
-		if b.T == a.T {
+		if fmath.ExactEq(b.T, a.T) {
 			out[i] = b.V
 			continue
 		}
@@ -87,7 +89,7 @@ func Detrend(x []float64) []float64 {
 	fn := float64(n)
 	den := fn*sumI2 - sumI*sumI
 	var slope, intercept float64
-	if den != 0 {
+	if fmath.NonZero(den) {
 		slope = (fn*sumIX - sumI*sumX) / den
 		intercept = (sumX - slope*sumI) / fn
 	} else {
@@ -115,7 +117,7 @@ func Normalize(x []float64) []float64 {
 			peak = a
 		}
 	}
-	if peak == 0 {
+	if fmath.ExactZero(peak) {
 		return out
 	}
 	for i, v := range x {

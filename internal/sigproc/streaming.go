@@ -1,6 +1,10 @@
 package sigproc
 
-import "fmt"
+import (
+	"fmt"
+
+	"tagbreathe/internal/fmath"
+)
 
 // Streaming counterparts of the batch filtering primitives. The batch
 // pipeline filters a whole window at once (Convolve, MovingAverage,
@@ -36,6 +40,8 @@ func NewStreamFIR(h []float64) (*StreamFIR, error) {
 func (f *StreamFIR) Delay() int { return (len(f.h) - 1) / 2 }
 
 // Push consumes one input sample and returns the next output sample.
+//
+//tagbreathe:hotpath O(taps) per sample, every sample of every stream
 func (f *StreamFIR) Push(x float64) float64 {
 	m := len(f.h)
 	f.ring[f.pos] = x
@@ -123,6 +129,8 @@ func (f *StreamBandPass) Warmup() int { return len(f.fir.h) + f.w }
 // Push consumes one input sample and returns the band-passed value of
 // the input Delay() samples ago (zero while that index is still before
 // the stream start).
+//
+//tagbreathe:hotpath runs once per fused bin on the streaming tick path
 func (f *StreamBandPass) Push(x float64) float64 {
 	lp := f.fir.Push(x)
 	slot := f.idx % f.w
@@ -174,6 +182,8 @@ func NewCrossingTracker(minGap float64) *CrossingTracker {
 // Push consumes one sample and reports the zero crossing it completed,
 // if any. Fed the same uniform series sample-by-sample, the sequence of
 // returned crossings is identical to ZeroCrossings' output.
+//
+//tagbreathe:hotpath runs once per filtered bin on the streaming tick path
 func (c *CrossingTracker) Push(t, v float64) (ZeroCrossing, bool) {
 	if !c.primed {
 		c.primed = true
@@ -186,7 +196,7 @@ func (c *CrossingTracker) Push(t, v float64) (ZeroCrossing, bool) {
 	if s != 0 && c.prevSign != 0 && s != c.prevSign {
 		a, b := c.prevV, v
 		frac := 0.0
-		if b != a {
+		if !fmath.ExactEq(a, b) {
 			frac = a / (a - b)
 		}
 		tc := c.prevT + frac*(t-c.prevT)

@@ -1,5 +1,7 @@
 package sigproc
 
+import "tagbreathe/internal/fmath"
+
 // ZeroCrossing records one sign change of a filtered breathing signal:
 // the interpolated time at which the signal crossed zero and the
 // direction of the crossing.
@@ -41,7 +43,7 @@ func ZeroCrossings(x []float64, t0, sampleRate, minGap float64) []ZeroCrossing {
 		// Interpolate the crossing instant between samples i-1 and i.
 		a, b := x[i-1], x[i]
 		frac := 0.0
-		if b != a {
+		if !fmath.ExactEq(a, b) {
 			frac = a / (a - b)
 		}
 		t := t0 + (float64(i-1)+frac)*dt

@@ -14,6 +14,7 @@ import (
 
 	"tagbreathe/internal/body"
 	"tagbreathe/internal/epc"
+	"tagbreathe/internal/fmath"
 	"tagbreathe/internal/geom"
 	"tagbreathe/internal/reader"
 	"tagbreathe/internal/rf"
@@ -373,7 +374,7 @@ func buildUser(spec UserSpec, index uint64, antennaPos geom.Vec3, defaultDistanc
 		amp = 0.005
 	}
 	cf := spec.ChestFraction
-	if cf == 0 {
+	if fmath.ExactZero(cf) {
 		cf = 0.6
 	}
 	posture := spec.Posture

@@ -114,7 +114,7 @@ func TestReadAllErrorsNameLine(t *testing.T) {
 		},
 		"short row on line 4": {
 			input: hdr + "\n" + good + "\n" + good + "\n1.0,aa\n",
-			want: "line 4",
+			want:  "line 4",
 		},
 		"short header": {
 			input: "timestamp_s,epc,antenna\n",
