@@ -11,14 +11,13 @@ package tagbreathe_test
 
 import (
 	"fmt"
-	"math"
 	"strings"
 	"testing"
 	"time"
 
 	"tagbreathe"
 	"tagbreathe/internal/experiments"
-	"tagbreathe/internal/units"
+	"tagbreathe/internal/sim"
 )
 
 // benchOptions scales experiments for benchmarking: enough trials for
@@ -64,50 +63,38 @@ func trimFloat(v float64) string {
 // users (3 tags each, Eq. 1 physics, 10-channel hopping) without the
 // Gen2 MAC simulator, so benchmark input size scales linearly with
 // user count — the "many readers, many rooms" aggregation workload the
-// sharded pipeline targets. Reports are globally timestamp-ordered and
-// round-robin across users, as a fleet of readers would deliver them.
+// sharded pipeline targets. It is a thin wrapper over the capacity
+// harness's generator (internal/sim.Synth, 16 bytes/user), so the
+// BENCH output and BENCH_capacity.json share one generation path;
+// sim's TestSynthMatchesReferenceGenerator pins the stream bit-for-bit
+// to the inline generator benchmarks used through PR 5.
 func synthMultiUserReports(users int, duration time.Duration, perTagHz float64) []tagbreathe.TagReport {
-	const tagsPerUser = 3
-	const nChannels = 10
-	const dwell = 0.2
-	dt := 1 / perTagHz
-	steps := int(duration.Seconds() * perTagHz)
-	stagger := dt / float64(users*tagsPerUser)
-	out := make([]tagbreathe.TagReport, 0, steps*users*tagsPerUser)
-	freq := func(ch int) float64 { return 920.25e6 + float64(ch)*500e3 }
-	for k := 0; k < steps; k++ {
-		for u := 0; u < users; u++ {
-			uid := uint64(u + 1)
-			rateHz := (6 + float64(u%25)) / 60 // 6-30 bpm across users
-			for tag := 0; tag < tagsPerUser; tag++ {
-				t := float64(k)*dt + float64(u*tagsPerUser+tag)*stagger
-				ch := int(t/dwell) % nChannels
-				lambda := 299792458.0 / freq(ch)
-				d := 4 + 0.005*math.Sin(2*math.Pi*rateHz*t+float64(u))
-				phase := math.Mod(2*math.Pi/lambda*2*d+1.3*float64(ch), 2*math.Pi)
-				out = append(out, tagbreathe.TagReport{
-					EPC:          tagbreathe.NewUserTagEPC(uid, uint32(tag)+1),
-					AntennaPort:  1,
-					ChannelIndex: ch,
-					Frequency:    units.Hertz(freq(ch)),
-					Timestamp:    time.Duration(t * float64(time.Second)),
-					Phase:        units.Radians(phase),
-					RSSI:         -50,
-				})
-			}
-		}
+	s, err := sim.NewSynth(sim.SynthConfig{Users: users, PerTagHz: perTagHz})
+	if err != nil {
+		panic(err)
 	}
-	return out
+	return s.Generate(duration)
+}
+
+// estimateBenchDuration keeps the 4096-user point affordable at
+// -benchtime=1x in CI: a third of the window is still ~4M reads, and
+// reads/op is reported so throughput stays comparable across points.
+func estimateBenchDuration(users int) time.Duration {
+	if users >= 4096 {
+		return 10 * time.Second
+	}
+	return 30 * time.Second
 }
 
 // BenchmarkEstimateUsers is the multi-user scaling benchmark: the same
 // synthetic report window through the sequential (Workers=1) and
-// sharded (Workers=GOMAXPROCS) batch paths at 1/8/64/512 users. On a
-// multicore host the sharded path's advantage grows with user count;
-// the equivalence test asserts both paths produce identical estimates.
+// sharded (Workers=GOMAXPROCS) batch paths at 1/8/64/512/4096 users.
+// On a multicore host the sharded path's advantage grows with user
+// count; the equivalence test asserts both paths produce identical
+// estimates.
 func BenchmarkEstimateUsers(b *testing.B) {
-	for _, users := range []int{1, 8, 64, 512} {
-		reports := synthMultiUserReports(users, 30*time.Second, 8)
+	for _, users := range []int{1, 8, 64, 512, 4096} {
+		reports := synthMultiUserReports(users, estimateBenchDuration(users), 8)
 		for _, mode := range []struct {
 			name    string
 			workers int
@@ -132,10 +119,13 @@ func BenchmarkEstimateUsers(b *testing.B) {
 }
 
 // BenchmarkMonitorUsers measures the sharded streaming monitor at
-// scale: reports per second of wall time through demux, per-user shard
-// goroutines, and the ordering collector.
+// scale: reports per second of wall time through demux, the shard
+// worker pool, and the ordering collector. The 10⁵-user territory
+// lives in the capacity harness (cmd/tagbreathe-load,
+// BENCH_capacity.json); this benchmark prices the same path at bench
+// scale.
 func BenchmarkMonitorUsers(b *testing.B) {
-	for _, users := range []int{8, 64} {
+	for _, users := range []int{8, 64, 512} {
 		reports := synthMultiUserReports(users, 30*time.Second, 8)
 		b.Run(fmt.Sprintf("users=%d", users), func(b *testing.B) {
 			b.ReportAllocs()

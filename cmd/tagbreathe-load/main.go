@@ -1,0 +1,163 @@
+// Command tagbreathe-load is the capacity harness CLI: it sweeps user
+// counts through the streaming monitor (in-process, or over loopback
+// LLRP with -wire), prints the measured capacity curve, and writes or
+// checks a BENCH_capacity.json model.
+//
+// Generate the checked-in model:
+//
+//	tagbreathe-load -users 1000,5000,10000,25000,50000,100000,200000 -o BENCH_capacity.json
+//
+// CI regression gate (scripts/capacity_smoke.sh):
+//
+//	tagbreathe-load -users 1000,10000 -check BENCH_capacity.json -tolerance 3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tagbreathe/internal/load"
+)
+
+func main() {
+	var (
+		usersFlag = flag.String("users", "1000,10000,100000", "comma-separated user counts to sweep")
+		stream    = flag.Duration("stream", 20*time.Second, "simulated stream duration per point")
+		tags      = flag.Int("tags", 1, "tags per user")
+		hz        = flag.Float64("hz", 2, "per-tag read rate (Hz, stream time)")
+		window    = flag.Duration("window", 10*time.Second, "monitor analysis window")
+		update    = flag.Duration("update", 5*time.Second, "monitor update stride")
+		queue     = flag.Int("queue", 0, "shard worker queue depth (0 = monitor default)")
+		workers   = flag.Int("workers", 0, "shard worker pool size (0 = GOMAXPROCS)")
+		seed      = flag.Int64("seed", 1, "stream seed")
+		probePace = flag.Float64("probe-pace", 1, "wall-clock pace of the OverloadDropNewest shed probe (1 = real-time load, 0 = unpaced)")
+		wire      = flag.Bool("wire", false, "drive the load over a loopback LLRP session instead of in-process")
+		out       = flag.String("o", "", "write the capacity model JSON to this file")
+		check     = flag.String("check", "", "compare against this baseline BENCH_capacity.json and fail on regression")
+		tolerance = flag.Float64("tolerance", 3, "regression factor allowed vs the -check baseline")
+	)
+	flag.Parse()
+
+	counts, err := parseCounts(*usersFlag)
+	if err != nil {
+		fatal(err)
+	}
+	base := load.Options{
+		Stream:       *stream,
+		TagsPerUser:  *tags,
+		PerTagHz:     *hz,
+		Window:       *window,
+		UpdateEvery:  *update,
+		ShardQueue:   *queue,
+		ShardWorkers: *workers,
+		Seed:         *seed,
+	}
+
+	progress := func(line string) { fmt.Fprintln(os.Stderr, line) }
+	var model *load.Model
+	if *wire {
+		model, err = sweepWire(counts, base, progress)
+	} else {
+		model, err = load.Sweep(counts, base, *probePace, progress)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(model, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d points)\n", *out, len(model.Points))
+	} else if *check == "" {
+		buf, _ := json.MarshalIndent(model, "", "  ")
+		fmt.Println(string(buf))
+	}
+
+	if *check != "" {
+		baseline, err := readModel(*check)
+		if err != nil {
+			fatal(err)
+		}
+		if bad := load.Check(model, baseline, *tolerance); len(bad) != 0 {
+			for _, b := range bad {
+				fmt.Fprintln(os.Stderr, "regression: "+b)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "within %.0f× of %s at every point\n", *tolerance, *check)
+	}
+}
+
+// sweepWire runs the ladder over the LLRP loopback path. Wire points
+// carry real framing and socket cost, so they live in their own model
+// rather than mixing with in-process rows.
+func sweepWire(counts []int, base load.Options, progress func(string)) (*load.Model, error) {
+	model := &load.Model{
+		Benchmark: "capacity_sweep_wire",
+		Description: "Capacity points over a loopback LLRP session: encode, batch, " +
+			"TCP, decode, then the monitor. Prices the wire path at modest K; " +
+			"the in-process sweep owns the large-K curve.",
+		Environment: load.CurrentEnvironment(),
+	}
+	for _, users := range counts {
+		opts := base
+		opts.Users = users
+		start := time.Now()
+		p, err := load.RunWirePoint(opts)
+		if err != nil {
+			return nil, fmt.Errorf("wire point at %d users: %w", users, err)
+		}
+		model.Points = append(model.Points, load.SweepPoint{Point: p})
+		if progress != nil {
+			progress(fmt.Sprintf("wire users=%-7d %9.0f reports/s  tick p99 %6.1f µs  (%.1fs)",
+				users, p.ReportsPerSec, p.TickP99Micros, time.Since(start).Seconds()))
+		}
+	}
+	return model, nil
+}
+
+func parseCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad user count %q", part)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("no user counts given")
+	}
+	return counts, nil
+}
+
+func readModel(path string) (*load.Model, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m load.Model
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &m, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tagbreathe-load: "+err.Error())
+	os.Exit(1)
+}

@@ -20,15 +20,22 @@ type MonitorMetrics struct {
 	// Dropped counts reports shed under OverloadDropNewest —
 	// Monitor.DroppedReports reads this counter.
 	Dropped *obs.Counter
+	// Processed counts reports fed into user engines by the shard
+	// workers — Monitor.ProcessedReports reads this counter. With
+	// Dropped it closes the accounting loop: admitted = processed +
+	// dropped after a drain.
+	Processed *obs.Counter
 	// Ticks counts analysis tick broadcasts.
 	Ticks *obs.Counter
 	// Updates counts rate updates emitted to consumers.
 	Updates *obs.Counter
-	// ActiveUsers is the number of live per-user shards.
+	// ActiveUsers is the number of users with live engine state.
 	ActiveUsers *obs.Gauge
-	// QueueHighWater records, per user, the deepest its shard queue
-	// has been — the backpressure early-warning signal.
-	QueueHighWater *obs.GaugeVec
+	// ShardWorkers is the shard worker pool size.
+	ShardWorkers *obs.Gauge
+	// WorkerQueueHighWater records, per shard worker, the deepest its
+	// input queue has been — the backpressure early-warning signal.
+	WorkerQueueHighWater *obs.GaugeVec
 	// TickLatency is the wall time from a tick's broadcast to its
 	// updates being handed to the consumer — the freshness of what a
 	// dashboard displays.
@@ -57,18 +64,23 @@ func NewMonitorMetrics(r *obs.Registry) *MonitorMetrics {
 			"Reports received by the monitor demux stage."),
 		Dropped: r.Counter("tagbreathe_monitor_reports_dropped_total",
 			"Reports shed by the OverloadDropNewest policy."),
+		Processed: r.Counter("tagbreathe_monitor_reports_processed_total",
+			"Reports fed into user engines by the shard workers."),
 		Ticks: r.Counter("tagbreathe_monitor_ticks_total",
 			"Analysis ticks broadcast to shards."),
 		Updates: r.Counter("tagbreathe_monitor_updates_total",
 			"Rate updates emitted to consumers."),
 		ActiveUsers: r.Gauge("tagbreathe_monitor_active_users",
-			"Live per-user shard goroutines."),
-		QueueHighWater: r.GaugeVec("tagbreathe_monitor_shard_queue_high_water",
-			"Deepest observed shard queue depth, per user.", "user"),
+			"Users with live engine state."),
+		ShardWorkers: r.Gauge("tagbreathe_monitor_shard_workers",
+			"Shard worker pool size."),
+		WorkerQueueHighWater: r.GaugeVec("tagbreathe_monitor_shard_queue_high_water",
+			"Deepest observed input queue depth, per shard worker.", "worker"),
 		TickLatency: r.Histogram("tagbreathe_monitor_tick_latency_seconds",
 			"Wall time from tick broadcast to updates emitted.", nil),
 		ShardTickSeconds: r.Histogram("tagbreathe_monitor_shard_tick_seconds",
-			"Wall time of one shard's per-tick incremental analysis.", nil),
+			"Wall time of one user's per-tick incremental analysis.",
+			ShardTickBuckets),
 		TickBins: r.Histogram("tagbreathe_monitor_tick_bins",
 			"Fused bins processed per shard tick (window length in recompute modes, newly finalized bins in streaming mode).", nil),
 		AntennaReadRate: r.GaugeVec("tagbreathe_antenna_read_rate_hz",
@@ -81,6 +93,22 @@ func NewMonitorMetrics(r *obs.Registry) *MonitorMetrics {
 			"Per-(user, antenna) selection score (§IV-D.3).",
 			"user", "antenna"),
 	}
+}
+
+// ShardTickBuckets resolves the per-user incremental tick, which the
+// streaming engine holds in the tens of microseconds (see
+// BENCH_monitor_tick.json) — far below obs.DefBuckets' 0.5 ms floor.
+// The capacity model's tick p99 comes from this histogram, so the grid
+// runs 1 µs → ~0.26 s in powers of four.
+var ShardTickBuckets = []float64{
+	1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3, 16e-3, 64e-3, 256e-3,
+}
+
+// WorkerLabel formats a shard worker index for the "worker" label.
+//
+//tagbreathe:labelvalue one series per shard worker; the pool is sized by GOMAXPROCS, not by load
+func WorkerLabel(i int) string {
+	return strconv.Itoa(i)
 }
 
 // UserLabel formats a user ID for the "user" metric label, matching

@@ -50,32 +50,39 @@ func TestMonitorMetricsCounts(t *testing.T) {
 		t.Errorf("lossless run dropped %d", got)
 	}
 
-	// The per-(user, antenna) quality gauges and per-user queue marks
-	// must appear on the exposition surface for every user.
+	// The per-(user, antenna) quality gauges must appear on the
+	// exposition surface for every user, and the worker-pool gauges
+	// (pool size, per-worker queue mark) for worker 0 at least.
 	var sb strings.Builder
 	if err := reg.WritePrometheus(&sb); err != nil {
 		t.Fatal(err)
 	}
 	text := sb.String()
+	hasSeries := func(name, label string) bool {
+		for _, line := range strings.Split(text, "\n") {
+			if strings.HasPrefix(line, name) && strings.Contains(line, label) {
+				return true
+			}
+		}
+		return false
+	}
 	for _, uid := range res.UserIDs {
 		label := `user="` + core.UserLabel(uid) + `"`
 		for _, name := range []string{
 			"tagbreathe_antenna_score{",
 			"tagbreathe_antenna_read_rate_hz{",
 			"tagbreathe_antenna_mean_rssi_dbm{",
-			"tagbreathe_monitor_shard_queue_high_water{",
 		} {
-			found := false
-			for _, line := range strings.Split(text, "\n") {
-				if strings.HasPrefix(line, name) && strings.Contains(line, label) {
-					found = true
-					break
-				}
-			}
-			if !found {
+			if !hasSeries(name, label) {
 				t.Errorf("no %s series with %s", name, label)
 			}
 		}
+	}
+	if !hasSeries("tagbreathe_monitor_shard_queue_high_water{", `worker="`+core.WorkerLabel(0)+`"`) {
+		t.Error("no shard queue high-water series for worker 0")
+	}
+	if mm.ShardWorkers.Value() < 1 {
+		t.Errorf("shard workers gauge = %v, want >= 1", mm.ShardWorkers.Value())
 	}
 }
 
@@ -114,6 +121,17 @@ func TestMonitorMetricsDropCounter(t *testing.T) {
 	if mm.Ingested.Value() != uint64(len(res.Reports)) {
 		t.Errorf("ingested = %d, want %d (drops must not hide ingress)",
 			mm.Ingested.Value(), len(res.Reports))
+	}
+	// Exact overload accounting: after a drain, every admitted report
+	// is exactly one of processed or dropped — no report vanishes and
+	// none is double-counted, even at saturation.
+	if got := mm.Processed.Value() + mm.Dropped.Value(); got != uint64(len(res.Reports)) {
+		t.Errorf("processed (%d) + dropped (%d) = %d, want %d admitted reports",
+			mm.Processed.Value(), mm.Dropped.Value(), got, len(res.Reports))
+	}
+	if m.ProcessedReports() != mm.Processed.Value() {
+		t.Errorf("ProcessedReports() = %d, counter = %d",
+			m.ProcessedReports(), mm.Processed.Value())
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -43,13 +44,23 @@ type MonitorConfig struct {
 	// the user's breathing envelope collapsed within the window. Zero
 	// disables (no extra work per update).
 	ApneaAlarmSec float64
-	// ShardQueue bounds each per-user shard's input queue (reports +
+	// ShardQueue bounds each shard worker's input queue (reports +
 	// analysis ticks); default 256. A reader singulates a given user's
 	// tags at a few tens of Hz, so the default absorbs multi-second
-	// analysis stalls before the Overload policy engages.
+	// analysis stalls before the Overload policy engages. Capacity
+	// runs at 10⁵ users want this in the thousands so a tick's worth
+	// of per-worker analysis doesn't immediately saturate the queue.
 	ShardQueue int
-	// Overload selects the demux policy when a shard queue is full:
-	// OverloadBlock (default, lossless backpressure) or
+	// ShardWorkers sizes the shard worker pool — the event-loop
+	// goroutines that own the per-user engines. Default GOMAXPROCS.
+	// The pool is the monitor's scale lever: per-user cost is an
+	// engine (a few KB), not a goroutine + queue, so one process holds
+	// hundreds of thousands of users (see BENCH_capacity.json). 1
+	// gives the sequential reference path the equivalence tests
+	// compare against.
+	ShardWorkers int
+	// Overload selects the demux policy when a shard worker's queue is
+	// full: OverloadBlock (default, lossless backpressure) or
 	// OverloadDropNewest (shed the report, count it).
 	Overload OverloadPolicy
 	// Metrics receives the monitor's instrumentation (see
@@ -69,6 +80,9 @@ func (c *MonitorConfig) fillDefaults() {
 	}
 	if c.ShardQueue <= 0 {
 		c.ShardQueue = 256
+	}
+	if c.ShardWorkers <= 0 {
+		c.ShardWorkers = runtime.GOMAXPROCS(0)
 	}
 }
 
@@ -100,16 +114,22 @@ type RateUpdate struct {
 // Monitor is the streaming TagBreathe pipeline: feed it the reader's
 // report stream in timestamp order and receive per-user rate updates.
 //
-// Internally the stream is sharded by user, mirroring the batch
-// pipeline's concurrency model: a demux goroutine routes each report
-// to its user's shard goroutine over a bounded queue, every shard owns
-// its user's entire state (Eq. 3 differencer, window samples, antenna
-// metadata) as a single writer with no shared maps or locks, and runs
-// its own fusion + extraction + Eq. 5 analysis. On every UpdateEvery
-// boundary of stream time the demux broadcasts a tick; shards analyze
-// in parallel and a collector emits the tick's updates in stream-time
+// Internally the stream is sharded by user onto a fixed pool of shard
+// workers — an event-loop/worker-pool hybrid. A demux goroutine
+// assigns each newly seen user to one worker (round-robin in
+// first-seen order; the assignment never changes) and routes every
+// report to that worker's bounded queue. Each worker is an event loop
+// owning the complete pipeline state of every user assigned to it
+// (Eq. 3 differencer, fused bins, antenna metadata): exactly one
+// goroutine ever touches a user's engine, so the single-writer-per-
+// user invariant of the original goroutine-per-user design holds with
+// O(workers) goroutines and queues instead of O(users) — the
+// difference between ~10⁴ and >10⁵ sustainable users per process (see
+// BENCH_capacity.json). On every UpdateEvery boundary of stream time
+// the demux broadcasts a tick; workers analyze their users in
+// parallel and a collector emits the tick's updates in stream-time
 // order (and user-ID order within a tick), so the output is globally
-// time-ordered and deterministic. Overload behaviour at the shard
+// time-ordered and deterministic. Overload behaviour at the worker
 // queues is set by MonitorConfig.Overload.
 //
 // The monitor is driven by stream time (report timestamps), not the
@@ -194,6 +214,17 @@ func (m *Monitor) DroppedReports() uint64 {
 	return m.metrics.Dropped.Value()
 }
 
+// ProcessedReports returns how many reports the shard workers have fed
+// into user engines. Together with DroppedReports it closes the
+// ingest accounting loop: every report the demux admitted is either
+// processed or dropped, so ingested_allowed = processed + dropped once
+// the monitor drains. Safe to call concurrently with ingest. It is a
+// thin reader over the tagbreathe_monitor_reports_processed_total
+// counter.
+func (m *Monitor) ProcessedReports() uint64 {
+	return m.metrics.Processed.Value()
+}
+
 // LastUpdates snapshots the most recent rate update per user. It is a
 // read-side window onto the stream — consuming Updates is still how
 // the data leaves the monitor — kept for operators and fault-tolerance
@@ -230,20 +261,20 @@ func (m *Monitor) Stop() {
 	})
 }
 
-// monitorTick asks every live shard for its update at one stream-time
-// boundary. Shards reply on results (capacity = shard count, so no
-// shard ever blocks replying); the collector gathers exactly shards
-// replies per tick and emits them in order.
+// monitorTick asks every shard worker for its users' updates at one
+// stream-time boundary. Workers reply on results (capacity = worker
+// count, so no worker ever blocks replying); the collector gathers
+// exactly workers replies per tick and emits them in order.
 type monitorTick struct {
 	asOf    time.Duration
-	shards  int
+	workers int
 	results chan []RateUpdate
 	// wall is the broadcast wall-clock time, the start point of the
 	// tick-to-update latency histogram.
 	wall time.Time
 }
 
-// shardInput is one queue entry for a shard goroutine: a report, or an
+// shardInput is one queue entry for a shard worker: a report, or an
 // analysis tick (tick != nil). A single queue keeps reports and ticks
 // ordered relative to each other, so a tick snapshots exactly the
 // reports that preceded it.
@@ -252,39 +283,52 @@ type shardInput struct {
 	tick   *monitorTick
 }
 
-// demuxLoop is the routing stage: it owns the shard table (nobody else
-// touches it), forwards each report to its user's shard queue, and
-// broadcasts analysis ticks on UpdateEvery boundaries of stream time.
+// demuxLoop is the routing stage: it owns the user→worker assignment
+// table (nobody else touches it), forwards each report to its user's
+// worker queue, and broadcasts analysis ticks on UpdateEvery
+// boundaries of stream time.
 //
 //tagbreathe:hotpath every report crosses this single goroutine; a stall here backpressures the whole reader
 func (m *Monitor) demuxLoop(ticks chan<- *monitorTick) {
 	defer m.wg.Done()
 
-	// monitorShard pairs a shard's queue with its pre-resolved
+	// monitorWorker pairs a worker's queue with its pre-resolved
 	// high-water gauge, so the per-report depth update costs one
 	// atomic load (and a CAS only on a new maximum).
-	type monitorShard struct {
+	type monitorWorker struct {
 		q  chan shardInput
 		hw *obs.Gauge
 	}
-	shards := make(map[uint64]monitorShard) //tagbreathe:allow hotpath one routing table per monitor lifetime, built before the loop
-	var order []monitorShard                // broadcast in creation order
+	//tagbreathe:allow hotpath fixed worker pool built once before the loop
+	workers := make([]monitorWorker, m.cfg.ShardWorkers)
+	for i := range workers {
+		q := make(chan shardInput, m.cfg.ShardQueue) //tagbreathe:allow hotpath pool queues built once at startup, before any report flows
+		workers[i] = monitorWorker{
+			q:  q,
+			hw: m.metrics.WorkerQueueHighWater.With(WorkerLabel(i)),
+		}
+		m.wg.Add(1)
+		//tagbreathe:allow hotpath pool spawn happens once at startup, not per report
+		go m.workerLoop(workers[i].q)
+	}
+	m.metrics.ShardWorkers.Set(float64(len(workers)))
+	assign := make(map[uint64]int) //tagbreathe:allow hotpath one assignment table per monitor lifetime, built before the loop
 	var nextUpdate time.Duration
 	started := false
 
 	broadcast := func(asOf time.Duration) {
 		// One descriptor per tick (1/UpdateEvery), not per report: the
 		// clock read here is the tick's cached wall time and the result
-		// channel's capacity is the live shard count.
+		// channel's capacity is the worker count.
 		//tagbreathe:allow hotpath per-tick descriptor; one clock read and one bounded channel per broadcast
 		tick := &monitorTick{
 			asOf:    asOf,
-			shards:  len(order),
-			results: make(chan []RateUpdate, len(order)),
+			workers: len(workers),
+			results: make(chan []RateUpdate, len(workers)),
 			wall:    time.Now(),
 		}
-		for _, sh := range order {
-			sh.q <- shardInput{tick: tick} // ticks always block; they are rare
+		for i := range workers {
+			workers[i].q <- shardInput{tick: tick} // ticks always block; they are rare
 		}
 		m.metrics.Ticks.Inc()
 		ticks <- tick
@@ -300,30 +344,25 @@ func (m *Monitor) demuxLoop(ticks chan<- *monitorTick) {
 			started = true
 			nextUpdate = r.Timestamp + m.cfg.Window
 		}
-		sh, ok := shards[uid]
+		wi, ok := assign[uid]
 		if !ok {
-			//tagbreathe:allow hotpath first sighting of a user: queue + gauge resolve once, then every report hits the map
-			sh = monitorShard{
-				q:  make(chan shardInput, m.cfg.ShardQueue),
-				hw: m.metrics.QueueHighWater.With(UserLabel(uid)),
-			}
-			shards[uid] = sh
-			order = append(order, sh)
-			m.metrics.ActiveUsers.Set(float64(len(order)))
-			m.wg.Add(1)
-			//tagbreathe:allow hotpath one goroutine per new user, not per report
-			go m.shardLoop(uid, sh.q)
+			// Round-robin in first-seen order: deterministic for a given
+			// stream, and balanced when users arrive interleaved.
+			wi = len(assign) % len(workers)
+			assign[uid] = wi
+			m.metrics.ActiveUsers.Set(float64(len(assign)))
 		}
+		w := &workers[wi]
 		if m.cfg.Overload == OverloadDropNewest {
 			select {
-			case sh.q <- shardInput{report: r}:
+			case w.q <- shardInput{report: r}:
 			default:
 				m.metrics.Dropped.Inc()
 			}
 		} else {
-			sh.q <- shardInput{report: r}
+			w.q <- shardInput{report: r}
 		}
-		sh.hw.SetMax(float64(len(sh.q)))
+		w.hw.SetMax(float64(len(w.q)))
 
 		if r.Timestamp >= nextUpdate {
 			broadcast(r.Timestamp)
@@ -338,50 +377,66 @@ func (m *Monitor) demuxLoop(ticks chan<- *monitorTick) {
 	if started {
 		broadcast(nextUpdate)
 	}
-	for _, sh := range order {
-		close(sh.q)
+	for i := range workers {
+		close(workers[i].q)
 	}
 	close(ticks)
 }
 
-// shardLoop owns one user's complete pipeline state — the only writer.
-// It feeds every report into the user's stage engine as it arrives (so
-// differencing and Eq. 6 fusion are already done when a tick lands)
-// and answers ticks with the engine's windowed update; per-shard
-// analysis is where the monitor's parallelism across users comes from.
+// workerLoop is one shard worker: an event loop owning the complete
+// pipeline state of every user the demux assigned to it — the only
+// writer of those engines, ever. It feeds each report into its user's
+// stage engine as it arrives (so differencing and Eq. 6 fusion are
+// already done when a tick lands) and answers ticks by analyzing all
+// its users in assignment order; the worker pool is where the
+// monitor's parallelism across users comes from.
 //
-//tagbreathe:hotpath per-report feed path; the tick branch is the 1/s cold side and carries its own allows
-func (m *Monitor) shardLoop(uid uint64, q <-chan shardInput) {
+//tagbreathe:hotpath per-report feed path; the tick branch is the 1/UpdateEvery cold side and carries its own allows
+func (m *Monitor) workerLoop(q <-chan shardInput) {
 	defer m.wg.Done()
 
-	//tagbreathe:allow hotpath one-time per-shard construction before the loop
-	eng := NewEngine(m.cfg.Pipeline, EngineOptions{
-		Window:        m.cfg.Window.Seconds(),
-		TickStride:    m.cfg.UpdateEvery.Seconds(),
-		ApneaAlarmSec: m.cfg.ApneaAlarmSec,
-		UserID:        uid,
-		Metrics:       m.metrics,
-	})
+	engines := make(map[uint64]*Engine) //tagbreathe:allow hotpath one engine table per worker lifetime, built before the loop
+	var order []*Engine                 // tick in first-report order, deterministically
 
 	for in := range q {
 		if in.tick != nil {
 			tick := in.tick
-			start := time.Now() //tagbreathe:allow hotpath per-tick instrumentation (1/UpdateEvery); reports are the per-event unit
-			if up, ok := eng.TickUpdate(tick.asOf.Seconds()); ok {
-				up.Time = tick.asOf
-				tick.results <- []RateUpdate{up}
-			} else {
-				tick.results <- nil
+			asOf := tick.asOf.Seconds()
+			evict := (tick.asOf - m.cfg.Window).Seconds()
+			var ups []RateUpdate //tagbreathe:allow hotpath per-tick result batch (1/UpdateEvery); freshly allocated because the collector reads it after the worker moves on
+			for _, eng := range order {
+				start := time.Now() //tagbreathe:allow hotpath per-(user, tick) instrumentation feeding the capacity model's tick p99; reports are the per-event unit
+				if up, ok := eng.TickUpdate(asOf); ok {
+					up.Time = tick.asOf
+					ups = append(ups, up)
+				}
+				m.metrics.ShardTickSeconds.Observe(time.Since(start).Seconds()) //tagbreathe:allow hotpath per-(user, tick) instrumentation, paired with the clock read above
+				// Selection stats are windowed per tick: reset so the next
+				// update reflects the recent stream, not all history.
+				eng.ResetTickStats()
+				// Release fused bins that slid out of the window.
+				eng.EvictBefore(evict)
 			}
-			m.metrics.ShardTickSeconds.Observe(time.Since(start).Seconds()) //tagbreathe:allow hotpath per-tick instrumentation, paired with the clock read above
-			// Selection stats are windowed per tick: reset so the next
-			// update reflects the recent stream, not all history.
-			eng.ResetTickStats()
-			// Release fused bins that slid out of the window.
-			eng.EvictBefore((tick.asOf - m.cfg.Window).Seconds())
+			tick.results <- ups
 			continue
 		}
-		eng.Feed(in.report)
+		r := in.report
+		uid := r.EPC.UserID()
+		eng, ok := engines[uid]
+		if !ok {
+			//tagbreathe:allow hotpath first sighting of a user: engine construction happens once, then every report hits the map
+			eng = NewEngine(m.cfg.Pipeline, EngineOptions{
+				Window:        m.cfg.Window.Seconds(),
+				TickStride:    m.cfg.UpdateEvery.Seconds(),
+				ApneaAlarmSec: m.cfg.ApneaAlarmSec,
+				UserID:        uid,
+				Metrics:       m.metrics,
+			})
+			engines[uid] = eng
+			order = append(order, eng)
+		}
+		eng.Feed(r)
+		m.metrics.Processed.Inc()
 	}
 }
 
@@ -395,7 +450,7 @@ func (m *Monitor) collectLoop(ticks <-chan *monitorTick) {
 
 	for tick := range ticks {
 		var ups []RateUpdate
-		for i := 0; i < tick.shards; i++ {
+		for i := 0; i < tick.workers; i++ {
 			ups = append(ups, <-tick.results...)
 		}
 		sort.Slice(ups, func(i, j int) bool { return ups[i].UserID < ups[j].UserID })

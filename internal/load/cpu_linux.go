@@ -1,0 +1,19 @@
+//go:build linux
+
+package load
+
+import "syscall"
+
+// processCPUSeconds returns the process's cumulative user+system CPU
+// time. The capacity model differences two readings around the load
+// phase, so only deltas matter.
+func processCPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	sec := func(tv syscall.Timeval) float64 {
+		return float64(tv.Sec) + float64(tv.Usec)/1e6
+	}
+	return sec(ru.Utime) + sec(ru.Stime)
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package load
+
+// processCPUSeconds is unavailable off Linux; points record CPUSeconds
+// 0 and the capacity model's CPU column is absent rather than wrong.
+func processCPUSeconds() float64 { return 0 }

@@ -1,0 +1,192 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"time"
+
+	"tagbreathe/internal/core"
+	"tagbreathe/internal/llrp"
+	"tagbreathe/internal/reader"
+	"tagbreathe/internal/sim"
+)
+
+// RunWirePoint measures one capacity point over the LLRP wire path: a
+// loopback server streams the synthetic load through real framing and
+// a real TCP socket, a client decodes it, and the decoded stream
+// drives the monitor. It prices what in-process points skip — encode,
+// batch, socket, decode — so it stays honest at smaller K; the
+// in-process sweep owns the 10⁵-user territory.
+//
+// CPUSeconds covers server, client, and monitor together (one
+// process), which is exactly the deployment shape of an edge node
+// reading its own llrpsim.
+func RunWirePoint(opts Options) (Point, error) {
+	opts.fillDefaults()
+	probe, err := sim.NewSynth(sim.SynthConfig{
+		Users:       opts.Users,
+		TagsPerUser: opts.TagsPerUser,
+		PerTagHz:    opts.PerTagHz,
+		Seed:        opts.Seed,
+	})
+	if err != nil {
+		return Point{}, err
+	}
+	steps := probe.Steps(opts.Stream)
+	total := steps * probe.ReportsPerStep()
+	if steps == 0 {
+		return Point{}, fmt.Errorf("load: stream %v too short for one read step at %v Hz",
+			opts.Stream, opts.PerTagHz)
+	}
+
+	srv, err := llrp.NewServer(llrp.ServerConfig{
+		NewSource: func() llrp.ReportSource {
+			// A fresh generator per ROSpec run, same config: replays
+			// are identical.
+			syn, err := sim.NewSynth(sim.SynthConfig{
+				Users:       opts.Users,
+				TagsPerUser: opts.TagsPerUser,
+				PerTagHz:    opts.PerTagHz,
+				Seed:        opts.Seed,
+			})
+			return llrp.ReportSourceFunc(func(ctx context.Context, emit func(reader.TagReport) error) error {
+				if err != nil {
+					return err
+				}
+				buf := make([]reader.TagReport, 0, syn.ReportsPerStep())
+				for k := 0; k < steps; k++ {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					buf = syn.Next(buf[:0])
+					for _, r := range buf {
+						if err := emit(r); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			})
+		},
+	})
+	if err != nil {
+		return Point{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Point{}, err
+	}
+	served := make(chan struct{})
+	//tagbreathe:allow goroutineleak Serve returns after srv.Close below, and RunWirePoint always receives from served
+	go func() {
+		defer close(served)
+		_ = srv.Serve(ln)
+	}()
+	defer func() {
+		srv.Close()
+		<-served
+	}()
+
+	baseline := liveHeap()
+	mm := core.NewMonitorMetrics(nil)
+	m := core.NewMonitor(core.MonitorConfig{
+		Window:       opts.Window,
+		UpdateEvery:  opts.UpdateEvery,
+		ShardQueue:   opts.ShardQueue,
+		ShardWorkers: opts.ShardWorkers,
+		Overload:     opts.Overload,
+		Metrics:      mm,
+	})
+	done := make(chan int)
+	//tagbreathe:allow goroutineleak exits when Updates closes after CloseInput, and RunWirePoint always receives from done
+	go func() {
+		n := 0
+		for range m.Updates() {
+			n++
+		}
+		done <- n
+	}()
+
+	c, err := llrp.Dial(ln.Addr().String(), 10*time.Second)
+	if err != nil {
+		m.Stop()
+		return Point{}, err
+	}
+	defer c.Close()
+
+	cpu0 := processCPUSeconds()
+	start := time.Now()
+	for _, step := range []func() error{
+		c.SetReaderConfig,
+		func() error { return c.AddROSpec(llrp.ROSpecConfig{ROSpecID: 1, ReportEveryN: 64}) },
+		func() error { return c.EnableROSpec(1) },
+		func() error { return c.StartROSpec(1) },
+	} {
+		if err := step(); err != nil {
+			m.Stop()
+			return Point{}, fmt.Errorf("load: wire setup: %w", err)
+		}
+	}
+
+	received := 0
+	deadline := time.After(5 * time.Minute)
+pump:
+	for received < total {
+		select {
+		case r, ok := <-c.Reports():
+			if !ok {
+				break pump
+			}
+			m.Ingest(r)
+			received++
+		case <-deadline:
+			m.Stop()
+			return Point{}, fmt.Errorf("load: wire point stalled at %d/%d reports (client err: %v)",
+				received, total, c.Err())
+		}
+	}
+	if received != total {
+		m.Stop()
+		return Point{}, fmt.Errorf("load: wire stream ended at %d/%d reports (client err: %v)",
+			received, total, c.Err())
+	}
+	settleDeadline := time.Now().Add(2 * time.Minute)
+	for mm.Processed.Value()+mm.Dropped.Value() < uint64(total) {
+		if time.Now().After(settleDeadline) {
+			m.Stop()
+			return Point{}, fmt.Errorf("load: wire settle timeout")
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	wall := time.Since(start).Seconds()
+	cpu1 := processCPUSeconds()
+	goroutines := runtime.NumGoroutine()
+	heap := liveHeap()
+
+	m.CloseInput()
+	updates := <-done
+	m.Stop()
+
+	var heapDelta uint64
+	if heap > baseline {
+		heapDelta = heap - baseline
+	}
+	return Point{
+		Users:         opts.Users,
+		Reports:       total,
+		Updates:       updates,
+		Processed:     mm.Processed.Value(),
+		Dropped:       mm.Dropped.Value(),
+		DropFrac:      float64(mm.Dropped.Value()) / float64(total),
+		WallSeconds:   wall,
+		CPUSeconds:    cpu1 - cpu0,
+		ReportsPerSec: float64(total) / wall,
+		BytesPerUser:  float64(heapDelta) / float64(opts.Users),
+		HeapBytes:     heapDelta,
+		TickP50Micros: mm.ShardTickSeconds.Quantile(0.50) * 1e6,
+		TickP99Micros: mm.ShardTickSeconds.Quantile(0.99) * 1e6,
+		Goroutines:    goroutines,
+	}, nil
+}

@@ -143,6 +143,60 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// distribution from the bucket counts, with Prometheus-style linear
+// interpolation inside the target bucket. It returns the first bucket's
+// upper bound for ranks inside the first bucket (no lower edge to
+// interpolate from), the last finite bound if the rank lands in the
+// +Inf overflow bucket, and NaN when the histogram is empty or nil.
+// The estimate is monotone in q and safe to call concurrently with
+// Observe (a racing read may mix observations across buckets; capacity
+// sweeps read after their load phase drains, so the skew is zero
+// there).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.bounds) {
+			// Overflow bucket: no upper edge; the last finite bound is
+			// the best (under)estimate, matching Prometheus.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		} else {
+			// First bucket: Prometheus reports its upper bound rather
+			// than interpolating down to an assumed zero edge.
+			return h.bounds[0]
+		}
+		return lower + (h.bounds[i]-lower)*(rank-float64(prev))/float64(c)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // bucketCounts returns the per-bucket (non-cumulative) counts,
 // including the +Inf overflow as the last element.
 func (h *Histogram) bucketCounts() []uint64 {

@@ -190,6 +190,51 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	// Empty / nil histograms have no quantiles.
+	var nilH *Histogram
+	if !math.IsNaN(nilH.Quantile(0.5)) {
+		t.Error("nil histogram quantile not NaN")
+	}
+	if !math.IsNaN(newHistogram([]float64{1}).Quantile(0.5)) {
+		t.Error("empty histogram quantile not NaN")
+	}
+
+	// 100 observations spread uniformly through (0, 10]: quantiles
+	// interpolate linearly inside the covering bucket.
+	h := newHistogram([]float64{1, 2, 5, 10})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 10)
+	}
+	cases := []struct{ q, want, tol float64 }{
+		{0.5, 5.0, 0.2},  // median of (0,10] uniform
+		{0.99, 9.9, 0.2}, // p99 interpolated inside (5,10]
+		{0.05, 1.0, 0},   // rank inside the first bucket → its upper bound
+		{1, 10, 0},
+	}
+	for _, tc := range cases {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("Quantile(%v) = %v, want %v ± %v", tc.q, got, tc.want, tc.tol)
+		}
+	}
+	// Monotone in q.
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: Quantile(%v) = %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+
+	// Ranks landing past all finite bounds report the last finite bound.
+	over := newHistogram([]float64{1, 2})
+	over.Observe(100)
+	if got := over.Quantile(0.5); got != 2 {
+		t.Errorf("overflow quantile = %v, want last finite bound 2", got)
+	}
+}
+
 func TestRegistryConcurrency(t *testing.T) {
 	// Hammer every concurrent surface at once under -race: scalar
 	// updates, vec resolution of hot and cold series, registration of

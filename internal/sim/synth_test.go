@@ -1,0 +1,247 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"tagbreathe/internal/epc"
+	"tagbreathe/internal/reader"
+	"tagbreathe/internal/units"
+)
+
+// referenceSynth is a verbatim copy of the generator the scaling
+// benchmarks used from PR 1 through PR 5 (bench_test.go's
+// synthMultiUserReports). It is the fixed point the Synth refactor must
+// reproduce bit for bit with default knobs, so benchmark history stays
+// comparable across the refactor.
+func referenceSynth(users int, duration time.Duration, perTagHz float64) []reader.TagReport {
+	const tagsPerUser = 3
+	const nChannels = 10
+	const dwell = 0.2
+	dt := 1 / perTagHz
+	steps := int(duration.Seconds() * perTagHz)
+	stagger := dt / float64(users*tagsPerUser)
+	out := make([]reader.TagReport, 0, steps*users*tagsPerUser)
+	freq := func(ch int) float64 { return 920.25e6 + float64(ch)*500e3 }
+	for k := 0; k < steps; k++ {
+		for u := 0; u < users; u++ {
+			uid := uint64(u + 1)
+			rateHz := (6 + float64(u%25)) / 60 // 6-30 bpm across users
+			for tag := 0; tag < tagsPerUser; tag++ {
+				t := float64(k)*dt + float64(u*tagsPerUser+tag)*stagger
+				ch := int(t/dwell) % nChannels
+				lambda := 299792458.0 / freq(ch)
+				d := 4 + 0.005*math.Sin(2*math.Pi*rateHz*t+float64(u))
+				phase := math.Mod(2*math.Pi/lambda*2*d+1.3*float64(ch), 2*math.Pi)
+				out = append(out, reader.TagReport{
+					EPC:          epc.NewUserTagEPC(uid, uint32(tag)+1),
+					AntennaPort:  1,
+					ChannelIndex: ch,
+					Frequency:    units.Hertz(freq(ch)),
+					Timestamp:    time.Duration(t * float64(time.Second)),
+					Phase:        units.Radians(phase),
+					RSSI:         -50,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// TestSynthMatchesReferenceGenerator pins the refactor seam: default
+// Synth output equals the old benchmark generator exactly — same EPCs,
+// same timestamps, same phases, field for field.
+func TestSynthMatchesReferenceGenerator(t *testing.T) {
+	for _, tc := range []struct {
+		users    int
+		duration time.Duration
+		hz       float64
+	}{
+		{1, 2 * time.Second, 8},
+		{5, 3 * time.Second, 8},
+		{31, 1 * time.Second, 4},
+	} {
+		want := referenceSynth(tc.users, tc.duration, tc.hz)
+		s, err := NewSynth(SynthConfig{Users: tc.users, PerTagHz: tc.hz})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := s.Generate(tc.duration)
+		if len(got) != len(want) {
+			t.Fatalf("users=%d: %d reports, reference %d", tc.users, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("users=%d report %d diverged:\n got %+v\nwant %+v",
+					tc.users, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSynthDeterministicAndResettable: the stream is a pure function of
+// the config — regeneration after Reset, and a second Synth with the
+// same config, both reproduce it exactly.
+func TestSynthDeterministicAndResettable(t *testing.T) {
+	cfg := SynthConfig{Users: 7, PerTagHz: 6, JitterFrac: 0.5, Seed: 99}
+	s, err := NewSynth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := s.Generate(2 * time.Second)
+	s.Reset()
+	second := s.Generate(2 * time.Second)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("Reset did not reproduce the stream")
+	}
+	s2, err := NewSynth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, s2.Generate(2*time.Second)) {
+		t.Fatal("fresh Synth with equal config diverged")
+	}
+}
+
+// TestSynthNextMatchesGenerate: incremental Next over a reused buffer
+// concatenates to exactly the materialized stream, and steady-state
+// Next calls do not allocate.
+func TestSynthNextMatchesGenerate(t *testing.T) {
+	cfg := SynthConfig{Users: 4, PerTagHz: 8, JitterFrac: 0.3, Seed: 5}
+	s, err := NewSynth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.Generate(2 * time.Second)
+	s.Reset()
+	buf := make([]reader.TagReport, 0, s.ReportsPerStep())
+	var got []reader.TagReport
+	for k := 0; k < s.Steps(2*time.Second); k++ {
+		buf = s.Next(buf[:0])
+		got = append(got, buf...)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("incremental Next diverged from Generate")
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = s.Next(buf[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("Next allocated %v times per step, want 0", allocs)
+	}
+}
+
+// checkSynthStream asserts the stream invariants every consumer relies
+// on: global timestamp order (monitor ingest contract), strictly
+// monotone timestamps per (user, antenna), and EPC stability (each
+// (user, tag) slot carries one EPC forever).
+func checkSynthStream(t *testing.T, s *Synth, reports []reader.TagReport) {
+	t.Helper()
+	type ua struct {
+		user    uint64
+		antenna int
+	}
+	lastUA := make(map[ua]time.Duration)
+	epcSlot := make(map[uint64]epc.EPC96) // user<<8|tag → EPC
+	var lastGlobal time.Duration = -1
+	for i, r := range reports {
+		if r.Timestamp < lastGlobal {
+			t.Fatalf("report %d: global timestamp order broken: %v after %v",
+				i, r.Timestamp, lastGlobal)
+		}
+		lastGlobal = r.Timestamp
+		k := ua{r.EPC.UserID(), r.AntennaPort}
+		if prev, ok := lastUA[k]; ok && r.Timestamp <= prev {
+			t.Fatalf("report %d: (user %x, antenna %d) timestamp %v not after %v",
+				i, k.user, k.antenna, r.Timestamp, prev)
+		}
+		lastUA[k] = r.Timestamp
+		slot := k.user<<8 | uint64(r.EPC.TagID())
+		if prev, ok := epcSlot[slot]; ok {
+			if prev != r.EPC {
+				t.Fatalf("report %d: slot (user %x, tag %d) changed EPC", i, k.user, r.EPC.TagID())
+			}
+		} else {
+			epcSlot[slot] = r.EPC
+		}
+	}
+	if len(reports) > 0 {
+		if want := len(epcSlot); want != s.ReportsPerStep() {
+			t.Fatalf("saw %d distinct EPCs, want %d", want, s.ReportsPerStep())
+		}
+	}
+}
+
+// TestSynthStreamInvariants runs the invariant suite over jittered and
+// unjittered configs.
+func TestSynthStreamInvariants(t *testing.T) {
+	for _, jitter := range []float64{0, 0.25, 0.99} {
+		s, err := NewSynth(SynthConfig{Users: 9, TagsPerUser: 2, PerTagHz: 12,
+			JitterFrac: jitter, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSynthStream(t, s, s.Generate(3*time.Second))
+	}
+}
+
+// TestSynthRejectsBadConfig: user counts and jitter fractions outside
+// the contract fail loudly rather than generating broken streams.
+func TestSynthRejectsBadConfig(t *testing.T) {
+	if _, err := NewSynth(SynthConfig{Users: 0}); err == nil {
+		t.Error("no error for zero users")
+	}
+	if _, err := NewSynth(SynthConfig{Users: 1, JitterFrac: 1}); err == nil {
+		t.Error("no error for jitter fraction 1 (breaks global order)")
+	}
+	if _, err := NewSynth(SynthConfig{Users: 1, JitterFrac: -0.1}); err == nil {
+		t.Error("no error for negative jitter")
+	}
+}
+
+// FuzzSynthStream fuzzes the generator's phase/rate/jitter inputs and
+// asserts the stream invariants hold for every accepted configuration —
+// the property gate for the O(bytes) user synthesis.
+func FuzzSynthStream(f *testing.F) {
+	f.Add(3, 3, 8.0, 0.0, int64(1), 10.0, 25)
+	f.Add(17, 1, 2.0, 0.5, int64(7), 6.0, 3)
+	f.Add(2, 4, 16.0, 0.99, int64(-3), 30.0, 1)
+	f.Fuzz(func(t *testing.T, users, tags int, hz, jitter float64, seed int64,
+		baseBPM float64, spread int) {
+		if users < 1 || users > 32 || tags < 1 || tags > 4 {
+			t.Skip()
+		}
+		if hz <= 0.5 || hz > 64 || math.IsNaN(hz) {
+			t.Skip()
+		}
+		if jitter < 0 || jitter >= 1 || math.IsNaN(jitter) {
+			t.Skip()
+		}
+		if baseBPM <= 0 || baseBPM > 60 || math.IsNaN(baseBPM) || spread < 1 || spread > 60 {
+			t.Skip()
+		}
+		cfg := SynthConfig{
+			Users: users, TagsPerUser: tags, PerTagHz: hz,
+			JitterFrac: jitter, Seed: seed,
+			BaseRateBPM: baseBPM, RateSpreadBPM: spread,
+		}
+		s, err := NewSynth(cfg)
+		if err != nil {
+			t.Fatalf("config rejected: %v", err)
+		}
+		reports := s.Generate(time.Second)
+		if want := s.Reports(time.Second); len(reports) != want {
+			t.Fatalf("generated %d reports, want %d", len(reports), want)
+		}
+		checkSynthStream(t, s, reports)
+
+		// Determinism under fuzzed inputs: same config, same stream.
+		s2, _ := NewSynth(cfg)
+		if !reflect.DeepEqual(reports, s2.Generate(time.Second)) {
+			t.Fatal("fuzzed config not deterministic")
+		}
+	})
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI guard for the capacity model: run the closed-loop harness at 1k
+# and 10k users and compare against the checked-in BENCH_capacity.json
+# baseline. Fails when tick-latency p99 or bytes/user regress by more
+# than the allowed factor — i.e. when a change quietly made each user
+# slower or fatter than the recorded curve says they are. The whole
+# run is sized to stay under a minute on a CI runner.
+#
+# Usage: scripts/capacity_smoke.sh [tolerance] [users]
+#   tolerance  max regression factor vs baseline (default 3)
+#   users      comma-separated sweep counts (default 1000,10000)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${1:-3}"
+USERS="${2:-1000,10000}"
+
+go run ./cmd/tagbreathe-load \
+  -users "$USERS" \
+  -check BENCH_capacity.json \
+  -tolerance "$TOLERANCE"
+
+echo "capacity_smoke: OK — within ${TOLERANCE}x of BENCH_capacity.json at ${USERS} users"

@@ -74,8 +74,8 @@ type (
 	RateUpdate = core.RateUpdate
 	// DisplacementSample is one Eq. 3 displacement value.
 	DisplacementSample = core.DisplacementSample
-	// OverloadPolicy selects what the monitor does when a per-user
-	// shard queue overflows (see MonitorConfig.Overload).
+	// OverloadPolicy selects what the monitor does when a shard
+	// worker's queue overflows (see MonitorConfig.Overload).
 	OverloadPolicy = core.OverloadPolicy
 	// FilterMode selects the stage engine's band-pass implementation
 	// (see Config.Filter).
