@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"tagbreathe/internal/load"
+	"tagbreathe/internal/obs"
 )
 
 func main() {
@@ -37,6 +38,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "stream seed")
 		probePace = flag.Float64("probe-pace", 1, "wall-clock pace of the OverloadDropNewest shed probe (1 = real-time load, 0 = unpaced)")
 		wire      = flag.Bool("wire", false, "drive the load over a loopback LLRP session instead of in-process")
+		trace     = flag.Int("trace-sample", 0, "e2e trace sampling stride: 0 = adaptive default, -1 disables")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/traces, and pprof here while the sweep runs")
 		out       = flag.String("o", "", "write the capacity model JSON to this file")
 		check     = flag.String("check", "", "compare against this baseline BENCH_capacity.json and fail on regression")
 		tolerance = flag.Float64("tolerance", 3, "regression factor allowed vs the -check baseline")
@@ -56,6 +59,23 @@ func main() {
 		ShardQueue:   *queue,
 		ShardWorkers: *workers,
 		Seed:         *seed,
+		TraceSample:  *trace,
+	}
+
+	if *debugAddr != "" {
+		// Live sweep observability: runtime metrics on /metrics, and
+		// each point's pipeline tracer handed to /debug/traces as it
+		// starts, so an operator (or the CI smoke) can watch exemplars
+		// stream mid-run.
+		reg := obs.NewRegistry()
+		obs.RegisterRuntime(reg)
+		dbg, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s\n", dbg.Addr())
+		base.OnTracer = dbg.SetTracer
 	}
 
 	progress := func(line string) { fmt.Fprintln(os.Stderr, line) }

@@ -55,7 +55,9 @@ func main() {
 		motion      = flag.Bool("motion", false, "enable motion-artifact rejection")
 		filterName  = flag.String("filter", "fft", "band-pass filter: fft, fir (batch FIR), stream (incremental FIR; realtime ticks cost O(new samples), updates lag by the filter delay)")
 		quiet       = flag.Bool("quiet", false, "suppress realtime updates; print only the summary")
-		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /healthz, and pprof on this address (e.g. 127.0.0.1:9464); empty disables")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/traces, and pprof on this address (e.g. 127.0.0.1:9464); empty disables")
+		traceSample = flag.Int("trace-sample", 256, "with -debug-addr: sample 1/N reports for end-to-end pipeline traces (stage latency histograms + /debug/traces exemplars; 0 disables)")
+		staleAfter  = flag.Duration("stale-after", 0, "with -connect: estimate-freshness SLO — flag users whose latest update is older than this wall-clock age (stale-users gauge, /healthz degrades; 0 disables)")
 	)
 	flag.Parse()
 
@@ -65,7 +67,7 @@ func main() {
 		pattern: *pattern, fidget: *fidget, seed: *seed, csvPath: *csvPath,
 		vitals: *vitals, heart: *heart, motion: *motion, quiet: *quiet,
 		reconnect: *reconnect, backoffMin: *backoffMin, backoffMax: *backoffMax,
-		watchdog: *watchdog,
+		watchdog: *watchdog, staleAfter: *staleAfter,
 	}
 	switch *filterName {
 	case "fft":
@@ -95,9 +97,18 @@ func main() {
 		}
 		defer dbg.Close()
 		opts.dbg = dbg
+		// Go runtime telemetry (GC pauses, scheduler latency, heap,
+		// goroutines) refreshes on every /metrics scrape.
+		tagbreathe.RegisterRuntimeMetrics(opts.metrics)
+		if *traceSample > 0 {
+			opts.tracer = tagbreathe.NewTracer(opts.metrics,
+				tagbreathe.TracerConfig{SampleEvery: *traceSample})
+			dbg.SetTracer(opts.tracer)
+		}
 		obs.Logger("cli").Info("debug server up",
 			"metrics", "http://"+dbg.Addr()+"/metrics",
-			"healthz", "http://"+dbg.Addr()+"/healthz")
+			"healthz", "http://"+dbg.Addr()+"/healthz",
+			"traces", "http://"+dbg.Addr()+"/debug/traces")
 	}
 
 	var (
@@ -143,7 +154,9 @@ type runOptions struct {
 	reconnect                   bool
 	backoffMin, backoffMax      time.Duration
 	watchdog                    time.Duration
+	staleAfter                  time.Duration
 	dbg                         *tagbreathe.DebugServer
+	tracer                      *tagbreathe.Tracer
 }
 
 // simulate builds and runs the scenario described by the flags.
@@ -259,6 +272,7 @@ func streamSession(addr string, listenFor time.Duration, o runOptions) ([]tagbre
 		Watchdog:      o.watchdog,
 		ClientMetrics: tagbreathe.NewLLRPClientMetrics(o.metrics),
 		Metrics:       tagbreathe.NewLLRPSessionMetrics(o.metrics),
+		Tracer:        o.tracer,
 		Logf: func(format string, args ...any) {
 			logger.Info(fmt.Sprintf(format, args...))
 		},
@@ -287,7 +301,7 @@ func streamSession(addr string, listenFor time.Duration, o runOptions) ([]tagbre
 
 // streamOnce is the legacy single-connection -connect path.
 func streamOnce(addr string, listenFor time.Duration, o runOptions) ([]tagbreathe.TagReport, error) {
-	client, err := tagbreathe.DialLLRPWithMetrics(addr, tagbreathe.NewLLRPClientMetrics(o.metrics))
+	client, err := tagbreathe.DialLLRPTraced(addr, tagbreathe.NewLLRPClientMetrics(o.metrics), o.tracer)
 	if err != nil {
 		return nil, err
 	}
@@ -326,10 +340,19 @@ func collectReports(ch <-chan tagbreathe.TagReport, listenFor time.Duration, o r
 	close(monDone)
 	if !o.quiet || o.metrics != nil {
 		mon = tagbreathe.NewMonitor(tagbreathe.MonitorConfig{
-			Pipeline:    tagbreathe.Config{MotionRejection: o.motion, Filter: o.filter},
-			UpdateEvery: 5 * time.Second,
-			Metrics:     tagbreathe.NewMonitorMetrics(o.metrics),
+			Pipeline:     tagbreathe.Config{MotionRejection: o.motion, Filter: o.filter},
+			UpdateEvery:  5 * time.Second,
+			Metrics:      tagbreathe.NewMonitorMetrics(o.metrics),
+			Tracer:       o.tracer,
+			StalenessSLO: o.staleAfter,
 		})
+		if o.dbg != nil && o.staleAfter > 0 {
+			// /healthz degrades to 503 while any user's freshest
+			// estimate is older than the SLO — the wall-clock signal
+			// that survives transport outages, when stream-time ticks
+			// stop entirely.
+			o.dbg.AddHealthCheck("estimate_freshness", mon.FreshnessCheck())
+		}
 		monDone = make(chan struct{})
 		go func() {
 			defer close(monDone)
@@ -393,6 +416,7 @@ func analyze(reports []tagbreathe.TagReport, truth map[uint64]float64, userIDs [
 			Pipeline:    cfg,
 			UpdateEvery: 5 * time.Second,
 			Metrics:     tagbreathe.NewMonitorMetrics(o.metrics),
+			Tracer:      o.tracer,
 		})
 		if err != nil {
 			return err

@@ -94,7 +94,7 @@ func runMetricHygiene(pass *lint.Pass) error {
 
 // instrumentTypeName reports which obs instrument type t is, if any.
 func instrumentTypeName(t types.Type) string {
-	for _, name := range []string{"Counter", "Gauge", "Histogram", "CounterVec", "GaugeVec"} {
+	for _, name := range []string{"Counter", "Gauge", "Histogram", "CounterVec", "GaugeVec", "HistogramVec"} {
 		if lint.IsNamed(t, obsPath, name) {
 			return name
 		}
@@ -137,11 +137,12 @@ func (c *hygieneChecker) checkCall(call *ast.CallExpr) {
 	switch {
 	case lint.IsNamed(sig.Recv().Type(), obsPath, "Registry"):
 		switch fn.Name() {
-		case "Counter", "Gauge", "Histogram", "CounterVec", "GaugeVec":
+		case "Counter", "Gauge", "Histogram", "CounterVec", "GaugeVec", "HistogramVec":
 			c.checkConstructor(call, fn.Name())
 		}
 	case lint.IsNamed(sig.Recv().Type(), obsPath, "CounterVec"),
-		lint.IsNamed(sig.Recv().Type(), obsPath, "GaugeVec"):
+		lint.IsNamed(sig.Recv().Type(), obsPath, "GaugeVec"),
+		lint.IsNamed(sig.Recv().Type(), obsPath, "HistogramVec"):
 		if fn.Name() == "With" {
 			for _, arg := range call.Args {
 				c.checkLabelValue(call, arg)
@@ -174,9 +175,17 @@ func (c *hygieneChecker) checkConstructor(call *ast.CallExpr, kind string) {
 		if strings.HasSuffix(name, "_total") {
 			c.pass.Reportf(call.Args[0].Pos(), "gauge %q must not end in _total (that suffix is reserved for counters)", name)
 		}
-	case "Histogram":
+	case "Histogram", "HistogramVec":
 		if !hasAnySuffix(name, histogramUnits) {
 			c.pass.Reportf(call.Args[0].Pos(), "histogram %q must end in a unit suffix (%s)", name, strings.Join(histogramUnits, ", "))
+		}
+	}
+	// A name whose last segment is a time-flavored quantity must say
+	// its unit: "_age" and "_latency" read as durations but leave the
+	// scale ambiguous on a dashboard (_age_seconds, _latency_seconds).
+	for _, bare := range []string{"_age", "_latency"} {
+		if strings.HasSuffix(name, bare) {
+			c.pass.Reportf(call.Args[0].Pos(), "metric %q ends in a bare %q; duration-flavored names must carry an explicit unit suffix (e.g. %s_seconds)", name, bare, bare)
 		}
 	}
 	if help, ok := constString(c.pass.TypesInfo, call.Args[1]); ok && strings.TrimSpace(help) == "" {

@@ -35,8 +35,9 @@ func wire(r *obs.Registry, h holder, user string) {
 	_ = r.Counter("reads_total", "Reads.")                    // want `does not match`
 	_ = r.Counter("tagbreathe_pipeline_reads", "Reads.")      // want `must end in _total`
 	_ = r.Gauge("tagbreathe_pipeline_depth_total", "Depth.")  // want `must not end in _total`
-	_ = r.Histogram("tagbreathe_pipeline_latency", "L.", nil) // want `unit suffix`
+	_ = r.Histogram("tagbreathe_pipeline_latency", "L.", nil) // want `unit suffix` `bare "_latency"`
 	_ = r.Counter("tagbreathe_pipeline_reads_total", " ")     // want `empty help`
+	_ = r.Gauge("tagbreathe_monitor_update_age", "Age.")      // want `bare "_age"`
 	name := metricName()
 	_ = r.Counter(name, "Reads.") // want `compile-time constant`
 
@@ -52,4 +53,9 @@ func wire(r *obs.Registry, h holder, user string) {
 
 	u := user
 	vec.With(u) // want `not provably bounded`
+
+	hv := r.HistogramVec("tagbreathe_pipeline_stage_seconds", "Stage latency.", nil, "stage")
+	hv.With(stage(0))                                                   // approved helper: fine
+	hv.With(user)                                                       // want `not provably bounded`
+	_ = r.HistogramVec("tagbreathe_pipeline_stage", "S.", nil, "stage") // want `unit suffix`
 }

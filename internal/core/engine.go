@@ -789,6 +789,56 @@ func (e *Engine) EvictBefore(cutoff float64) {
 	}
 }
 
+// EngineLag is a point-in-time view of how far one engine's internal
+// stages trail the stream clock — the per-stage lag accounting that
+// answers "which stage is behind" when updates go stale under load.
+type EngineLag struct {
+	// PendingBins counts fused bins deposited but not yet pushed
+	// through the streaming filter chains, summed over antennas. A
+	// persistently growing value means ticks are not keeping up with
+	// fusion. Always zero outside FilterFIRStreaming mode (the
+	// recompute modes hold no push cursor).
+	PendingBins int
+	// HeldAge is the stream-time age (seconds before asOf) of the
+	// oldest accrual still held back for bin finality, worst antenna;
+	// 0 when nothing is held. This is structural fusion latency, not
+	// backlog: held samples settle when a later sample arrives.
+	HeldAge float64
+	// FilterFill is the smallest warmup fill fraction (0..1) across
+	// the streaming filter chains — below 1 the engine is still inside
+	// the FIR group delay and suppresses estimates. 1 outside
+	// streaming mode, which has no warmup.
+	FilterFill float64
+}
+
+// Lag reports the engine's per-stage backlog at stream time asOf. Like
+// every Engine method it may only be called from the goroutine that
+// owns the engine (the shard worker); it allocates nothing.
+//
+//tagbreathe:hotpath called once per (user, tick) inside the worker tick branch
+func (e *Engine) Lag(asOf float64) EngineLag {
+	lag := EngineLag{FilterFill: 1}
+	for _, a := range e.ants {
+		if h := a.fuser.HeldFloor(); !math.IsInf(h, 1) {
+			if age := asOf - h; age > lag.HeldAge {
+				lag.HeldAge = age
+			}
+		}
+		if e.mode != FilterFIRStreaming {
+			continue
+		}
+		if p := a.fuser.Hi() - a.next; p > 0 {
+			lag.PendingBins += p
+		}
+		if e.warm > 0 && a.next < e.warm {
+			if fill := float64(a.next) / float64(e.warm); fill < lag.FilterFill {
+				lag.FilterFill = fill
+			}
+		}
+	}
+	return lag
+}
+
 // FlushEstimate is the batch path's terminal operation: feed every
 // report of the window [t0, t1], then flush once. It reproduces the
 // legacy estimateShard pipeline exactly — §IV-D.3 selection over the

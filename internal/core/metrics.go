@@ -54,6 +54,25 @@ type MonitorMetrics struct {
 	AntennaReadRate *obs.GaugeVec
 	AntennaMeanRSSI *obs.GaugeVec
 	AntennaScore    *obs.GaugeVec
+	// EngineBinsPending is, per shard worker, the total fused bins
+	// deposited but not yet pushed through the streaming filter chains
+	// — the engine-internal backlog that answers "which stage is
+	// behind" during overload. Zero in non-streaming filter modes.
+	EngineBinsPending *obs.GaugeVec
+	// EngineHeldFloorAge is, per shard worker, the stream-time age of
+	// the oldest accrual still held back for bin finality across the
+	// worker's engines — structural latency from the fusion stage.
+	EngineHeldFloorAge *obs.GaugeVec
+	// EngineFilterWarmup is, per shard worker, the smallest warmup
+	// fill fraction (0..1) across the worker's streaming filter
+	// chains; 1 once every chain is past its group delay.
+	EngineFilterWarmup *obs.GaugeVec
+	// StaleUsers counts users whose last emitted update is older than
+	// MonitorConfig.StalenessSLO — the estimate-freshness SLO gauge.
+	StaleUsers *obs.Gauge
+	// OldestUpdateAge is the wall-clock age of the least fresh user's
+	// last update, the continuous signal behind StaleUsers.
+	OldestUpdateAge *obs.Gauge
 }
 
 // NewMonitorMetrics wires monitor instruments into r (nil r: live,
@@ -92,6 +111,19 @@ func NewMonitorMetrics(r *obs.Registry) *MonitorMetrics {
 		AntennaScore: r.GaugeVec("tagbreathe_antenna_score",
 			"Per-(user, antenna) selection score (§IV-D.3).",
 			"user", "antenna"),
+		EngineBinsPending: r.GaugeVec("tagbreathe_engine_bins_pending",
+			"Fused bins deposited but not yet pushed through the streaming filter chains, per shard worker.",
+			"worker"),
+		EngineHeldFloorAge: r.GaugeVec("tagbreathe_engine_held_floor_age_seconds",
+			"Stream-time age of the oldest accrual held back for bin finality, per shard worker.",
+			"worker"),
+		EngineFilterWarmup: r.GaugeVec("tagbreathe_engine_filter_warmup_ratio",
+			"Smallest streaming-filter warmup fill fraction (0..1) across a shard worker's engines.",
+			"worker"),
+		StaleUsers: r.Gauge("tagbreathe_monitor_stale_users",
+			"Users whose last emitted update is older than the staleness SLO."),
+		OldestUpdateAge: r.Gauge("tagbreathe_monitor_oldest_update_age_seconds",
+			"Wall-clock age of the least fresh user's last emitted update."),
 	}
 }
 

@@ -68,6 +68,21 @@ type MonitorConfig struct {
 	// the monitor always counts (DroppedReports reads the drop
 	// counter) but exposes nothing.
 	Metrics *MonitorMetrics
+	// Tracer samples end-to-end report traces through the ingest,
+	// demux, worker, and collector stages (see obs.NewTracer). Reports
+	// arriving with a TraceID — stamped at the LLRP layer — keep their
+	// reader-side origin so queue wait ahead of the monitor is
+	// attributable; untraced reports may begin a trace at ingest. Nil
+	// traces nothing: the per-report cost is two predictable branches.
+	Tracer *obs.Tracer
+	// StalenessSLO is the estimate-freshness objective: a user whose
+	// last emitted update is older than this much wall time counts as
+	// stale in StaleUsers, the tagbreathe_monitor_stale_users gauge,
+	// and the FreshnessCheck health check. Staleness is evaluated both
+	// on every tick and on every StaleUsers call, so it stays current
+	// during transport outages when no stream-time ticks flow at all —
+	// exactly when freshness matters. 0 disables freshness tracking.
+	StalenessSLO time.Duration
 }
 
 func (c *MonitorConfig) fillDefaults() {
@@ -145,6 +160,7 @@ type Monitor struct {
 	in      chan reader.TagReport
 	updates chan RateUpdate
 	metrics *MonitorMetrics
+	tracer  *obs.Tracer
 
 	stopOnce  sync.Once
 	closeOnce sync.Once
@@ -153,9 +169,12 @@ type Monitor struct {
 	// last mirrors the most recent update per user, written by the
 	// collector; LastUpdates snapshots it so operators (and chaos
 	// tests) can check per-user estimates survive transport outages
-	// without consuming the update stream.
-	lastMu sync.Mutex
-	last   map[uint64]RateUpdate
+	// without consuming the update stream. lastWall records each
+	// user's last-update wall clock (UnixNano) when StalenessSLO is
+	// set; it feeds StaleUsers and the freshness gauges.
+	lastMu   sync.Mutex
+	last     map[uint64]RateUpdate
+	lastWall map[uint64]int64
 }
 
 // NewMonitor starts a streaming monitor. Callers must eventually call
@@ -167,7 +186,11 @@ func NewMonitor(cfg MonitorConfig) *Monitor {
 		in:      make(chan reader.TagReport, 256),
 		updates: make(chan RateUpdate, 64),
 		metrics: cfg.Metrics,
+		tracer:  cfg.Tracer,
 		last:    make(map[uint64]RateUpdate),
+	}
+	if cfg.StalenessSLO > 0 {
+		m.lastWall = make(map[uint64]int64)
 	}
 	if m.metrics == nil {
 		// Unexposed instruments: the hot path never branches on
@@ -196,6 +219,16 @@ func (m *Monitor) Ingest(r reader.TagReport) (ok bool) {
 			ok = false
 		}
 	}()
+	if r.TraceID == 0 {
+		// Untraced so far (direct feed from the emulator or replay):
+		// this is the earliest stage that sees the report, so traces
+		// may begin here.
+		r.TraceID = m.tracer.Begin(obs.StageIngest)
+	} else {
+		// The LLRP layer already began the trace at frame decode; keep
+		// its origin and stamp the hand-off into the monitor.
+		m.tracer.Stamp(r.TraceID, obs.StageIngest)
+	}
 	m.in <- r
 	return true
 }
@@ -268,10 +301,20 @@ func (m *Monitor) Stop() {
 type monitorTick struct {
 	asOf    time.Duration
 	workers int
-	results chan []RateUpdate
+	results chan shardResult
 	// wall is the broadcast wall-clock time, the start point of the
 	// tick-to-update latency histogram.
 	wall time.Time
+}
+
+// shardResult is one worker's reply to a tick: its users' rate updates
+// plus the sampled trace IDs of reports it fed since the previous tick.
+// Those traces complete (StageEmit) when the collector hands this
+// tick's updates to the consumer — attributing to each traced report
+// the full latency until its effect was visible downstream.
+type shardResult struct {
+	ups    []RateUpdate
+	traces []uint64
 }
 
 // shardInput is one queue entry for a shard worker: a report, or an
@@ -309,7 +352,7 @@ func (m *Monitor) demuxLoop(ticks chan<- *monitorTick) {
 		}
 		m.wg.Add(1)
 		//tagbreathe:allow hotpath pool spawn happens once at startup, not per report
-		go m.workerLoop(workers[i].q)
+		go m.workerLoop(i, workers[i].q)
 	}
 	m.metrics.ShardWorkers.Set(float64(len(workers)))
 	assign := make(map[uint64]int) //tagbreathe:allow hotpath one assignment table per monitor lifetime, built before the loop
@@ -324,7 +367,7 @@ func (m *Monitor) demuxLoop(ticks chan<- *monitorTick) {
 		tick := &monitorTick{
 			asOf:    asOf,
 			workers: len(workers),
-			results: make(chan []RateUpdate, len(workers)),
+			results: make(chan shardResult, len(workers)),
 			wall:    time.Now(),
 		}
 		for i := range workers {
@@ -338,6 +381,7 @@ func (m *Monitor) demuxLoop(ticks chan<- *monitorTick) {
 		m.metrics.Ingested.Inc()
 		uid := r.EPC.UserID()
 		if !m.cfg.Pipeline.allowsUser(uid) {
+			m.tracer.Abort(r.TraceID) // filtered out: the trace will never complete
 			continue
 		}
 		if !started {
@@ -356,11 +400,14 @@ func (m *Monitor) demuxLoop(ticks chan<- *monitorTick) {
 		if m.cfg.Overload == OverloadDropNewest {
 			select {
 			case w.q <- shardInput{report: r}:
+				m.tracer.Stamp(r.TraceID, obs.StageDemux)
 			default:
+				m.tracer.Abort(r.TraceID) // shed with the report
 				m.metrics.Dropped.Inc()
 			}
 		} else {
 			w.q <- shardInput{report: r}
+			m.tracer.Stamp(r.TraceID, obs.StageDemux)
 		}
 		w.hw.SetMax(float64(len(w.q)))
 
@@ -392,11 +439,24 @@ func (m *Monitor) demuxLoop(ticks chan<- *monitorTick) {
 // monitor's parallelism across users comes from.
 //
 //tagbreathe:hotpath per-report feed path; the tick branch is the 1/UpdateEvery cold side and carries its own allows
-func (m *Monitor) workerLoop(q <-chan shardInput) {
+func (m *Monitor) workerLoop(wi int, q <-chan shardInput) {
 	defer m.wg.Done()
 
 	engines := make(map[uint64]*Engine) //tagbreathe:allow hotpath one engine table per worker lifetime, built before the loop
 	var order []*Engine                 // tick in first-report order, deterministically
+
+	// Per-worker lag gauge handles, resolved once (Vec.With takes the
+	// family lock; the Set calls below are single atomics).
+	lbl := WorkerLabel(wi)
+	gPending := m.metrics.EngineBinsPending.With(lbl)
+	gHeldAge := m.metrics.EngineHeldFloorAge.With(lbl)
+	gWarmup := m.metrics.EngineFilterWarmup.With(lbl)
+
+	// open holds the sampled traces of reports fed since the last tick;
+	// the collector completes them when that tick's updates emit. Fixed
+	// capacity: a pathological burst of sampled reports between ticks
+	// aborts the excess (counted as dropped) instead of growing it.
+	open := make([]uint64, 0, maxOpenTraces)
 
 	for in := range q {
 		if in.tick != nil {
@@ -404,6 +464,9 @@ func (m *Monitor) workerLoop(q <-chan shardInput) {
 			asOf := tick.asOf.Seconds()
 			evict := (tick.asOf - m.cfg.Window).Seconds()
 			var ups []RateUpdate //tagbreathe:allow hotpath per-tick result batch (1/UpdateEvery); freshly allocated because the collector reads it after the worker moves on
+			pending := 0
+			heldAge := 0.0
+			warmFill := 1.0
 			for _, eng := range order {
 				start := time.Now() //tagbreathe:allow hotpath per-(user, tick) instrumentation feeding the capacity model's tick p99; reports are the per-event unit
 				if up, ok := eng.TickUpdate(asOf); ok {
@@ -416,11 +479,29 @@ func (m *Monitor) workerLoop(q <-chan shardInput) {
 				eng.ResetTickStats()
 				// Release fused bins that slid out of the window.
 				eng.EvictBefore(evict)
+				// Lag accounting: worst case across this worker's users.
+				lag := eng.Lag(asOf)
+				pending += lag.PendingBins
+				if lag.HeldAge > heldAge {
+					heldAge = lag.HeldAge
+				}
+				if lag.FilterFill < warmFill {
+					warmFill = lag.FilterFill
+				}
 			}
-			tick.results <- ups
+			gPending.Set(float64(pending))
+			gHeldAge.Set(heldAge)
+			gWarmup.Set(warmFill)
+			res := shardResult{ups: ups}
+			if len(open) > 0 {
+				res.traces = append([]uint64(nil), open...) //tagbreathe:allow hotpath per-tick copy of at most maxOpenTraces sampled IDs, handed to the collector
+				open = open[:0]
+			}
+			tick.results <- res
 			continue
 		}
 		r := in.report
+		m.tracer.Stamp(r.TraceID, obs.StageWorker) // dequeue: queue wait ends here
 		uid := r.EPC.UserID()
 		eng, ok := engines[uid]
 		if !ok {
@@ -437,8 +518,23 @@ func (m *Monitor) workerLoop(q <-chan shardInput) {
 		}
 		eng.Feed(r)
 		m.metrics.Processed.Inc()
+		if r.TraceID != 0 {
+			m.tracer.Stamp(r.TraceID, obs.StageFeed)
+			m.tracer.SetUser(r.TraceID, uid)
+			if len(open) < cap(open) {
+				open = append(open, r.TraceID)
+			} else {
+				m.tracer.Abort(r.TraceID)
+			}
+		}
 	}
 }
+
+// maxOpenTraces bounds how many sampled traces one worker carries
+// between ticks. At sane sampling strides (hundreds of reports per
+// sample) a tick covers far fewer; the bound only matters when someone
+// sets SampleEvery=1 against a dense stream.
+const maxOpenTraces = 64
 
 // collectLoop reassembles the sharded analyses into one ordered update
 // stream: ticks arrive in stream-time order, and within a tick the
@@ -450,14 +546,21 @@ func (m *Monitor) collectLoop(ticks <-chan *monitorTick) {
 
 	for tick := range ticks {
 		var ups []RateUpdate
+		var traces []uint64
 		for i := 0; i < tick.workers; i++ {
-			ups = append(ups, <-tick.results...)
+			res := <-tick.results
+			ups = append(ups, res.ups...)
+			traces = append(traces, res.traces...)
 		}
 		sort.Slice(ups, func(i, j int) bool { return ups[i].UserID < ups[j].UserID })
 		if len(ups) > 0 {
 			m.lastMu.Lock()
+			wall := time.Now().UnixNano()
 			for _, u := range ups {
 				m.last[u.UserID] = u
+				if m.lastWall != nil {
+					m.lastWall[u.UserID] = wall
+				}
 			}
 			m.lastMu.Unlock()
 		}
@@ -466,6 +569,61 @@ func (m *Monitor) collectLoop(ticks <-chan *monitorTick) {
 		}
 		m.metrics.Updates.Add(uint64(len(ups)))
 		m.metrics.TickLatency.Observe(time.Since(tick.wall).Seconds())
+		// The tick's updates are in consumers' hands: every report fed
+		// since the previous tick has now had its effect emitted.
+		for _, id := range traces {
+			m.tracer.Complete(id)
+		}
+		if m.lastWall != nil {
+			m.StaleUsers() // refresh the freshness gauges on the tick cadence
+		}
+	}
+}
+
+// StaleUsers reports how many users' most recent emitted update is
+// older (wall clock) than the configured StalenessSLO, and how many
+// users have emitted at all. As a side effect it refreshes the
+// tagbreathe_monitor_stale_users and ..._oldest_update_age_seconds
+// gauges, so both the tick path and pull-driven callers (the /healthz
+// freshness check, a scrape hook) keep them current — during a
+// transport outage no stream-time ticks flow at all, which is exactly
+// when staleness must show. Returns (0, 0) when StalenessSLO is unset.
+func (m *Monitor) StaleUsers() (stale, total int) {
+	if m.lastWall == nil {
+		return 0, 0
+	}
+	now := time.Now().UnixNano()
+	slo := m.cfg.StalenessSLO.Nanoseconds()
+	var oldest int64
+	m.lastMu.Lock()
+	for _, w := range m.lastWall {
+		total++
+		age := now - w
+		if age > slo {
+			stale++
+		}
+		if age > oldest {
+			oldest = age
+		}
+	}
+	m.lastMu.Unlock()
+	m.metrics.StaleUsers.Set(float64(stale))
+	m.metrics.OldestUpdateAge.Set(float64(oldest) / 1e9)
+	return stale, total
+}
+
+// FreshnessCheck returns a health check for obs.DebugServer
+// (AddHealthCheck) that fails while any user's estimate is staler than the
+// StalenessSLO — the wiring that turns the freshness objective into a
+// /healthz verdict a load balancer or alert can act on.
+func (m *Monitor) FreshnessCheck() func() error {
+	return func() error {
+		stale, total := m.StaleUsers()
+		if stale > 0 {
+			return fmt.Errorf("core: %d of %d users stale (no update within %v)",
+				stale, total, m.cfg.StalenessSLO)
+		}
+		return nil
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tagbreathe/internal/obs"
 	"tagbreathe/internal/reader"
 )
 
@@ -19,6 +20,10 @@ import (
 type Client struct {
 	conn    net.Conn
 	metrics *ClientMetrics
+	// tracer samples end-to-end pipeline traces, stamping StageRead as
+	// each report is decoded from its frame. Nil (the default) traces
+	// nothing.
+	tracer *obs.Tracer
 
 	writeMu sync.Mutex
 
@@ -66,6 +71,13 @@ func DialContext(ctx context.Context, addr string) (*Client, error) {
 
 // DialContextWithMetrics is DialContext with protocol instrumentation.
 func DialContextWithMetrics(ctx context.Context, addr string, m *ClientMetrics) (*Client, error) {
+	return DialContextTraced(ctx, addr, m, nil)
+}
+
+// DialContextTraced is DialContextWithMetrics with pipeline tracing:
+// the client stamps obs.StageRead on sampled reports as they are
+// decoded. A nil tracer traces nothing.
+func DialContextTraced(ctx context.Context, addr string, m *ClientMetrics, tr *obs.Tracer) (*Client, error) {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
@@ -74,7 +86,7 @@ func DialContextWithMetrics(ctx context.Context, addr string, m *ClientMetrics) 
 	// The handshake below is a blocking read; closing the socket is the
 	// only way to abort it when ctx ends first.
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
-	c, err := NewClientWithMetrics(conn, m)
+	c, err := NewClientTraced(conn, m, tr)
 	if !stop() && err != nil {
 		// The AfterFunc already ran: ctx ended mid-handshake, and the
 		// read error is just the closed socket. Surface the cause.
@@ -91,12 +103,18 @@ func NewClient(conn net.Conn) (*Client, error) {
 
 // NewClientWithMetrics is NewClient with protocol instrumentation.
 func NewClientWithMetrics(conn net.Conn, m *ClientMetrics) (*Client, error) {
+	return NewClientTraced(conn, m, nil)
+}
+
+// NewClientTraced is NewClientWithMetrics with pipeline tracing.
+func NewClientTraced(conn net.Conn, m *ClientMetrics, tr *obs.Tracer) (*Client, error) {
 	if m == nil {
 		m = NewClientMetrics(nil)
 	}
 	c := &Client{
 		conn:    conn,
 		metrics: m,
+		tracer:  tr,
 		nextID:  1,
 		pending: make(map[uint32]chan Message),
 		reports: make(chan reader.TagReport, 1024),
@@ -321,8 +339,12 @@ func (c *Client) readLoop() {
 				return
 			}
 			c.metrics.Reports.Add(uint64(len(reports)))
-			for _, r := range reports {
-				c.reports <- r
+			for i := range reports {
+				// The read stamp lands here, as close to the socket as the
+				// decoded report exists, so downstream stages inherit the
+				// reader-side origin instead of re-stamping on ingest.
+				reports[i].TraceID = c.tracer.Begin(obs.StageRead)
+				c.reports <- reports[i]
 			}
 		case MsgKeepalive:
 			// LLRP requires the client to acknowledge keepalives or

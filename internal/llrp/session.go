@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"tagbreathe/internal/fmath"
+	"tagbreathe/internal/obs"
 	"tagbreathe/internal/reader"
 )
 
@@ -85,11 +86,16 @@ type SessionConfig struct {
 	// Metrics receives the session's instrumentation (see
 	// NewSessionMetrics). Nil builds private, unexposed instruments.
 	Metrics *SessionMetrics
+	// Tracer samples end-to-end pipeline traces across reconnects: each
+	// client stamps obs.StageRead at frame decode and the forward pump
+	// stamps obs.StageForward, so reader-side queue wait is visible.
+	// Nil traces nothing.
+	Tracer *obs.Tracer
 	// Logf receives lifecycle logs; nil silences them.
 	Logf func(format string, args ...any)
 
 	// dial overrides connection setup in tests.
-	dial func(ctx context.Context, addr string, m *ClientMetrics) (*Client, error)
+	dial func(ctx context.Context, addr string, m *ClientMetrics, tr *obs.Tracer) (*Client, error)
 	// backoffSeed seeds the jitter source in tests (0: time-seeded).
 	backoffSeed int64
 }
@@ -129,7 +135,7 @@ func (c *SessionConfig) fillDefaults() {
 		c.Logf = func(string, ...any) {}
 	}
 	if c.dial == nil {
-		c.dial = DialContextWithMetrics
+		c.dial = DialContextTraced
 	}
 }
 
@@ -381,7 +387,7 @@ func (s *Session) run(ctx context.Context) {
 func (s *Session) connect(ctx context.Context) (*Client, error) {
 	actx, cancel := context.WithTimeout(ctx, s.cfg.DialTimeout)
 	defer cancel()
-	client, err := s.cfg.dial(actx, s.cfg.Addr, s.cfg.ClientMetrics)
+	client, err := s.cfg.dial(actx, s.cfg.Addr, s.cfg.ClientMetrics, s.cfg.Tracer)
 	if err != nil {
 		s.cfg.Metrics.ConnectFailures.With("dial").Inc()
 		return nil, err
@@ -437,6 +443,7 @@ func (s *Session) forward(ctx context.Context, client *Client) {
 			}
 			select {
 			case s.reports <- r:
+				s.cfg.Tracer.Stamp(r.TraceID, obs.StageForward)
 				depth := float64(len(s.reports))
 				s.cfg.Metrics.ReportsBuffer.Set(depth)
 				s.cfg.Metrics.ReportsBufferHighWater.SetMax(depth)

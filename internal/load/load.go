@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"tagbreathe/internal/core"
+	"tagbreathe/internal/obs"
 	"tagbreathe/internal/reader"
 	"tagbreathe/internal/sim"
 )
@@ -62,7 +63,23 @@ type Options struct {
 	// so its drop fraction answers "does real-time load at this user
 	// count fit?", not "can an unthrottled producer outrun one core?".
 	Pace float64
+	// TraceSample samples one of every N reports for end-to-end
+	// report→update latency (Point.E2EP50Micros/E2EP99Micros) via
+	// obs.Tracer; 0 selects the default stride, negative disables
+	// tracing (the e2e fields stay 0).
+	TraceSample int
+	// OnTracer, when set, receives the point's pipeline tracer just
+	// before the load phase starts (and nil when tracing is disabled).
+	// The CLI uses it to expose the live tracer at /debug/traces while
+	// a sweep runs.
+	OnTracer func(*obs.Tracer)
 }
+
+// DefaultTraceSample is the capacity harness's sampling stride: sparse
+// enough that the tracer's clock reads stay invisible next to the
+// pipeline work at every ladder point, dense enough for settled
+// quantiles even on a 20 s stream at 1k users.
+const DefaultTraceSample = 64
 
 func (o *Options) fillDefaults() {
 	if o.Stream <= 0 {
@@ -113,6 +130,17 @@ type Point struct {
 	// quantiles from the monitor_shard_tick_seconds histogram.
 	TickP50Micros float64 `json:"tick_p50_micros"`
 	TickP99Micros float64 `json:"tick_p99_micros"`
+	// E2EP50Micros / E2EP99Micros are sampled end-to-end
+	// report→update latencies (ingest stamp to the covering tick's
+	// emit) from the pipeline tracer — what a consumer actually waits
+	// between a tag read entering the pipeline and its effect showing
+	// in an update. Dominated by UpdateEvery/2 on paced runs; on
+	// unpaced runs it prices the pipeline's queueing alone.
+	E2EP50Micros float64 `json:"e2e_p50_micros"`
+	E2EP99Micros float64 `json:"e2e_p99_micros"`
+	// TracesCompleted counts the sampled traces behind the e2e
+	// quantiles (0 = tracing disabled).
+	TracesCompleted uint64 `json:"traces_completed"`
 	// Goroutines is the process goroutine count at steady state —
 	// the worker-pool invariant makes it O(ShardWorkers), not O(Users).
 	Goroutines int `json:"goroutines"`
@@ -137,6 +165,13 @@ func RunPoint(opts Options) (Point, error) {
 			opts.Stream, opts.PerTagHz)
 	}
 
+	// The tracer ring is harness cost, like the synth: build it before
+	// the heap baseline so it stays out of the bytes/user figure.
+	tracer := newLoadTracer(opts.TraceSample, perTickReports(opts, total), effectiveWorkers(opts))
+	if opts.OnTracer != nil {
+		opts.OnTracer(tracer)
+	}
+
 	// Heap baseline before any monitor state exists. The synth itself
 	// is already built — its (16 bytes × users) is generator cost, not
 	// pipeline cost, and stays out of the bytes/user figure.
@@ -150,6 +185,7 @@ func RunPoint(opts Options) (Point, error) {
 		ShardWorkers: opts.ShardWorkers,
 		Overload:     opts.Overload,
 		Metrics:      mm,
+		Tracer:       tracer,
 	})
 	done := make(chan int)
 	//tagbreathe:allow goroutineleak exits when Updates closes after CloseInput, and RunPoint always receives from done
@@ -228,6 +264,11 @@ func RunPoint(opts Options) (Point, error) {
 		TickP99Micros: mm.ShardTickSeconds.Quantile(0.99) * 1e6,
 		Goroutines:    goroutines,
 	}
+	if n := tracer.Completed(); n > 0 {
+		p.E2EP50Micros = tracer.EndToEnd().Quantile(0.50) * 1e6
+		p.E2EP99Micros = tracer.EndToEnd().Quantile(0.99) * 1e6
+		p.TracesCompleted = n
+	}
 	if opts.Overload == core.OverloadBlock && p.Dropped != 0 {
 		return p, fmt.Errorf("load: OverloadBlock dropped %d reports", p.Dropped)
 	}
@@ -236,6 +277,49 @@ func RunPoint(opts Options) (Point, error) {
 			p.Processed, p.Dropped, total)
 	}
 	return p, nil
+}
+
+// newLoadTracer builds the harness's pipeline tracer from the
+// TraceSample option: explicit strides are honored, negative disables
+// (nil tracer), and 0 selects an adaptive stride — DefaultTraceSample
+// widened until the traces sampled during one UpdateEvery interval fit
+// the exemplar ring and the workers' bounded open-trace lists. Without
+// the widening, a 10⁵-user point samples thousands of traces per tick
+// interval and every one is evicted or shed before its covering tick
+// completes it, leaving the e2e quantiles empty exactly at the ladder's
+// interesting end.
+func newLoadTracer(sample, perTickReports, workers int) *obs.Tracer {
+	if sample < 0 {
+		return nil
+	}
+	const ring = 4096
+	if sample == 0 {
+		sample = DefaultTraceSample
+		// Budget well inside maxOpenTraces per worker and the ring.
+		budget := 32 * workers
+		if budget > ring/2 {
+			budget = ring / 2
+		}
+		if s := perTickReports / budget; s > sample {
+			sample = s
+		}
+	}
+	return obs.NewTracer(nil, obs.TracerConfig{SampleEvery: sample, RingSize: ring})
+}
+
+// perTickReports estimates how many reports arrive between two analysis
+// ticks — the tracer's in-flight population, since traces complete at
+// tick emit.
+func perTickReports(opts Options, total int) int {
+	return int(float64(total) * opts.UpdateEvery.Seconds() / opts.Stream.Seconds())
+}
+
+// effectiveWorkers mirrors MonitorConfig's ShardWorkers default.
+func effectiveWorkers(opts Options) int {
+	if opts.ShardWorkers > 0 {
+		return opts.ShardWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // liveHeap forces a collection and returns the live heap size.

@@ -58,8 +58,18 @@ func TestCapacitySmall(t *testing.T) {
 			t.Errorf("%d users: %d goroutines at steady state, want ≤ %d (worker-pool invariant)",
 				users, p.Goroutines, limit)
 		}
-		t.Logf("users=%d: %.0f reports/s, %.0f B/user, tick p99 %.1f µs, %d goroutines",
-			users, p.ReportsPerSec, p.BytesPerUser, p.TickP99Micros, p.Goroutines)
+		// Tracing is on by default: every point must carry end-to-end
+		// latency quantiles, and the quantiles must be ordered.
+		if p.TracesCompleted == 0 {
+			t.Errorf("%d users: no traces completed (default sampling should cover a 20 s stream)", users)
+		}
+		if p.E2EP50Micros <= 0 || p.E2EP99Micros < p.E2EP50Micros {
+			t.Errorf("%d users: malformed e2e quantiles p50=%.1fµs p99=%.1fµs",
+				users, p.E2EP50Micros, p.E2EP99Micros)
+		}
+		t.Logf("users=%d: %.0f reports/s, %.0f B/user, tick p99 %.1f µs, e2e p50/p99 %.0f/%.0f µs (%d traces), %d goroutines",
+			users, p.ReportsPerSec, p.BytesPerUser, p.TickP99Micros,
+			p.E2EP50Micros, p.E2EP99Micros, p.TracesCompleted, p.Goroutines)
 	}
 }
 
@@ -149,6 +159,13 @@ func TestWirePointSmall(t *testing.T) {
 	}
 	if p.Updates == 0 {
 		t.Error("wire path produced no updates")
+	}
+	// Wire traces originate at LLRP frame decode, so the e2e figure
+	// includes the read→ingest hop.
+	if p.TracesCompleted == 0 {
+		t.Error("wire path completed no traces")
+	} else if p.E2EP50Micros <= 0 {
+		t.Errorf("wire path e2e p50 %.1f µs, want > 0", p.E2EP50Micros)
 	}
 }
 

@@ -89,6 +89,10 @@ func RunWirePoint(opts Options) (Point, error) {
 		<-served
 	}()
 
+	tracer := newLoadTracer(opts.TraceSample, perTickReports(opts, total), effectiveWorkers(opts))
+	if opts.OnTracer != nil {
+		opts.OnTracer(tracer)
+	}
 	baseline := liveHeap()
 	mm := core.NewMonitorMetrics(nil)
 	m := core.NewMonitor(core.MonitorConfig{
@@ -98,6 +102,7 @@ func RunWirePoint(opts Options) (Point, error) {
 		ShardWorkers: opts.ShardWorkers,
 		Overload:     opts.Overload,
 		Metrics:      mm,
+		Tracer:       tracer,
 	})
 	done := make(chan int)
 	//tagbreathe:allow goroutineleak exits when Updates closes after CloseInput, and RunWirePoint always receives from done
@@ -109,7 +114,12 @@ func RunWirePoint(opts Options) (Point, error) {
 		done <- n
 	}()
 
-	c, err := llrp.Dial(ln.Addr().String(), 10*time.Second)
+	// Traced dial: sampled reports are stamped at frame decode, so wire
+	// e2e latency includes the read→ingest hop the in-process path
+	// can't see.
+	dialCtx, cancelDial := context.WithTimeout(context.Background(), 10*time.Second)
+	c, err := llrp.DialContextTraced(dialCtx, ln.Addr().String(), nil, tracer)
+	cancelDial()
 	if err != nil {
 		m.Stop()
 		return Point{}, err
@@ -173,7 +183,7 @@ pump:
 	if heap > baseline {
 		heapDelta = heap - baseline
 	}
-	return Point{
+	p := Point{
 		Users:         opts.Users,
 		Reports:       total,
 		Updates:       updates,
@@ -188,5 +198,11 @@ pump:
 		TickP50Micros: mm.ShardTickSeconds.Quantile(0.50) * 1e6,
 		TickP99Micros: mm.ShardTickSeconds.Quantile(0.99) * 1e6,
 		Goroutines:    goroutines,
-	}, nil
+	}
+	if n := tracer.Completed(); n > 0 {
+		p.E2EP50Micros = tracer.EndToEnd().Quantile(0.50) * 1e6
+		p.E2EP99Micros = tracer.EndToEnd().Quantile(0.99) * 1e6
+		p.TracesCompleted = n
+	}
+	return p, nil
 }

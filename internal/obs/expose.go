@@ -13,6 +13,7 @@ import (
 // and series by label values, so output is deterministic for a given
 // registry state. A nil registry writes nothing.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.runScrapeHooks()
 	for _, f := range r.snapshotFamilies() {
 		if err := f.writePrometheus(w); err != nil {
 			return err
@@ -123,6 +124,7 @@ func formatFloat(v float64) string {
 // {"label=value,...": value}; histograms expose {count, sum}. This is
 // the expvar view.
 func (r *Registry) Snapshot() map[string]any {
+	r.runScrapeHooks()
 	out := make(map[string]any)
 	for _, f := range r.snapshotFamilies() {
 		f.mu.Lock()

@@ -34,6 +34,9 @@ import (
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+
+	hookMu sync.Mutex
+	hooks  []func()
 }
 
 // NewRegistry builds an empty registry.
@@ -196,6 +199,44 @@ func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
 	return &GaugeVec{f: r.lookup(name, help, gaugeKind, labels, nil)}
 }
 
+// HistogramVec registers a histogram family with label dimensions and
+// shared bucket bounds (nil selects DefBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{f: r.lookup(name, help, histogramKind, labels, buckets), buckets: buckets}
+}
+
+// AddScrapeHook registers fn to run at the start of every exposition
+// (WritePrometheus or Snapshot) — the pull-time collection point for
+// values that are sampled rather than event-driven, like the
+// runtime/metrics bridge. Hooks must be fast and safe to call
+// concurrently. A nil registry ignores the hook (nothing is ever
+// exposed from it).
+func (r *Registry) AddScrapeHook(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.hookMu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.hookMu.Unlock()
+}
+
+// runScrapeHooks invokes the registered hooks outside the hook lock.
+func (r *Registry) runScrapeHooks() {
+	if r == nil {
+		return
+	}
+	r.hookMu.Lock()
+	var hooks []func()
+	hooks = append(hooks, r.hooks...)
+	r.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
 // CounterVec is a counter family with labels; resolve a handle with
 // With once and update the handle on the hot path.
 type CounterVec struct{ f *family }
@@ -219,6 +260,21 @@ func (v *GaugeVec) With(values ...string) *Gauge {
 		return nil
 	}
 	return v.f.at(values, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct {
+	f       *family
+	buckets []float64
+}
+
+// With returns the histogram for these label values, creating it on
+// first use. The handle is stable: resolve outside loops.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil || v.f == nil {
+		return nil
+	}
+	return v.f.at(values, func() any { return newHistogram(v.buckets) }).(*Histogram)
 }
 
 // snapshotFamilies returns the families sorted by name and, per

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+)
+
+// RegisterRuntime bridges the Go runtime's own telemetry into the
+// registry: GC pause and goroutine scheduling-latency quantiles, live
+// heap size, and the goroutine count. Values are sampled lazily by a
+// scrape hook — the bridge costs nothing between scrapes — so capacity
+// and chaos runs can correlate pipeline lag with runtime pressure on
+// the same /metrics page. Call once per registry; a nil registry is a
+// no-op.
+func RegisterRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	gcP50 := r.Gauge("tagbreathe_runtime_gc_pause_p50_seconds",
+		"Median stop-the-world GC pause (runtime/metrics /gc/pauses, process lifetime).")
+	gcP99 := r.Gauge("tagbreathe_runtime_gc_pause_p99_seconds",
+		"99th-percentile stop-the-world GC pause (process lifetime).")
+	schedP50 := r.Gauge("tagbreathe_runtime_sched_latency_p50_seconds",
+		"Median time goroutines spend runnable before running (process lifetime).")
+	schedP99 := r.Gauge("tagbreathe_runtime_sched_latency_p99_seconds",
+		"99th-percentile goroutine scheduling latency (process lifetime).")
+	heapObjects := r.Gauge("tagbreathe_runtime_heap_objects",
+		"Live objects on the heap at the last scrape.")
+	heapBytes := r.Gauge("tagbreathe_runtime_heap_bytes",
+		"Bytes of live heap objects at the last scrape.")
+	goroutines := r.Gauge("tagbreathe_runtime_goroutines",
+		"Goroutine count at the last scrape.")
+
+	samples := []metrics.Sample{
+		{Name: "/gc/pauses:seconds"},
+		{Name: "/sched/latencies:seconds"},
+		{Name: "/gc/heap/objects:objects"},
+		{Name: "/memory/classes/heap/objects:bytes"},
+	}
+	r.AddScrapeHook(func() {
+		// Each scrape re-reads into its own copy so concurrent scrapes
+		// don't race on the shared sample buffer.
+		s := make([]metrics.Sample, len(samples))
+		copy(s, samples)
+		metrics.Read(s)
+		if s[0].Value.Kind() == metrics.KindFloat64Histogram {
+			h := s[0].Value.Float64Histogram()
+			gcP50.Set(runtimeHistQuantile(h, 0.50))
+			gcP99.Set(runtimeHistQuantile(h, 0.99))
+		}
+		if s[1].Value.Kind() == metrics.KindFloat64Histogram {
+			h := s[1].Value.Float64Histogram()
+			schedP50.Set(runtimeHistQuantile(h, 0.50))
+			schedP99.Set(runtimeHistQuantile(h, 0.99))
+		}
+		if s[2].Value.Kind() == metrics.KindUint64 {
+			heapObjects.Set(float64(s[2].Value.Uint64()))
+		}
+		if s[3].Value.Kind() == metrics.KindUint64 {
+			heapBytes.Set(float64(s[3].Value.Uint64()))
+		}
+		goroutines.Set(float64(runtime.NumGoroutine()))
+	})
+}
+
+// runtimeHistQuantile estimates the q-quantile of a runtime/metrics
+// histogram as the upper edge of the bucket holding the target rank —
+// the same conservative (over)estimate Prometheus-style bucket
+// quantiles give. Returns 0 for an empty histogram.
+func runtimeHistQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if c > 0 && float64(cum) >= rank {
+			// Bucket i spans Buckets[i]..Buckets[i+1]. The overflow
+			// bucket's upper edge is +Inf; report its finite lower edge
+			// instead (and 0 if even that is -Inf).
+			upper := h.Buckets[i+1]
+			if !math.IsInf(upper, 1) {
+				return upper
+			}
+			if lower := h.Buckets[i]; !math.IsInf(lower, -1) {
+				return lower
+			}
+			return 0
+		}
+	}
+	return 0
+}

@@ -16,6 +16,7 @@ import (
 //
 //	/metrics       Prometheus text exposition of the wired registry
 //	/healthz       JSON liveness: status, uptime, registered checks
+//	/debug/traces  sampled end-to-end pipeline traces (see SetTracer)
 //	/debug/vars    expvar (includes the registry when published)
 //	/debug/pprof/  the standard Go profiler endpoints
 //
@@ -30,6 +31,9 @@ type DebugServer struct {
 
 	checksMu sync.RWMutex
 	checks   []healthCheck
+
+	tracerMu sync.RWMutex
+	tracer   *Tracer
 }
 
 type healthCheck struct {
@@ -54,6 +58,7 @@ func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/traces", s.handleTraces)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -78,6 +83,15 @@ func (s *DebugServer) AddHealthCheck(name string, fn func() error) {
 	s.checksMu.Unlock()
 }
 
+// SetTracer wires a pipeline tracer into /debug/traces. Safe to call
+// while the server is live; nil detaches (the endpoint then serves an
+// empty trace list).
+func (s *DebugServer) SetTracer(t *Tracer) {
+	s.tracerMu.Lock()
+	s.tracer = t
+	s.tracerMu.Unlock()
+}
+
 // Addr returns the bound listen address (useful with port 0).
 func (s *DebugServer) Addr() string {
 	return s.ln.Addr().String()
@@ -93,6 +107,20 @@ func (s *DebugServer) Close() error {
 func (s *DebugServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *DebugServer) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	s.tracerMu.RLock()
+	t := s.tracer
+	s.tracerMu.RUnlock()
+	resp := struct {
+		Traces []TraceExemplar `json:"traces"`
+	}{Traces: t.Exemplars()}
+	if resp.Traces == nil {
+		resp.Traces = []TraceExemplar{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
 }
 
 func (s *DebugServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,428 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestTracerNilAndDisabled(t *testing.T) {
+	// Nil tracer: every method is a no-op.
+	var nt *Tracer
+	if id := nt.Begin(StageRead); id != 0 {
+		t.Fatalf("nil tracer Begin = %d, want 0", id)
+	}
+	nt.Stamp(1, StageIngest)
+	nt.SetUser(1, 2)
+	nt.Abort(1)
+	nt.Complete(1)
+	if nt.Exemplars() != nil || nt.EndToEnd() != nil || nt.Completed() != 0 {
+		t.Fatal("nil tracer leaked state")
+	}
+
+	// Sampling off: Begin never samples, the common case stays id 0.
+	off := NewTracer(nil, TracerConfig{SampleEvery: 0})
+	for i := 0; i < 1000; i++ {
+		if id := off.Begin(StageIngest); id != 0 {
+			t.Fatalf("disabled tracer sampled (id %d)", id)
+		}
+	}
+}
+
+func TestTracerEndToEnd(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r, TracerConfig{SampleEvery: 1, RingSize: 8})
+
+	id := tr.Begin(StageRead)
+	if id == 0 {
+		t.Fatal("SampleEvery=1 did not sample")
+	}
+	tr.Stamp(id, StageForward)
+	tr.Stamp(id, StageIngest)
+	tr.Stamp(id, StageDemux)
+	tr.Stamp(id, StageWorker)
+	tr.Stamp(id, StageFeed)
+	tr.SetUser(id, 0xBEEF)
+	tr.Complete(id)
+
+	if got := tr.Completed(); got != 1 {
+		t.Fatalf("completed = %d, want 1", got)
+	}
+	if tr.EndToEnd().Count() != 1 {
+		t.Fatal("e2e histogram empty after Complete")
+	}
+	// Every stage after the origin observed exactly one transition.
+	for s := StageForward; s < NumStages; s++ {
+		if n := tr.StageHistogram(s).Count(); n != 1 {
+			t.Fatalf("stage %v transitions = %d, want 1", s, n)
+		}
+	}
+	if tr.StageHistogram(StageRead).Count() != 0 {
+		t.Fatal("origin stage observed a transition")
+	}
+
+	ex := tr.Exemplars()
+	if len(ex) != 1 {
+		t.Fatalf("exemplars = %d, want 1", len(ex))
+	}
+	if ex[0].ID != id || ex[0].User != "beef" {
+		t.Fatalf("exemplar = %+v", ex[0])
+	}
+	if len(ex[0].Stages) != int(NumStages) {
+		t.Fatalf("exemplar stages = %d, want %d", len(ex[0].Stages), NumStages)
+	}
+	if ex[0].Stages[0].Stage != "read" || ex[0].Stages[len(ex[0].Stages)-1].Stage != "emit" {
+		t.Fatalf("exemplar stage order wrong: %+v", ex[0].Stages)
+	}
+	if ex[0].E2ESeconds < 0 {
+		t.Fatalf("negative e2e: %v", ex[0].E2ESeconds)
+	}
+
+	// Duplicate Complete is a no-op.
+	tr.Complete(id)
+	if tr.Completed() != 1 {
+		t.Fatal("double Complete counted twice")
+	}
+}
+
+func TestTracerSkipsUnstampedStages(t *testing.T) {
+	// An in-process trace that begins at ingest must not observe
+	// read/forward transitions, and its e2e still closes.
+	tr := NewTracer(nil, TracerConfig{SampleEvery: 1})
+	id := tr.Begin(StageIngest)
+	tr.Stamp(id, StageWorker) // demux skipped too
+	tr.Complete(id)
+	if tr.StageHistogram(StageForward).Count() != 0 || tr.StageHistogram(StageDemux).Count() != 0 {
+		t.Fatal("unstamped stage observed")
+	}
+	if tr.StageHistogram(StageWorker).Count() != 1 || tr.StageHistogram(StageEmit).Count() != 1 {
+		t.Fatal("stamped transitions missing")
+	}
+	if tr.EndToEnd().Count() != 1 {
+		t.Fatal("e2e missing")
+	}
+}
+
+func TestTracerSamplingStride(t *testing.T) {
+	tr := NewTracer(nil, TracerConfig{SampleEvery: 63, RingSize: 16})
+	sampled := 0
+	for i := 0; i < 63*10; i++ {
+		if tr.Begin(StageIngest) != 0 {
+			sampled++
+		}
+	}
+	if sampled != 10 {
+		t.Fatalf("sampled %d of 630 at stride 63, want 10", sampled)
+	}
+}
+
+// TestTracerEvenStrideRoundsOdd pins the two-origin parity fix: a
+// pipeline with a read-side Begin and an ingest-side fallback Begin
+// advances the lottery counter twice per untraced report, so an even
+// stride locks the lottery to one parity — in the production wiring
+// that parity belongs to the ingest fallback, so every trace would
+// originate downstream and the read→ingest hop would vanish from all
+// of them. Even strides round up to odd, which makes the most-upstream
+// origin win every sample: exactly the origin a trace should start at
+// when one exists.
+func TestTracerEvenStrideRoundsOdd(t *testing.T) {
+	tr := NewTracer(nil, TracerConfig{SampleEvery: 64, RingSize: 16})
+	if tr.every != 65 {
+		t.Fatalf("even stride 64 became %d, want 65", tr.every)
+	}
+	origins := map[Stage]int{}
+	for i := 0; i < 65*40; i++ {
+		// The production shape: the LLRP client tries first; the
+		// monitor only Begins when the report arrived untraced.
+		if id := tr.Begin(StageRead); id != 0 {
+			origins[StageRead]++
+			continue
+		}
+		if id := tr.Begin(StageIngest); id != 0 {
+			origins[StageIngest]++
+		}
+	}
+	if origins[StageRead] == 0 {
+		t.Fatalf("upstream origin starved: read=%d ingest=%d",
+			origins[StageRead], origins[StageIngest])
+	}
+	if origins[StageIngest] != 0 {
+		t.Fatalf("fallback origin fired alongside an upstream one: read=%d ingest=%d",
+			origins[StageRead], origins[StageIngest])
+	}
+}
+
+func TestTracerAbortAndEviction(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r, TracerConfig{SampleEvery: 1, RingSize: 4})
+
+	id := tr.Begin(StageIngest)
+	tr.Abort(id)
+	tr.Complete(id) // aborted: must not complete
+	if tr.Completed() != 0 {
+		t.Fatal("aborted trace completed")
+	}
+	if got := tr.dropped.Value(); got != 1 {
+		t.Fatalf("dropped = %d, want 1 after abort", got)
+	}
+
+	// Leave 4 traces open, then wrap the ring: each recycled
+	// incomplete slot counts as dropped.
+	for i := 0; i < 8; i++ {
+		tr.Begin(StageIngest)
+	}
+	if got := tr.dropped.Value(); got != 5 {
+		t.Fatalf("dropped = %d, want 5 (1 abort + 4 evictions)", got)
+	}
+	// Stale stamps against recycled IDs are ignored, not corrupting.
+	tr.Stamp(2, StageFeed)
+	tr.Complete(2)
+	if tr.Completed() != 0 {
+		t.Fatal("stale Complete landed")
+	}
+}
+
+func TestTracerExposition(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r, TracerConfig{SampleEvery: 1})
+	id := tr.Begin(StageIngest)
+	tr.Complete(id)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`tagbreathe_pipeline_stage_seconds_bucket{stage="emit",le="1e-06"}`,
+		"tagbreathe_pipeline_report_to_update_seconds_bucket",
+		"tagbreathe_pipeline_traces_sampled_total 1",
+		"tagbreathe_pipeline_traces_completed_total 1",
+		"# TYPE tagbreathe_pipeline_stage_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("test_vec_seconds", "help", []float64{1, 2}, "stage")
+	a := v.With("a")
+	if b := v.With("a"); b != a {
+		t.Fatal("With not stable for same labels")
+	}
+	a.Observe(0.5)
+	v.With("b").Observe(1.5)
+
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`test_vec_seconds_bucket{stage="a",le="1"} 1`,
+		`test_vec_seconds_bucket{stage="b",le="2"} 1`,
+		`test_vec_seconds_count{stage="a"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Nil-safety: nil vec yields a nil (live no-op) histogram.
+	var nv *HistogramVec
+	nv.With("x").Observe(1)
+}
+
+func TestScrapeHookRunsOnExposition(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_hooked_value", "help")
+	n := 0
+	r.AddScrapeHook(func() { n++; g.Set(float64(n)) })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "test_hooked_value 1") {
+		t.Fatalf("hook did not run before exposition:\n%s", b.String())
+	}
+	if _, ok := r.Snapshot()["test_hooked_value"]; !ok || n != 2 {
+		t.Fatalf("hook runs = %d, want 2 (WritePrometheus + Snapshot)", n)
+	}
+
+	// Nil registry ignores hooks.
+	var nr *Registry
+	nr.AddScrapeHook(func() { t.Fatal("hook on nil registry ran") })
+	nr.runScrapeHooks()
+}
+
+func TestRegisterRuntime(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+	RegisterRuntime(nil) // no-op
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, fam := range []string{
+		"tagbreathe_runtime_gc_pause_p50_seconds",
+		"tagbreathe_runtime_gc_pause_p99_seconds",
+		"tagbreathe_runtime_sched_latency_p50_seconds",
+		"tagbreathe_runtime_sched_latency_p99_seconds",
+		"tagbreathe_runtime_heap_objects",
+		"tagbreathe_runtime_heap_bytes",
+		"tagbreathe_runtime_goroutines",
+	} {
+		if !strings.Contains(out, fam) {
+			t.Errorf("runtime bridge missing family %q", fam)
+		}
+	}
+	// The process has a heap and goroutines; the sampled gauges must be
+	// live numbers, not zeros.
+	snap := r.Snapshot()
+	if v, ok := snap["tagbreathe_runtime_goroutines"].(float64); !ok || v < 1 {
+		t.Fatalf("goroutines gauge = %v, want >= 1", snap["tagbreathe_runtime_goroutines"])
+	}
+	if v, ok := snap["tagbreathe_runtime_heap_bytes"].(float64); !ok || v <= 0 {
+		t.Fatalf("heap bytes gauge = %v, want > 0", snap["tagbreathe_runtime_heap_bytes"])
+	}
+}
+
+func TestDebugServerTraces(t *testing.T) {
+	r := NewRegistry()
+	s, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func() []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + s.Addr() + "/debug/traces")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		return body
+	}
+
+	// No tracer wired: an empty list, not an error or null.
+	var empty struct {
+		Traces []TraceExemplar `json:"traces"`
+	}
+	if err := json.Unmarshal(get(), &empty); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Traces == nil || len(empty.Traces) != 0 {
+		t.Fatalf("expected empty trace list, got %+v", empty.Traces)
+	}
+
+	tr := NewTracer(r, TracerConfig{SampleEvery: 1})
+	s.SetTracer(tr)
+	id := tr.Begin(StageIngest)
+	tr.Stamp(id, StageFeed)
+	tr.Complete(id)
+
+	var got struct {
+		Traces []TraceExemplar `json:"traces"`
+	}
+	if err := json.Unmarshal(get(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Traces) != 1 || got.Traces[0].ID != id {
+		t.Fatalf("traces = %+v, want the one completed trace", got.Traces)
+	}
+	if len(got.Traces[0].Stages) != 3 {
+		t.Fatalf("stages = %+v, want ingest/feed/emit", got.Traces[0].Stages)
+	}
+}
+
+// TestQuantileEdgeCases covers the interpolation corners PR 6 left
+// untested: empty, single bucket, overflow bucket, and ranks landing
+// exactly on a bucket boundary.
+func TestQuantileEdgeCases(t *testing.T) {
+	// Empty histogram (and nil): NaN.
+	h := newHistogram([]float64{1, 2, 4})
+	if v := h.Quantile(0.5); !math.IsNaN(v) {
+		t.Fatalf("empty Quantile = %v, want NaN", v)
+	}
+	var nh *Histogram
+	if v := nh.Quantile(0.5); !math.IsNaN(v) {
+		t.Fatalf("nil Quantile = %v, want NaN", v)
+	}
+	if v := h.Quantile(math.NaN()); !math.IsNaN(v) {
+		t.Fatalf("Quantile(NaN) = %v, want NaN", v)
+	}
+
+	// All mass in the first bucket: its upper bound, at every q.
+	h = newHistogram([]float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); v != 1 {
+			t.Fatalf("first-bucket Quantile(%v) = %v, want 1", q, v)
+		}
+	}
+
+	// Single-bucket histogram behaves the same way.
+	h = newHistogram([]float64{3})
+	h.Observe(2)
+	if v := h.Quantile(0.5); v != 3 {
+		t.Fatalf("single-bucket Quantile = %v, want 3", v)
+	}
+
+	// All mass in the overflow (+Inf) bucket: the last finite bound.
+	h = newHistogram([]float64{1, 2, 4})
+	h.Observe(100)
+	h.Observe(200)
+	for _, q := range []float64{0.1, 0.9, 1} {
+		if v := h.Quantile(q); v != 4 {
+			t.Fatalf("overflow Quantile(%v) = %v, want 4", q, v)
+		}
+	}
+
+	// Exact bucket boundary: 10 obs in (1,2], 10 in (2,4]. Rank 10
+	// lands exactly on the first bucket's cumulative edge — the
+	// interpolation must return precisely the bucket's upper bound,
+	// and q just past the edge must move into the next bucket.
+	h = newHistogram([]float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+		h.Observe(3)
+	}
+	if v := h.Quantile(0.5); v != 2 {
+		t.Fatalf("boundary Quantile(0.5) = %v, want exactly 2", v)
+	}
+	if v := h.Quantile(0.55); !(v > 2 && v < 4) {
+		t.Fatalf("Quantile(0.55) = %v, want inside (2,4)", v)
+	}
+	// q clamps: below 0 and above 1 behave like the extremes.
+	if v := h.Quantile(-1); v != h.Quantile(0) {
+		t.Fatalf("Quantile(-1) = %v, want %v", v, h.Quantile(0))
+	}
+	if v := h.Quantile(2); v != h.Quantile(1) {
+		t.Fatalf("Quantile(2) = %v, want %v", v, h.Quantile(1))
+	}
+	// Monotone in q.
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}

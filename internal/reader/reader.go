@@ -62,6 +62,12 @@ type TagReport struct {
 	RSSI units.DBm
 	// DopplerHz is the reported Doppler frequency shift.
 	DopplerHz float64
+	// TraceID links the report to a sampled end-to-end pipeline trace
+	// (internal/obs.Tracer); 0 — the overwhelmingly common case — means
+	// untraced. The ID travels with the report so queue wait at every
+	// stage is attributed to the stage that queued it, not the one that
+	// dequeued it.
+	TraceID uint64
 }
 
 // Config assembles a reader emulator.

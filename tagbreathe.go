@@ -281,6 +281,49 @@ type (
 	LLRPSessionMetrics = llrp.SessionMetrics
 )
 
+// Pipeline tracing. A Tracer samples reports at a configurable stride
+// and stamps each sampled one at every pipeline stage it passes — LLRP
+// frame decode, session forward, monitor ingest, demux, worker dequeue,
+// engine feed, update emit — feeding per-stage latency histograms, an
+// end-to-end report→update histogram, and an exemplar ring served at
+// the debug server's /debug/traces. Thread one tracer through
+// LLRPSessionConfig.Tracer and MonitorConfig.Tracer; a nil tracer is
+// valid everywhere and traces nothing.
+type (
+	// Tracer samples end-to-end report traces through the pipeline.
+	Tracer = obs.Tracer
+	// TracerConfig tunes a Tracer's sampling stride and exemplar ring.
+	TracerConfig = obs.TracerConfig
+	// TraceStage is one stamped pipeline position of a sampled report.
+	TraceStage = obs.Stage
+	// TraceExemplar is one completed trace, as served by /debug/traces.
+	TraceExemplar = obs.TraceExemplar
+)
+
+// Trace stages, in pipeline order.
+const (
+	StageRead    = obs.StageRead
+	StageForward = obs.StageForward
+	StageIngest  = obs.StageIngest
+	StageDemux   = obs.StageDemux
+	StageWorker  = obs.StageWorker
+	StageFeed    = obs.StageFeed
+	StageEmit    = obs.StageEmit
+)
+
+// NewTracer wires a pipeline tracer's instruments into r (nil r: live
+// but unexposed) and builds its exemplar ring.
+func NewTracer(r *MetricsRegistry, cfg TracerConfig) *Tracer {
+	return obs.NewTracer(r, cfg)
+}
+
+// RegisterRuntimeMetrics bridges Go runtime telemetry (GC pause and
+// scheduling-latency quantiles, heap size, goroutine count) into the
+// registry, refreshed on every scrape.
+func RegisterRuntimeMetrics(r *MetricsRegistry) {
+	obs.RegisterRuntime(r)
+}
+
 // NewMetricsRegistry builds an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry {
 	return obs.NewRegistry()
@@ -322,6 +365,16 @@ func ServeDebug(addr string, r *MetricsRegistry) (*DebugServer, error) {
 // DialLLRPWithMetrics is DialLLRP with protocol instrumentation.
 func DialLLRPWithMetrics(addr string, m *LLRPClientMetrics) (*LLRPClient, error) {
 	return llrp.DialWithMetrics(addr, 10*time.Second, m)
+}
+
+// DialLLRPTraced is DialLLRPWithMetrics with pipeline tracing: the
+// client stamps StageRead on sampled reports as frames decode, so
+// end-to-end traces price the read→ingest hop too. A nil tracer
+// traces nothing.
+func DialLLRPTraced(addr string, m *LLRPClientMetrics, tr *Tracer) (*LLRPClient, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return llrp.DialContextTraced(ctx, addr, m, tr)
 }
 
 // Baseline estimators for comparison studies.
