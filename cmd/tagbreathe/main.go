@@ -9,6 +9,11 @@
 //	-replay FILE     replay a recorded CSV trace (see -csv)
 //	-connect ADDR    connect to an LLRP reader or the llrpsim emulator
 //
+// -connect is repeatable: naming more than one endpoint (optionally as
+// name=addr) runs a reader fleet — one supervised session per reader,
+// all report streams merged with provenance into one monitor, fleet
+// state on /debug/fleet and per-reader checks on /healthz.
+//
 // Examples:
 //
 //	tagbreathe -users 4 -duration 2m
@@ -16,6 +21,7 @@
 //	tagbreathe -posture lying -orientation 45 -contending 20
 //	tagbreathe -csv reports.csv && tagbreathe -replay reports.csv
 //	tagbreathe -connect localhost:5084 -listen 30s
+//	tagbreathe -connect east=localhost:5084 -connect west=localhost:5085 -listen 30s
 package main
 
 import (
@@ -24,11 +30,23 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"strings"
 	"time"
 
 	"tagbreathe"
 	"tagbreathe/internal/obs"
 )
+
+// connectFlags collects the repeatable -connect values, each "addr" or
+// "name=addr".
+type connectFlags []string
+
+func (c *connectFlags) String() string { return strings.Join(*c, ",") }
+
+func (c *connectFlags) Set(v string) error {
+	*c = append(*c, v)
+	return nil
+}
 
 func main() {
 	var (
@@ -44,7 +62,7 @@ func main() {
 		seed        = flag.Int64("seed", 1, "random seed")
 		csvPath     = flag.String("csv", "", "record the raw low-level reads to this CSV file")
 		replayPath  = flag.String("replay", "", "replay a recorded CSV trace instead of simulating")
-		connectAddr = flag.String("connect", "", "connect to an LLRP endpoint instead of simulating")
+		connect     connectFlags
 		listenFor   = flag.Duration("listen", 30*time.Second, "with -connect: how long to stream")
 		reconnect   = flag.Bool("reconnect", true, "with -connect: supervise the link and auto-reconnect with backoff (false: one connection, fail on first error)")
 		backoffMin  = flag.Duration("reconnect-min", 100*time.Millisecond, "with -reconnect: initial reconnect backoff")
@@ -59,6 +77,7 @@ func main() {
 		traceSample = flag.Int("trace-sample", 256, "with -debug-addr: sample 1/N reports for end-to-end pipeline traces (stage latency histograms + /debug/traces exemplars; 0 disables)")
 		staleAfter  = flag.Duration("stale-after", 0, "with -connect: estimate-freshness SLO — flag users whose latest update is older than this wall-clock age (stale-users gauge, /healthz degrades; 0 disables)")
 	)
+	flag.Var(&connect, "connect", "connect to an LLRP endpoint instead of simulating; repeat (optionally as name=addr) to merge a reader fleet into one monitor")
 	flag.Parse()
 
 	opts := runOptions{
@@ -120,8 +139,12 @@ func main() {
 	switch {
 	case *replayPath != "":
 		reports, err = replayTrace(*replayPath)
-	case *connectAddr != "":
-		reports, err = streamLLRP(*connectAddr, *listenFor, opts)
+	case len(connect) > 1 || (len(connect) == 1 && strings.Contains(connect[0], "=")):
+		// Named endpoints, or more than one: the fleet path.
+		reports, err = streamFleet(connect, *listenFor, opts)
+		opts.livePrinted = true
+	case len(connect) == 1:
+		reports, err = streamLLRP(connect[0], *listenFor, opts)
 		// The -connect path monitors live while streaming; analyze
 		// should not replay the realtime updates a second time.
 		opts.livePrinted = true
@@ -294,6 +317,76 @@ func streamSession(addr string, listenFor time.Duration, o runOptions) ([]tagbre
 	}
 	if n := sess.Reconnects(); n > 0 {
 		fmt.Printf("link recovered from %d outage(s) during the run\n", n)
+	}
+	fmt.Printf("collected %d reads\n\n", len(reports))
+	return reports, nil
+}
+
+// streamFleet is the multi-reader -connect path: every endpoint gets a
+// supervised session under the fleet registry, and all report streams
+// merge — provenance-tagged — into the one live monitor, where the
+// (reader, antenna) selection picks each user's best vantage per
+// window. Fleet state serves at /debug/fleet and every reader
+// contributes its own /healthz check.
+func streamFleet(targets []string, listenFor time.Duration, o runOptions) ([]tagbreathe.TagReport, error) {
+	logger := obs.Logger("fleet")
+	cfgs := make([]tagbreathe.FleetReaderConfig, 0, len(targets))
+	for _, t := range targets {
+		// Bare addresses name themselves; "name=addr" picks the label
+		// carried on reports, metrics, and health checks.
+		name, addr := t, t
+		if i := strings.IndexByte(t, '='); i >= 0 {
+			name, addr = t[:i], t[i+1:]
+		}
+		cfgs = append(cfgs, tagbreathe.FleetReaderConfig{Name: name, Addr: addr})
+	}
+	f, err := tagbreathe.StartFleet(context.Background(), tagbreathe.FleetConfig{
+		Readers: cfgs,
+		Session: tagbreathe.LLRPSessionConfig{
+			ROSpec:        tagbreathe.ROSpecConfig{ROSpecID: 1, ReportEveryN: 32},
+			BackoffMin:    o.backoffMin,
+			BackoffMax:    o.backoffMax,
+			Watchdog:      o.watchdog,
+			ClientMetrics: tagbreathe.NewLLRPClientMetrics(o.metrics),
+			Tracer:        o.tracer,
+			Logf: func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...))
+			},
+		},
+		Metrics: tagbreathe.NewFleetMetrics(o.metrics),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if o.dbg != nil {
+		// /healthz degrades to 503 while any reader is down, and names
+		// the down readers both in the aggregate fleet check and in
+		// each reader's own check; /debug/fleet serves the live
+		// per-reader registry state as JSON.
+		o.dbg.AddHealthCheck("fleet", f.Healthy)
+		for _, c := range cfgs {
+			o.dbg.AddHealthCheck("reader_"+c.Name, f.ReaderHealth(c.Name))
+		}
+		o.dbg.HandleJSON("/debug/fleet", func() any { return f.Status() })
+	}
+	fmt.Printf("streaming from a fleet of %d readers for %v (auto-reconnect: backoff %v..%v, watchdog %v)\n",
+		len(cfgs), listenFor, o.backoffMin, o.backoffMax, o.watchdog)
+
+	reports := collectReports(f.Reports(), listenFor, o)
+	status := f.Status()
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "tagbreathe: fleet close: %v\n", err)
+	}
+	for _, s := range status {
+		line := fmt.Sprintf("reader %s (%s): %d reads", s.Name, s.Addr, s.Reports)
+		if s.Reconnects > 0 {
+			line += fmt.Sprintf(", recovered from %d outage(s)", s.Reconnects)
+		}
+		if s.Shed > 0 {
+			line += fmt.Sprintf(", %d shed at the merge", s.Shed)
+		}
+		fmt.Println(line)
 	}
 	fmt.Printf("collected %d reads\n\n", len(reports))
 	return reports, nil

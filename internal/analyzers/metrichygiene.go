@@ -63,6 +63,7 @@ func runMetricHygiene(pass *lint.Pass) error {
 			// here by full name because annotations are per-package.
 			"tagbreathe/internal/core.UserLabel":    true,
 			"tagbreathe/internal/core.AntennaLabel": true,
+			"tagbreathe/internal/core.ReaderLabel":  true,
 		},
 		approvedFields: make(map[types.Object]bool),
 	}

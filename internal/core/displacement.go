@@ -42,11 +42,14 @@ type DisplacementSample struct {
 	D float64
 }
 
-// streamKey identifies one phase-continuous stream: same tag, same
-// antenna, same frequency channel. Phase values are only comparable
-// within a key — across channels both λ and the circuit constant c
-// change (Fig. 4), and across antennas the geometry changes.
+// streamKey identifies one phase-continuous stream: same reader, same
+// tag, same antenna, same frequency channel. Phase values are only
+// comparable within a key — across channels both λ and the circuit
+// constant c change (Fig. 4), across antennas the geometry changes,
+// and across readers everything changes (independent oscillators,
+// independent geometry), so fleet provenance is part of the key.
 type streamKey struct {
+	reader  string
 	user    uint64
 	tag     uint32
 	antenna int
@@ -94,6 +97,7 @@ type TagDisplacement struct {
 // predecessor was too old to difference against).
 func (df *Differencer) Ingest(r reader.TagReport) (TagDisplacement, bool) {
 	key := streamKey{
+		reader:  r.ReaderID,
 		user:    r.EPC.UserID(),
 		tag:     r.EPC.TagID(),
 		antenna: r.AntennaPort,

@@ -371,7 +371,28 @@ type EngineOptions struct {
 	Metrics *MonitorMetrics
 }
 
-// antennaState is one antenna's slice of the engine: its own Eq. 6
+// vantage identifies one (reader, antenna) observation point — the
+// §IV-D.3 selection unit once overlapping readers are in play. Two
+// readers seeing the same user are independent vantages: independent
+// oscillators, independent geometry, independent read schedules. The
+// zero reader ("") is the unnamed single-reader legacy case, for which
+// the vantage degenerates to the antenna port alone.
+type vantage struct {
+	reader string
+	port   int
+}
+
+// less orders vantages deterministically for selection tie-breaks:
+// lexicographically lowest reader name, then lowest port. With one
+// (unnamed) reader this is exactly the legacy lowest-port rule.
+func (v vantage) less(o vantage) bool {
+	if v.reader != o.reader {
+		return v.reader < o.reader
+	}
+	return v.port < o.port
+}
+
+// antennaState is one vantage's slice of the engine: its own Eq. 6
 // fuser, per-tick §IV-D.3 selection stats, and — in streaming mode —
 // its own Eq. 7 accumulator, FIR chain, and crossing history.
 type antennaState struct {
@@ -422,7 +443,7 @@ type Engine struct {
 	metrics *MonitorMetrics
 
 	df   *Differencer
-	ants map[int]*antennaState
+	ants map[vantage]*antennaState
 
 	origin    float64
 	originSet bool
@@ -452,7 +473,7 @@ func NewEngine(cfg Config, opts EngineOptions) *Engine {
 		userLbl:   UserLabel(opts.UserID),
 		metrics:   opts.Metrics,
 		df:        NewDifferencer(cfg),
-		ants:      make(map[int]*antennaState),
+		ants:      make(map[vantage]*antennaState),
 		origin:    opts.Origin,
 		originSet: opts.OriginSet,
 	}
@@ -460,11 +481,11 @@ func NewEngine(cfg Config, opts EngineOptions) *Engine {
 	return e
 }
 
-// ant returns (creating on first sight) one antenna's state.
+// ant returns (creating on first sight) one vantage's state.
 //
-//tagbreathe:allow hotpath construction runs once per antenna at first sight; steady-state calls return the cached state
-func (e *Engine) ant(port int) *antennaState {
-	a, ok := e.ants[port]
+//tagbreathe:allow hotpath construction runs once per vantage at first sight; steady-state calls return the cached state
+func (e *Engine) ant(v vantage) *antennaState {
+	a, ok := e.ants[v]
 	if ok {
 		return a
 	}
@@ -488,7 +509,7 @@ func (e *Engine) ant(port int) *antennaState {
 			}
 		}
 	}
-	e.ants[port] = a
+	e.ants[v] = a
 	return a
 }
 
@@ -503,7 +524,7 @@ func (e *Engine) Feed(r reader.TagReport) {
 			e.origin = r.Timestamp.Seconds()
 		}
 	}
-	a := e.ant(r.AntennaPort)
+	a := e.ant(vantage{reader: r.ReaderID, port: r.AntennaPort})
 	a.reads++
 	a.rssiSum += float64(r.RSSI)
 	ts := r.Timestamp.Seconds()
@@ -518,38 +539,43 @@ func (e *Engine) Feed(r reader.TagReport) {
 	}
 }
 
-// observeQuality publishes one antenna's §IV-D.3 inputs through cached
-// gauge handles (resolved once per antenna — the tick path allocates
+// observeQuality publishes one vantage's §IV-D.3 inputs through cached
+// gauge handles (resolved once per vantage — the tick path allocates
 // nothing).
 func (e *Engine) observeQuality(a *antennaState, q AntennaQuality) {
 	if e.metrics == nil {
 		return
 	}
 	if a.gRate == nil {
+		rdr := ReaderLabel(q.Reader)
 		ant := AntennaLabel(q.Antenna)
-		a.gRate = e.metrics.AntennaReadRate.With(e.userLbl, ant)
-		a.gRSSI = e.metrics.AntennaMeanRSSI.With(e.userLbl, ant)
-		a.gScore = e.metrics.AntennaScore.With(e.userLbl, ant)
+		a.gRate = e.metrics.AntennaReadRate.With(e.userLbl, rdr, ant)
+		a.gRSSI = e.metrics.AntennaMeanRSSI.With(e.userLbl, rdr, ant)
+		a.gScore = e.metrics.AntennaScore.With(e.userLbl, rdr, ant)
 	}
 	a.gRate.Set(q.ReadRate)
 	a.gRSSI.Set(q.MeanRSSI)
 	a.gScore.Set(q.Score())
 }
 
-// selectAntenna runs §IV-D.3 over the current tick stats: highest
-// score wins, ties break to the lowest port. span is the read-rate
-// denominator for single-timestamp antennas.
-func (e *Engine) selectAntenna(span func(a *antennaState) float64, publish bool) (*antennaState, int, bool) {
+// selectAntenna runs §IV-D.3 over the current tick stats, generalized
+// to (reader, antenna) vantages: highest score wins, ties break to the
+// lowest vantage (reader name, then port) — so a user inside two
+// readers' overlapping coverage is estimated from exactly one stream,
+// deterministically, instead of double-counted. span is the read-rate
+// denominator for single-timestamp vantages.
+func (e *Engine) selectAntenna(span func(a *antennaState) float64, publish bool) (*antennaState, vantage, bool) {
 	var best *antennaState
-	bestPort := 0
+	var bestV vantage
 	bestScore := 0.0
-	for port, a := range e.ants {
+	for v, a := range e.ants {
 		if a.reads == 0 {
 			continue
 		}
 		q := AntennaQuality{
 			UserID:   e.userID,
-			Antenna:  port,
+			Reader:   v.reader,
+			Antenna:  v.port,
 			Reads:    a.reads,
 			ReadRate: float64(a.reads) / span(a),
 			MeanRSSI: a.rssiSum / float64(a.reads),
@@ -558,11 +584,11 @@ func (e *Engine) selectAntenna(span func(a *antennaState) float64, publish bool)
 			e.observeQuality(a, q)
 		}
 		s := q.Score()
-		if best == nil || s > bestScore || (fmath.ExactEq(s, bestScore) && port < bestPort) {
-			best, bestPort, bestScore = a, port, s
+		if best == nil || s > bestScore || (fmath.ExactEq(s, bestScore) && v.less(bestV)) {
+			best, bestV, bestScore = a, v, s
 		}
 	}
-	return best, bestPort, best != nil
+	return best, bestV, best != nil
 }
 
 // TickUpdate produces this user's rate update as of asOf (stream
@@ -596,7 +622,7 @@ func (e *Engine) TickUpdate(asOf float64) (RateUpdate, bool) {
 		}
 		return span
 	}
-	best, bestPort, ok := e.selectAntenna(tickSpan, true)
+	best, bestV, ok := e.selectAntenna(tickSpan, true)
 	if !ok {
 		return RateUpdate{}, false
 	}
@@ -605,10 +631,10 @@ func (e *Engine) TickUpdate(asOf float64) (RateUpdate, bool) {
 		t0 = e.origin
 	}
 	if e.mode == FilterFIRStreaming {
-		return e.streamingUpdate(best, bestPort, t0)
+		return e.streamingUpdate(best, bestV, t0)
 	}
 	//tagbreathe:allow hotpath legacy O(window) recompute modes allocate by design; FIRStreaming is the enforced real-time mode
-	return e.recomputeUpdate(best, bestPort, asOf)
+	return e.recomputeUpdate(best, bestV, asOf)
 }
 
 // advanceChains pushes every antenna's newly *final* bins through its
@@ -659,10 +685,10 @@ func (e *Engine) advance(a *antennaState, limIdx int) int {
 	return n
 }
 
-// streamingUpdate assembles a RateUpdate from the selected antenna's
+// streamingUpdate assembles a RateUpdate from the selected vantage's
 // incrementally maintained crossings — O(window crossings), no
 // filtering work.
-func (e *Engine) streamingUpdate(a *antennaState, port int, t0 float64) (RateUpdate, bool) {
+func (e *Engine) streamingUpdate(a *antennaState, v vantage, t0 float64) (RateUpdate, bool) {
 	// Crossings that slid out of the window are gone for good; prune in
 	// place (the backing array is reused, steady state allocates
 	// nothing).
@@ -695,15 +721,16 @@ func (e *Engine) streamingUpdate(a *antennaState, port int, t0 float64) (RateUpd
 		InstantBPM:  instant,
 		Crossings:   len(cr),
 		Reads:       a.reads,
-		AntennaPort: port,
+		ReaderID:    v.reader,
+		AntennaPort: v.port,
 		Pauses:      pauses,
 	}, true
 }
 
 // recomputeUpdate is the FFT / batch-FIR tick: the window's bins come
-// straight off the selected antenna's ring (no re-fusion, no sample
+// straight off the selected vantage's ring (no re-fusion, no sample
 // copies) and extraction recomputes over them.
-func (e *Engine) recomputeUpdate(a *antennaState, port int, asOf float64) (RateUpdate, bool) {
+func (e *Engine) recomputeUpdate(a *antennaState, v vantage, asOf float64) (RateUpdate, bool) {
 	iHi := int((asOf-e.origin)/e.binSec) + 1
 	iLo := iHi - e.windowBins
 	if iLo < 0 {
@@ -748,7 +775,8 @@ func (e *Engine) recomputeUpdate(a *antennaState, port int, asOf float64) (RateU
 		InstantBPM:  instant,
 		Crossings:   len(sig.Crossings),
 		Reads:       a.reads,
-		AntennaPort: port,
+		ReaderID:    v.reader,
+		AntennaPort: v.port,
 		Pauses:      pauses,
 	}, true
 }
@@ -853,7 +881,7 @@ func (e *Engine) FlushEstimate(t0, t1 float64) *UserEstimate {
 	if span <= 0 {
 		span = 1 // parity with RankAntennas' degenerate-span guard
 	}
-	best, bestPort, ok := e.selectAntenna(func(*antennaState) float64 { return span }, false)
+	best, bestV, ok := e.selectAntenna(func(*antennaState) float64 { return span }, false)
 	if !ok {
 		return nil
 	}
@@ -882,7 +910,8 @@ func (e *Engine) FlushEstimate(t0, t1 float64) *UserEstimate {
 		RateBPM:     sig.OverallRateBPM(),
 		RateSeries:  sig.InstantRateSeriesBPM(e.cfg.CrossingBufferM),
 		Signal:      sig,
-		AntennaPort: bestPort,
+		ReaderID:    bestV.reader,
+		AntennaPort: bestV.port,
 		Reads:       best.reads,
 		TagsSeen:    len(best.tags),
 		FusedRMS:    rms,

@@ -327,10 +327,10 @@ func TestTickReadRateSingleRead(t *testing.T) {
 		eng.Feed(mk(2, 29*time.Second+time.Duration(i)*250*time.Millisecond))
 	}
 	eng.TickUpdate(30)
-	if got := mm.AntennaReadRate.With(core.UserLabel(uid), "1").Value(); got != 0.5 {
+	if got := mm.AntennaReadRate.With(core.UserLabel(uid), core.ReaderLabel(""), "1").Value(); got != 0.5 {
 		t.Errorf("single-read antenna rate = %v reads/s, want 0.5 (1 read / 2 s stride)", got)
 	}
-	if got := mm.AntennaReadRate.With(core.UserLabel(uid), "2").Value(); math.Abs(got-4/0.75) > 1e-9 {
+	if got := mm.AntennaReadRate.With(core.UserLabel(uid), core.ReaderLabel(""), "2").Value(); math.Abs(got-4/0.75) > 1e-9 {
 		t.Errorf("antenna 2 rate = %v reads/s, want %v", got, 4/0.75)
 	}
 }

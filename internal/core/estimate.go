@@ -19,6 +19,9 @@ type UserEstimate struct {
 	RateSeries []sigproc.Sample
 	// Signal is the extracted breathing waveform (Fig. 8).
 	Signal *BreathSignal
+	// ReaderID names the reader whose stream was selected (empty for
+	// the unnamed single-reader batch path).
+	ReaderID string
 	// AntennaPort is the antenna selected for this user (§IV-D.3).
 	AntennaPort int
 	// Reads is how many low-level reads of this user's tags the

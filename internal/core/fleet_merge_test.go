@@ -1,0 +1,122 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"tagbreathe/internal/core"
+	"tagbreathe/internal/reader"
+)
+
+// fleetMergeConfig is the pinned monitor configuration for the
+// cross-reader merge equivalence tests: production streaming filter,
+// one shard worker, fixed stride.
+func fleetMergeConfig(users []uint64) core.MonitorConfig {
+	return core.MonitorConfig{
+		Pipeline:     core.Config{Users: users, Filter: core.FilterFIRStreaming},
+		UpdateEvery:  2 * time.Second,
+		ShardWorkers: 1,
+	}
+}
+
+// TestFleetMergeMatchesSingleReaderGolden pins the cross-reader merge
+// to the single-reader golden: a second reader whose stream mirrors
+// the first's time structure exactly (same timestamps, antennas,
+// channels, phases) but reads the user 20 dB weaker must change
+// NOTHING — the (reader, antenna) selection picks the stronger
+// reader's vantage every window, the weaker reader's reads never leak
+// into the estimate (no double-counting), and the merged update
+// stream is bit-identical to running reader A alone.
+//
+// The interleave feeds A's copy of each timestamp first. That keeps
+// every A report in the same position relative to tick broadcasts as
+// in the golden run: ticks fire when the demux sees a report at the
+// boundary, so a B copy arriving first at an exact boundary timestamp
+// would shift A's copy into the next window — an arrival-order fact
+// of stream-time ticking (real readers never collide to the
+// nanosecond), not a property of the merge.
+func TestFleetMergeMatchesSingleReaderGolden(t *testing.T) {
+	res := runScenario(t, 29, nil)
+
+	// Golden: reader A alone.
+	a := make([]reader.TagReport, len(res.Reports))
+	for i, r := range res.Reports {
+		r.ReaderID = "A"
+		a[i] = r
+	}
+	golden, err := core.MonitorStream(a, fleetMergeConfig(res.UserIDs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(golden) < 10 {
+		t.Fatalf("golden run produced only %d updates", len(golden))
+	}
+	for _, u := range golden {
+		if u.ReaderID != "A" {
+			t.Fatalf("golden update carries ReaderID %q, want A", u.ReaderID)
+		}
+	}
+
+	// Merged: reader B mirrors A report-for-report, 20 dB down.
+	mirror := func(r reader.TagReport) reader.TagReport {
+		b := r
+		b.ReaderID = "B"
+		b.RSSI -= 20
+		return b
+	}
+	merged := make([]reader.TagReport, 0, 2*len(a))
+	for _, r := range a {
+		merged = append(merged, r, mirror(r))
+	}
+	got, err := core.MonitorStream(merged, fleetMergeConfig(res.UserIDs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(golden) {
+		t.Fatalf("%d merged updates vs %d golden", len(got), len(golden))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], golden[i]) {
+			t.Fatalf("update %d diverged from golden:\nmerged: %+v\ngolden: %+v", i, got[i], golden[i])
+		}
+	}
+}
+
+// TestFleetUnnamedReaderBitIdentical pins the legacy path: tagging
+// every report with a reader name changes only the provenance fields
+// of the updates, nothing numeric — so growing a deployment from "one
+// unnamed reader" to "a named fleet of one" cannot shift an estimate.
+func TestFleetUnnamedReaderBitIdentical(t *testing.T) {
+	res := runScenario(t, 29, nil)
+
+	unnamed, err := core.MonitorStream(res.Reports, fleetMergeConfig(res.UserIDs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	named := make([]reader.TagReport, len(res.Reports))
+	for i, r := range res.Reports {
+		r.ReaderID = "ward-3"
+		named[i] = r
+	}
+	got, err := core.MonitorStream(named, fleetMergeConfig(res.UserIDs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(unnamed) {
+		t.Fatalf("%d named updates vs %d unnamed", len(got), len(unnamed))
+	}
+	for i := range got {
+		g, u := got[i], unnamed[i]
+		if g.ReaderID != "ward-3" {
+			t.Fatalf("update %d: ReaderID %q, want ward-3", i, g.ReaderID)
+		}
+		if u.ReaderID != "" {
+			t.Fatalf("unnamed update %d unexpectedly carries ReaderID %q", i, u.ReaderID)
+		}
+		g.ReaderID = ""
+		if !reflect.DeepEqual(g, u) {
+			t.Fatalf("update %d shifted when the reader gained a name:\nnamed: %+v\nunnamed: %+v", i, got[i], u)
+		}
+	}
+}

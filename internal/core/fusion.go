@@ -101,7 +101,11 @@ func clampBin(i, n int) int {
 // received signal strength and sampling rate and extracts breathing
 // from the optimal antenna per user.
 type AntennaQuality struct {
-	UserID   uint64
+	UserID uint64
+	// Reader names the vantage's reader; empty for the unnamed
+	// single-reader case (RankAntennas' batch input is one reader's
+	// stream, so it never sets this).
+	Reader   string
 	Antenna  int
 	Reads    int
 	ReadRate float64 // reads/s over the scored window

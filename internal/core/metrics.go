@@ -50,7 +50,10 @@ type MonitorMetrics struct {
 	// streaming tick's work is independent of the window length.
 	TickBins *obs.Histogram
 	// AntennaReadRate, AntennaMeanRSSI, and AntennaScore surface the
-	// per-(user, antenna) §IV-D.3 selection inputs computed each tick.
+	// per-(user, reader, antenna) §IV-D.3 selection inputs computed
+	// each tick. The reader label is "-" for the unnamed single-reader
+	// path, so series names stay stable when a deployment grows from
+	// one reader to a fleet.
 	AntennaReadRate *obs.GaugeVec
 	AntennaMeanRSSI *obs.GaugeVec
 	AntennaScore    *obs.GaugeVec
@@ -103,14 +106,14 @@ func NewMonitorMetrics(r *obs.Registry) *MonitorMetrics {
 		TickBins: r.Histogram("tagbreathe_monitor_tick_bins",
 			"Fused bins processed per shard tick (window length in recompute modes, newly finalized bins in streaming mode).", nil),
 		AntennaReadRate: r.GaugeVec("tagbreathe_antenna_read_rate_hz",
-			"Per-(user, antenna) read rate over the last window (§IV-D.3 input).",
-			"user", "antenna"),
+			"Per-(user, reader, antenna) read rate over the last window (§IV-D.3 input).",
+			"user", "reader", "antenna"),
 		AntennaMeanRSSI: r.GaugeVec("tagbreathe_antenna_mean_rssi_dbm",
-			"Per-(user, antenna) mean RSSI over the last window (§IV-D.3 input).",
-			"user", "antenna"),
+			"Per-(user, reader, antenna) mean RSSI over the last window (§IV-D.3 input).",
+			"user", "reader", "antenna"),
 		AntennaScore: r.GaugeVec("tagbreathe_antenna_score",
-			"Per-(user, antenna) selection score (§IV-D.3).",
-			"user", "antenna"),
+			"Per-(user, reader, antenna) selection score (§IV-D.3).",
+			"user", "reader", "antenna"),
 		EngineBinsPending: r.GaugeVec("tagbreathe_engine_bins_pending",
 			"Fused bins deposited but not yet pushed through the streaming filter chains, per shard worker.",
 			"worker"),
@@ -156,6 +159,18 @@ func UserLabel(uid uint64) string {
 //tagbreathe:labelvalue antenna ports are hardware-bounded (LLRP readers expose at most a few)
 func AntennaLabel(port int) string {
 	return strconv.Itoa(port)
+}
+
+// ReaderLabel formats a reader name for the "reader" metric label. The
+// unnamed single-reader case ("") becomes "-" so the series is still
+// addressable.
+//
+//tagbreathe:labelvalue reader names are operator-configured fleet entries, a handful per process
+func ReaderLabel(name string) string {
+	if name == "" {
+		return "-"
+	}
+	return name
 }
 
 // EstimateMetrics are the batch pipeline's instruments; hand one to

@@ -117,8 +117,12 @@ type RateUpdate struct {
 	// Crossings is how many zero crossings the window held.
 	Crossings int
 	// Reads is the number of low-level reads in the window for this
-	// user on its selected antenna.
+	// user on its selected vantage.
 	Reads int
+	// ReaderID names the reader selected for this user this window —
+	// the provenance of the estimate when overlapping readers cover the
+	// same user. Empty for the unnamed single-reader path.
+	ReaderID string
 	// AntennaPort is the antenna selected for this user this window.
 	AntennaPort int
 	// Pauses holds detected breathing pauses within the window when
@@ -521,6 +525,7 @@ func (m *Monitor) workerLoop(wi int, q <-chan shardInput) {
 		if r.TraceID != 0 {
 			m.tracer.Stamp(r.TraceID, obs.StageFeed)
 			m.tracer.SetUser(r.TraceID, uid)
+			m.tracer.SetReader(r.TraceID, r.ReaderID)
 			if len(open) < cap(open) {
 				open = append(open, r.TraceID)
 			} else {

@@ -1,0 +1,380 @@
+package fleet_test
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tagbreathe/internal/epc"
+	"tagbreathe/internal/fleet"
+	"tagbreathe/internal/llrp"
+	"tagbreathe/internal/reader"
+)
+
+// endlessSource emits reports 10 ms apart in stream time, forever
+// (bounded only by the connection's life).
+func endlessSource() llrp.ReportSource {
+	return llrp.ReportSourceFunc(func(ctx context.Context, emit func(reader.TagReport) error) error {
+		for i := 0; ; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			r := reader.TagReport{
+				EPC:          epc.NewUserTagEPC(1, uint32(i%3)+1),
+				AntennaPort:  1 + i%2,
+				ChannelIndex: i % 10,
+				Frequency:    920e6,
+				Timestamp:    time.Duration(i) * 10 * time.Millisecond,
+				Phase:        1.5,
+				RSSI:         -50,
+			}
+			if err := emit(r); err != nil {
+				return err
+			}
+		}
+	})
+}
+
+// startServer launches a sim reader on loopback and returns its addr.
+func startServer(t *testing.T) string {
+	t.Helper()
+	srv, err := llrp.NewServer(llrp.ServerConfig{
+		NewSource: func() llrp.ReportSource { return endlessSource() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+	return ln.Addr().String()
+}
+
+// sessionTemplate is a fleet session template tuned for test latencies.
+func sessionTemplate() llrp.SessionConfig {
+	return llrp.SessionConfig{
+		ROSpec:      llrp.ROSpecConfig{ROSpecID: 1, ReportEveryN: 4},
+		DialTimeout: 2 * time.Second,
+		BackoffMin:  5 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+	}
+}
+
+func startFleetTest(t *testing.T, cfg fleet.Config) *fleet.Fleet {
+	t.Helper()
+	f, err := fleet.Start(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// TestFleetMergesWithProvenance: two readers through one fleet; every
+// merged report names its origin, each origin's sub-stream stays
+// timestamp-ordered, and the registry view agrees with reality.
+func TestFleetMergesWithProvenance(t *testing.T) {
+	m := fleet.NewMetrics(nil)
+	f := startFleetTest(t, fleet.Config{
+		Readers: []fleet.ReaderConfig{
+			{Name: "east", Addr: startServer(t)},
+			{Name: "west", Addr: startServer(t)},
+		},
+		Session: sessionTemplate(),
+		Metrics: m,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.WaitUp(ctx); err != nil {
+		t.Fatalf("WaitUp: %v", err)
+	}
+
+	// Drain until both readers have contributed a healthy batch.
+	last := map[string]time.Duration{}
+	count := map[string]int{}
+	deadline := time.After(10 * time.Second)
+	for count["east"] < 40 || count["west"] < 40 {
+		select {
+		case r, ok := <-f.Reports():
+			if !ok {
+				t.Fatal("merged channel closed mid-test")
+			}
+			if r.ReaderID != "east" && r.ReaderID != "west" {
+				t.Fatalf("report with ReaderID %q, want east or west", r.ReaderID)
+			}
+			if r.Timestamp < last[r.ReaderID] {
+				t.Fatalf("reader %s went backwards: %v after %v", r.ReaderID, r.Timestamp, last[r.ReaderID])
+			}
+			last[r.ReaderID] = r.Timestamp
+			count[r.ReaderID]++
+		case <-deadline:
+			t.Fatalf("timeout merging (east %d, west %d)", count["east"], count["west"])
+		}
+	}
+
+	if n := f.Size(); n != 2 {
+		t.Errorf("Size = %d, want 2", n)
+	}
+	if err := f.Healthy(); err != nil {
+		t.Errorf("Healthy: %v", err)
+	}
+	st := f.Status()
+	if len(st) != 2 || st[0].Name != "east" || st[1].Name != "west" {
+		t.Fatalf("Status order = %+v, want [east west]", st)
+	}
+	for _, s := range st {
+		if !s.Up {
+			t.Errorf("reader %s not up: state %s err %s", s.Name, s.State, s.Err)
+		}
+		if s.Reports == 0 {
+			t.Errorf("reader %s: Status.Reports = 0 after merging", s.Name)
+		}
+	}
+	if v := m.Readers.Value(); v != 2 {
+		t.Errorf("fleet readers gauge = %v, want 2", v)
+	}
+	if v := m.ReaderReports.With("east").Value(); v == 0 {
+		t.Error("east reports counter = 0")
+	}
+
+	f.Close()
+	for {
+		if _, ok := <-f.Reports(); !ok {
+			break
+		}
+	}
+}
+
+// TestFleetLifecycle exercises Add/Remove/Reconfigure at runtime while
+// reports flow, plus the registry's validation errors, and verifies no
+// goroutines outlive Close.
+func TestFleetLifecycle(t *testing.T) {
+	addrA, addrB, addrC := startServer(t), startServer(t), startServer(t)
+
+	time.Sleep(50 * time.Millisecond) // let server goroutines settle
+	baseline := runtime.NumGoroutine()
+
+	f := startFleetTest(t, fleet.Config{
+		Readers: []fleet.ReaderConfig{{Name: "a", Addr: addrA}},
+		Session: sessionTemplate(),
+	})
+
+	// A background drain that tallies per-reader arrivals; the test
+	// body inspects the tally through seen().
+	var mu sync.Mutex
+	counts := map[string]int{}
+	var lastByReader []string // arrival order of reader IDs, for the post-remove check
+	drained := make(chan struct{})
+	var drainWG sync.WaitGroup
+	drainWG.Add(1)
+	go func() {
+		defer drainWG.Done()
+		defer close(drained)
+		for r := range f.Reports() {
+			mu.Lock()
+			counts[r.ReaderID]++
+			lastByReader = append(lastByReader, r.ReaderID)
+			if len(lastByReader) > 256 {
+				lastByReader = lastByReader[1:]
+			}
+			mu.Unlock()
+		}
+	}()
+	seen := func(name string) int {
+		mu.Lock()
+		defer mu.Unlock()
+		return counts[name]
+	}
+	waitFor := func(what string, ok func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !ok() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timeout waiting for %s", what)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	waitFor("reports from a", func() bool { return seen("a") > 10 })
+
+	// Validation: duplicates and empty identity are rejected.
+	if err := f.Add(fleet.ReaderConfig{Name: "a", Addr: addrB}); err == nil {
+		t.Fatal("duplicate Add accepted")
+	}
+	if err := f.Add(fleet.ReaderConfig{Name: "", Addr: addrB}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := f.Add(fleet.ReaderConfig{Name: "x", Addr: ""}); err == nil {
+		t.Fatal("empty addr accepted")
+	}
+	if err := f.Remove("ghost"); err == nil {
+		t.Fatal("Remove of unregistered reader succeeded")
+	}
+
+	// Grow the fleet at runtime.
+	if err := f.Add(fleet.ReaderConfig{Name: "b", Addr: addrB}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("reports from b", func() bool { return seen("b") > 10 })
+
+	// Shrink it: after Remove returns the entry's pump has exited, so
+	// once the buffered backlog drains, "a" must go silent while "b"
+	// keeps flowing.
+	if err := f.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("a silent, b flowing", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(lastByReader) < 64 {
+			return false
+		}
+		for _, id := range lastByReader[len(lastByReader)-64:] {
+			if id != "b" {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Reconfigure: same identity, new endpoint; the stream continues
+	// under the same name.
+	before := seen("b")
+	if err := f.Reconfigure(fleet.ReaderConfig{Name: "b", Addr: addrC}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("reports from reconfigured b", func() bool { return seen("b") > before+10 })
+	if got := f.Size(); got != 1 {
+		t.Fatalf("Size after remove+reconfigure = %d, want 1", got)
+	}
+
+	// Teardown: channel closes, drain exits, goroutines return to
+	// baseline.
+	f.Close()
+	<-drained
+	drainWG.Wait()
+	if err := f.Add(fleet.ReaderConfig{Name: "late", Addr: addrA}); err == nil {
+		t.Fatal("Add accepted after Close")
+	}
+
+	leakDeadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(leakDeadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFleetShedsAtFullMergedChannel: with no consumer, the pump must
+// shed at the merged channel (counted per reader) instead of wedging,
+// and must resume delivery the moment a consumer appears.
+func TestFleetShedsAtFullMergedChannel(t *testing.T) {
+	m := fleet.NewMetrics(nil)
+	f := startFleetTest(t, fleet.Config{
+		Readers:      []fleet.ReaderConfig{{Name: "solo", Addr: startServer(t)}},
+		Session:      sessionTemplate(),
+		ReportBuffer: 4,
+		Metrics:      m,
+	})
+
+	shed := m.ReaderShed.With("solo")
+	deadline := time.Now().Add(10 * time.Second)
+	for shed.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no shedding with a full merged channel (state %+v)", f.Status())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The pump must still be live: reports flow as soon as we read.
+	got := 0
+	deadline = time.Now().Add(10 * time.Second)
+	for got < 20 {
+		select {
+		case r, ok := <-f.Reports():
+			if !ok {
+				t.Fatal("merged channel closed")
+			}
+			if r.ReaderID != "solo" {
+				t.Fatalf("ReaderID %q, want solo", r.ReaderID)
+			}
+			got++
+		case <-time.After(time.Until(deadline)):
+			t.Fatalf("pump wedged after shedding: %d/20 reports", got)
+		}
+	}
+	if st := f.Status(); len(st) != 1 || st[0].Shed == 0 {
+		t.Errorf("Status shed accounting = %+v, want Shed > 0", st)
+	}
+}
+
+// TestFleetHealthChecks covers the degraded-fleet health surface: an
+// empty registry, a down reader named in the fleet error, and the
+// per-reader check shape.
+func TestFleetHealthChecks(t *testing.T) {
+	// A port with nothing listening: grab one, close it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+	// The live server must outlive the fleet: t.Cleanup runs LIFO, so
+	// it is started before the fleet (its Close waits for the fleet's
+	// connection to go away).
+	upAddr := startServer(t)
+
+	f := startFleetTest(t, fleet.Config{Session: sessionTemplate()})
+	if err := f.Healthy(); err == nil {
+		t.Fatal("empty fleet reported healthy")
+	}
+
+	if err := f.Add(fleet.ReaderConfig{Name: "up", Addr: upAddr}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add(fleet.ReaderConfig{Name: "down", Addr: deadAddr}); err != nil {
+		t.Fatal(err)
+	}
+	waitUp := func(name string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for f.ReaderHealth(name)() != nil {
+			if time.Now().After(deadline) {
+				t.Fatalf("reader %s never came up: %v", name, f.ReaderHealth(name)())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitUp("up")
+
+	if err := f.Healthy(); err == nil {
+		t.Fatal("fleet with a dead reader reported healthy")
+	} else if !strings.Contains(err.Error(), "down") {
+		t.Errorf("degraded-fleet error does not name the dead reader: %v", err)
+	}
+	if err := f.ReaderHealth("down")(); err == nil {
+		t.Error("dead reader's health check passed")
+	}
+	if err := f.ReaderHealth("ghost")(); err == nil {
+		t.Error("unregistered reader's health check passed")
+	}
+}

@@ -49,10 +49,40 @@ func (s SessionState) String() string {
 	}
 }
 
+// ReportsOverload selects what the session's forward pump does when
+// the stable Reports channel is full — the session-edge mirror of the
+// monitor's shard-queue OverloadPolicy.
+type ReportsOverload int
+
+const (
+	// ReportsBlock (the default) applies backpressure: the forward pump
+	// waits for the consumer, so no report is ever lost and the TCP
+	// window eventually throttles the reader. One stalled consumer
+	// stalls this session's stream (and only this session's).
+	ReportsBlock ReportsOverload = iota
+	// ReportsDropOldest sheds load by age: when the channel is full the
+	// pump evicts the oldest buffered report (counting it in
+	// SessionMetrics.ReportsShed) to make room for the newest. Breathing
+	// is heavily oversampled relative to the 0.67 Hz band, so shedding
+	// the stalest samples degrades SNR, not correctness — and keeps the
+	// freshest phase readings flowing, which is what a recovering
+	// consumer wants.
+	ReportsDropOldest
+)
+
 // SessionConfig assembles a managed reader session.
 type SessionConfig struct {
 	// Addr is the LLRP endpoint (required).
 	Addr string
+	// ReaderID names this reader in the fleet: every report forwarded on
+	// Reports carries it (reader.TagReport.ReaderID), so downstream
+	// stages can tell overlapping readers apart. Empty leaves reports
+	// unnamed — the single-reader legacy path.
+	ReaderID string
+	// Overload selects the forward pump's policy when the Reports
+	// channel is full: ReportsBlock (default, lossless backpressure) or
+	// ReportsDropOldest (evict the stalest buffered report, count it).
+	Overload ReportsOverload
 	// ROSpec is provisioned (add → enable → start) after every
 	// connect, so the report stream resumes without operator action.
 	// ROSpecID 0 is replaced with 1.
@@ -441,17 +471,52 @@ func (s *Session) forward(ctx context.Context, client *Client) {
 			if !ok {
 				return
 			}
+			r.ReaderID = s.cfg.ReaderID
+			if !s.send(ctx, r) {
+				return
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// send places one report on the stable channel under the configured
+// overload policy; false means ctx ended first.
+func (s *Session) send(ctx context.Context, r reader.TagReport) bool {
+	for {
+		select {
+		case s.reports <- r:
+			s.cfg.Tracer.Stamp(r.TraceID, obs.StageForward)
+			depth := float64(len(s.reports))
+			s.cfg.Metrics.ReportsBuffer.Set(depth)
+			s.cfg.Metrics.ReportsBufferHighWater.SetMax(depth)
+			return true
+		case <-ctx.Done():
+			return false
+		default:
+		}
+		if s.cfg.Overload == ReportsBlock {
+			// Lossless: wait for the consumer (or the end of the session).
 			select {
 			case s.reports <- r:
 				s.cfg.Tracer.Stamp(r.TraceID, obs.StageForward)
 				depth := float64(len(s.reports))
 				s.cfg.Metrics.ReportsBuffer.Set(depth)
 				s.cfg.Metrics.ReportsBufferHighWater.SetMax(depth)
+				return true
 			case <-ctx.Done():
-				return
+				return false
 			}
-		case <-ctx.Done():
-			return
+		}
+		// Drop-oldest: evict one buffered report to make room, then
+		// retry the send. Each iteration either sends or evicts, so
+		// progress is bounded even against a racing consumer.
+		select {
+		case old := <-s.reports:
+			s.cfg.Tracer.Abort(old.TraceID)
+			s.cfg.Metrics.ReportsShed.Inc()
+		default:
 		}
 	}
 }

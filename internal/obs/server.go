@@ -26,6 +26,7 @@ type DebugServer struct {
 	reg     *Registry
 	ln      net.Listener
 	srv     *http.Server
+	mux     *http.ServeMux
 	started time.Time
 	done    chan struct{}
 
@@ -65,6 +66,7 @@ func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
 	s.srv = &http.Server{Handler: mux}
 	go func() {
 		defer close(s.done)
@@ -81,6 +83,17 @@ func (s *DebugServer) AddHealthCheck(name string, fn func() error) {
 	s.checksMu.Lock()
 	s.checks = append(s.checks, healthCheck{name: name, fn: fn})
 	s.checksMu.Unlock()
+}
+
+// HandleJSON registers a debug endpoint at path that serves fn()'s
+// result as JSON on every request. Safe to call while the server is
+// live (ServeMux registration is internally locked); registering the
+// same path twice panics, as with any ServeMux.
+func (s *DebugServer) HandleJSON(path string, fn func() any) {
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(fn())
+	})
 }
 
 // SetTracer wires a pipeline tracer into /debug/traces. Safe to call

@@ -88,6 +88,7 @@ type traceSlot struct {
 	mu     sync.Mutex
 	id     uint64
 	user   uint64
+	reader string
 	done   bool
 	stamps [NumStages]int64 // UnixNano per stage; 0 = not stamped
 }
@@ -177,6 +178,7 @@ func (t *Tracer) Begin(stage Stage) uint64 {
 	}
 	s.id = id
 	s.user = 0
+	s.reader = ""
 	s.done = false
 	for i := range s.stamps {
 		s.stamps[i] = 0
@@ -212,6 +214,20 @@ func (t *Tracer) SetUser(id, user uint64) {
 	s.mu.Lock()
 	if s.id == id && !s.done {
 		s.user = user
+	}
+	s.mu.Unlock()
+}
+
+// SetReader attaches the originating reader's name to a trace for the
+// exemplar view — the fleet provenance a /debug/traces row shows.
+func (t *Tracer) SetReader(id uint64, reader string) {
+	if t == nil || id == 0 || reader == "" {
+		return
+	}
+	s := &t.slots[id&t.mask]
+	s.mu.Lock()
+	if s.id == id && !s.done {
+		s.reader = reader
 	}
 	s.mu.Unlock()
 }
@@ -314,6 +330,7 @@ type StageStamp struct {
 type TraceExemplar struct {
 	ID         uint64       `json:"id"`
 	User       string       `json:"user,omitempty"`
+	Reader     string       `json:"reader,omitempty"`
 	E2ESeconds float64      `json:"e2e_seconds"`
 	Stages     []StageStamp `json:"stages"`
 }
@@ -333,7 +350,7 @@ func (t *Tracer) Exemplars() []TraceExemplar {
 			s.mu.Unlock()
 			continue
 		}
-		ex := TraceExemplar{ID: s.id}
+		ex := TraceExemplar{ID: s.id, Reader: s.reader}
 		if s.user != 0 {
 			ex.User = fmt.Sprintf("%x", s.user)
 		}

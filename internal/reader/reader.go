@@ -68,6 +68,13 @@ type TagReport struct {
 	// stage is attributed to the stage that queued it, not the one that
 	// dequeued it.
 	TraceID uint64
+	// ReaderID names the reader that produced the report — the fleet
+	// provenance tag. Sessions stamp it from SessionConfig.ReaderID and
+	// the fleet registry stamps each entry's name, so downstream stages
+	// (differencing, antenna selection, tracing) can keep per-reader
+	// streams apart. Empty means an unnamed single reader: the legacy
+	// path, bit-identical to pre-fleet behaviour.
+	ReaderID string
 }
 
 // Config assembles a reader emulator.
