@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint fmt vuln fuzz-smoke bench-smoke
+.PHONY: build test race lint fmt vuln fuzz-smoke bench-smoke soak-smoke soak-full
 
 build:
 	$(GO) build ./...
@@ -30,3 +30,17 @@ fuzz-smoke:
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEstimateUsers|BenchmarkMonitorUsers' -benchtime=1x .
+
+# soak-smoke is the compressed graceful-degradation soak (~2 min wall):
+# 25 minutes of multi-user, multi-reader stream time at 30x through
+# jittered chaos schedules, under -race. Asserts the full cycle — tick
+# stretch engages, primary-vantage data survives, estimates stay in
+# band, and everything returns to baseline in the calm tail. CI runs
+# this on every push (DESIGN.md §13).
+soak-smoke:
+	$(GO) test -race -count=1 -run TestSoakCompressed -v ./internal/soak/
+
+# soak-full replays the same schedule at real time (~1 h wall) —
+# manual or nightly, not part of per-push CI.
+soak-full:
+	TAGBREATHE_SOAK=realtime $(GO) test -race -count=1 -timeout 2h -run TestSoakCompressed -v ./internal/soak/

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"tagbreathe/internal/experiments"
+	"tagbreathe/internal/soak"
 )
 
 func main() {
@@ -29,7 +31,7 @@ func main() {
 		trials   = flag.Int("trials", 10, "repetitions per experiment point")
 		duration = flag.Duration("duration", 2*time.Minute, "monitored duration per trial")
 		seed     = flag.Int64("seed", 1, "base random seed")
-		only     = flag.String("only", "", "comma-separated experiment list (fig2-8,table1,fig12,fig13,fig14,fig15,fig16,fig17,radar,ablation,filter,window,channels,select,sessions,chaos,heart,motion,tagmodels,los,txpower,tags)")
+		only     = flag.String("only", "", "comma-separated experiment list (fig2-8,table1,fig12,fig13,fig14,fig15,fig16,fig17,radar,ablation,filter,window,channels,select,sessions,chaos,soak,heart,motion,tagmodels,los,txpower,tags)")
 		csvDir   = flag.String("csvdir", "", "also write plot-ready CSV data files for each figure into this directory")
 	)
 	flag.Parse()
@@ -366,6 +368,34 @@ func run(opt experiments.Options, enabled func(string) bool) error {
 				p.Script, p.Faults, p.Conns, p.Reconnects, p.WatchdogTrips, p.Updates, p.MaxGapS, p.Accuracy*100)
 		}
 		fmt.Println("  (each script replays a seeded ward run through a fault-injection proxy at 60x)")
+		fmt.Println()
+	}
+
+	if enabled("soak") {
+		prof := soak.Compressed()
+		res, err := soak.Run(context.Background(), prof)
+		if err != nil {
+			return fmt.Errorf("soak: %w", err)
+		}
+		fmt.Println("== Extension: graceful degradation under a compressed chaos soak ==")
+		fmt.Printf("  %s profile: %.0f s stream in %.0f s wall, %d readers looping jittered faults\n",
+			res.Profile, res.StreamSeconds, res.WallSeconds, prof.Readers)
+		fmt.Printf("  ladder: peak stretch %d, skipped ticks %d, degraded workers at end %d\n",
+			res.PeakStretch, res.SkippedTicks, res.DegradedAtEnd)
+		fmt.Printf("  shed by class: monitor %v, fleet %v\n", res.MonitorShed, res.FleetShed)
+		fmt.Printf("  transport: %d conns, %d reconnects; heap %d -> %d bytes\n",
+			res.Conns, res.Reconnects, res.HeapEarlyBytes, res.HeapLateBytes)
+		for _, u := range res.Users {
+			fmt.Printf("  user %d: truth %.1f final %.2f bpm, %d updates, max gap %.1f s, final stretch %d\n",
+				u.UserID, u.TruthBPM, u.FinalBPM, u.Updates, u.MaxGapS, u.FinalStretch)
+		}
+		if v := res.Verify(); len(v) > 0 {
+			for _, s := range v {
+				fmt.Printf("  VIOLATION: %s\n", s)
+			}
+		} else {
+			fmt.Println("  all graceful-degradation invariants held")
+		}
 		fmt.Println()
 	}
 

@@ -21,28 +21,30 @@ import (
 	"strings"
 	"time"
 
+	"tagbreathe/internal/core"
 	"tagbreathe/internal/load"
 	"tagbreathe/internal/obs"
 )
 
 func main() {
 	var (
-		usersFlag = flag.String("users", "1000,10000,100000", "comma-separated user counts to sweep")
-		stream    = flag.Duration("stream", 20*time.Second, "simulated stream duration per point")
-		tags      = flag.Int("tags", 1, "tags per user")
-		hz        = flag.Float64("hz", 2, "per-tag read rate (Hz, stream time)")
-		window    = flag.Duration("window", 10*time.Second, "monitor analysis window")
-		update    = flag.Duration("update", 5*time.Second, "monitor update stride")
-		queue     = flag.Int("queue", 0, "shard worker queue depth (0 = monitor default)")
-		workers   = flag.Int("workers", 0, "shard worker pool size (0 = GOMAXPROCS)")
-		seed      = flag.Int64("seed", 1, "stream seed")
-		probePace = flag.Float64("probe-pace", 1, "wall-clock pace of the OverloadDropNewest shed probe (1 = real-time load, 0 = unpaced)")
-		wire      = flag.Bool("wire", false, "drive the load over a loopback LLRP session instead of in-process")
-		trace     = flag.Int("trace-sample", 0, "e2e trace sampling stride: 0 = adaptive default, -1 disables")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/traces, and pprof here while the sweep runs")
-		out       = flag.String("o", "", "write the capacity model JSON to this file")
-		check     = flag.String("check", "", "compare against this baseline BENCH_capacity.json and fail on regression")
-		tolerance = flag.Float64("tolerance", 3, "regression factor allowed vs the -check baseline")
+		usersFlag  = flag.String("users", "1000,10000,100000", "comma-separated user counts to sweep")
+		stream     = flag.Duration("stream", 20*time.Second, "simulated stream duration per point")
+		tags       = flag.Int("tags", 1, "tags per user")
+		hz         = flag.Float64("hz", 2, "per-tag read rate (Hz, stream time)")
+		window     = flag.Duration("window", 10*time.Second, "monitor analysis window")
+		update     = flag.Duration("update", 5*time.Second, "monitor update stride")
+		queue      = flag.Int("queue", 0, "shard worker queue depth (0 = monitor default)")
+		workers    = flag.Int("workers", 0, "shard worker pool size (0 = GOMAXPROCS)")
+		seed       = flag.Int64("seed", 1, "stream seed")
+		probePace  = flag.Float64("probe-pace", 1, "wall-clock pace of the OverloadDropNewest shed probe (1 = real-time load, 0 = unpaced)")
+		maxStretch = flag.Int("max-stretch", 8, "tick-stretch ladder cap armed on the shed probe (<= 1 disables degradation)")
+		wire       = flag.Bool("wire", false, "drive the load over a loopback LLRP session instead of in-process")
+		trace      = flag.Int("trace-sample", 0, "e2e trace sampling stride: 0 = adaptive default, -1 disables")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/traces, and pprof here while the sweep runs")
+		out        = flag.String("o", "", "write the capacity model JSON to this file")
+		check      = flag.String("check", "", "compare against this baseline BENCH_capacity.json and fail on regression")
+		tolerance  = flag.Float64("tolerance", 3, "regression factor allowed vs the -check baseline")
 	)
 	flag.Parse()
 
@@ -60,6 +62,7 @@ func main() {
 		ShardWorkers: *workers,
 		Seed:         *seed,
 		TraceSample:  *trace,
+		Degrade:      core.DegradeConfig{MaxStretch: *maxStretch},
 	}
 
 	if *debugAddr != "" {

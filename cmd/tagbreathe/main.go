@@ -76,6 +76,7 @@ func main() {
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/traces, and pprof on this address (e.g. 127.0.0.1:9464); empty disables")
 		traceSample = flag.Int("trace-sample", 256, "with -debug-addr: sample 1/N reports for end-to-end pipeline traces (stage latency histograms + /debug/traces exemplars; 0 disables)")
 		staleAfter  = flag.Duration("stale-after", 0, "with -connect: estimate-freshness SLO — flag users whose latest update is older than this wall-clock age (stale-users gauge, /healthz degrades; 0 disables)")
+		maxStretch  = flag.Int("max-stretch", 8, "with -connect: graceful-degradation ladder cap — under sustained overload the live monitor stretches its tick cadence up to this factor before shedding data (<= 1 disables)")
 	)
 	flag.Var(&connect, "connect", "connect to an LLRP endpoint instead of simulating; repeat (optionally as name=addr) to merge a reader fleet into one monitor")
 	flag.Parse()
@@ -86,7 +87,7 @@ func main() {
 		pattern: *pattern, fidget: *fidget, seed: *seed, csvPath: *csvPath,
 		vitals: *vitals, heart: *heart, motion: *motion, quiet: *quiet,
 		reconnect: *reconnect, backoffMin: *backoffMin, backoffMax: *backoffMax,
-		watchdog: *watchdog, staleAfter: *staleAfter,
+		watchdog: *watchdog, staleAfter: *staleAfter, maxStretch: *maxStretch,
 	}
 	switch *filterName {
 	case "fft":
@@ -178,6 +179,7 @@ type runOptions struct {
 	backoffMin, backoffMax      time.Duration
 	watchdog                    time.Duration
 	staleAfter                  time.Duration
+	maxStretch                  int
 	dbg                         *tagbreathe.DebugServer
 	tracer                      *tagbreathe.Tracer
 }
@@ -311,7 +313,7 @@ func streamSession(addr string, listenFor time.Duration, o runOptions) ([]tagbre
 	fmt.Printf("streaming from %s for %v (auto-reconnect: backoff %v..%v, watchdog %v)\n",
 		addr, listenFor, o.backoffMin, o.backoffMax, o.watchdog)
 
-	reports := collectReports(sess.Reports(), listenFor, o)
+	reports := collectReports(sess.Reports(), listenFor, o, newLiveMonitor(o))
 	if err := sess.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "tagbreathe: session close: %v\n", err)
 	}
@@ -340,7 +342,12 @@ func streamFleet(targets []string, listenFor time.Duration, o runOptions) ([]tag
 		}
 		cfgs = append(cfgs, tagbreathe.FleetReaderConfig{Name: name, Addr: addr})
 	}
-	f, err := tagbreathe.StartFleet(context.Background(), tagbreathe.FleetConfig{
+	// The live monitor exists before the fleet so the merge can shed
+	// quality-aware: its vantage classifier tells the pumps which
+	// reports are redundant oversampling and which carry the selected
+	// vantage a user's estimate is computed from.
+	mon := newLiveMonitor(o)
+	fcfg := tagbreathe.FleetConfig{
 		Readers: cfgs,
 		Session: tagbreathe.LLRPSessionConfig{
 			ROSpec:        tagbreathe.ROSpecConfig{ROSpecID: 1, ReportEveryN: 32},
@@ -354,7 +361,13 @@ func streamFleet(targets []string, listenFor time.Duration, o runOptions) ([]tag
 			},
 		},
 		Metrics: tagbreathe.NewFleetMetrics(o.metrics),
-	})
+	}
+	if mon != nil {
+		fcfg.ShedClass = func(r tagbreathe.TagReport) tagbreathe.ShedClass {
+			return mon.VantageClass(r.EPC.UserID(), r.ReaderID, r.AntennaPort)
+		}
+	}
+	f, err := tagbreathe.StartFleet(context.Background(), fcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -363,17 +376,23 @@ func streamFleet(targets []string, listenFor time.Duration, o runOptions) ([]tag
 		// /healthz degrades to 503 while any reader is down, and names
 		// the down readers both in the aggregate fleet check and in
 		// each reader's own check; /debug/fleet serves the live
-		// per-reader registry state as JSON.
+		// per-reader registry state plus the monitor's degradation
+		// ladder as JSON.
 		o.dbg.AddHealthCheck("fleet", f.Healthy)
 		for _, c := range cfgs {
 			o.dbg.AddHealthCheck("reader_"+c.Name, f.ReaderHealth(c.Name))
 		}
-		o.dbg.HandleJSON("/debug/fleet", func() any { return f.Status() })
+		o.dbg.HandleJSON("/debug/fleet", func() any {
+			return struct {
+				Readers     []tagbreathe.FleetReaderStatus `json:"readers"`
+				Degradation *degradation                   `json:"degradation,omitempty"`
+			}{f.Status(), degradationOf(mon)}
+		})
 	}
 	fmt.Printf("streaming from a fleet of %d readers for %v (auto-reconnect: backoff %v..%v, watchdog %v)\n",
 		len(cfgs), listenFor, o.backoffMin, o.backoffMax, o.watchdog)
 
-	reports := collectReports(f.Reports(), listenFor, o)
+	reports := collectReports(f.Reports(), listenFor, o, mon)
 	status := f.Status()
 	if err := f.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "tagbreathe: fleet close: %v\n", err)
@@ -385,6 +404,9 @@ func streamFleet(targets []string, listenFor time.Duration, o runOptions) ([]tag
 		}
 		if s.Shed > 0 {
 			line += fmt.Sprintf(", %d shed at the merge", s.Shed)
+		}
+		if len(s.ShedByClass) > 0 {
+			line += fmt.Sprintf(", shed by class %v", s.ShedByClass)
 		}
 		fmt.Println(line)
 	}
@@ -414,7 +436,7 @@ func streamOnce(addr string, listenFor time.Duration, o runOptions) ([]tagbreath
 	}
 	fmt.Printf("streaming from %s for %v\n", addr, listenFor)
 
-	reports := collectReports(client.Reports(), listenFor, o)
+	reports := collectReports(client.Reports(), listenFor, o, newLiveMonitor(o))
 	if err := client.StopROSpec(spec); err != nil {
 		fmt.Fprintf(os.Stderr, "tagbreathe: stop rospec: %v\n", err)
 	}
@@ -422,31 +444,84 @@ func streamOnce(addr string, listenFor time.Duration, o runOptions) ([]tagbreath
 	return reports, nil
 }
 
+// newLiveMonitor builds the monitor that tails a -connect stream, or
+// nil when nothing would consume it (quiet run, no metrics). Built
+// before the transport so the fleet path can hand the monitor's
+// vantage classifier to its merge-level shedder.
+func newLiveMonitor(o runOptions) *tagbreathe.Monitor {
+	if o.quiet && o.metrics == nil {
+		return nil
+	}
+	mon := tagbreathe.NewMonitor(tagbreathe.MonitorConfig{
+		Pipeline:     tagbreathe.Config{MotionRejection: o.motion, Filter: o.filter},
+		UpdateEvery:  5 * time.Second,
+		Metrics:      tagbreathe.NewMonitorMetrics(o.metrics),
+		Tracer:       o.tracer,
+		StalenessSLO: o.staleAfter,
+		Degrade:      tagbreathe.DegradeConfig{MaxStretch: o.maxStretch},
+	})
+	if o.dbg != nil && o.staleAfter > 0 {
+		// /healthz degrades to 503 while any user's freshest
+		// estimate is older than the SLO — the wall-clock signal
+		// that survives transport outages, when stream-time ticks
+		// stop entirely.
+		o.dbg.AddHealthCheck("estimate_freshness", mon.FreshnessCheck())
+	}
+	return mon
+}
+
+// degradation is the monitor-side ladder state served on /debug/fleet
+// and behind the end-of-run summary.
+type degradation struct {
+	DegradedWorkers int               `json:"degraded_workers"`
+	PeakTickStretch int               `json:"peak_tick_stretch"`
+	SkippedTicks    uint64            `json:"skipped_ticks"`
+	DroppedReports  uint64            `json:"dropped_reports"`
+	ShedByClass     map[string]uint64 `json:"shed_by_class"`
+}
+
+func degradationOf(mon *tagbreathe.Monitor) *degradation {
+	if mon == nil {
+		return nil
+	}
+	return &degradation{
+		DegradedWorkers: mon.DegradedWorkers(),
+		PeakTickStretch: mon.PeakTickStretch(),
+		SkippedTicks:    mon.SkippedTicks(),
+		DroppedReports:  mon.DroppedReports(),
+		ShedByClass:     mon.ShedByClass(),
+	}
+}
+
+// printDegradation reports how hard the graceful-degradation ladder
+// worked during a live run; silent when it never engaged and nothing
+// was shed.
+func printDegradation(mon *tagbreathe.Monitor) {
+	d := degradationOf(mon)
+	if d == nil || (d.PeakTickStretch <= 1 && d.DroppedReports == 0) {
+		return
+	}
+	line := fmt.Sprintf("degradation: peak tick stretch %d×, %d tick deliveries skipped",
+		d.PeakTickStretch, d.SkippedTicks)
+	if d.DroppedReports > 0 {
+		line += fmt.Sprintf(", shed %d reports (primary %d, redundant %d, unknown %d)",
+			d.DroppedReports, d.ShedByClass["primary"], d.ShedByClass["redundant"],
+			d.ShedByClass["unknown"])
+	}
+	fmt.Println(line)
+}
+
 // collectReports drains a report channel until the listen deadline (or
-// the channel closes), feeding a live Monitor on the side. The live
+// the channel closes), feeding the live Monitor on the side. The live
 // monitor runs whenever its output is consumed somewhere: printed
 // updates, or metrics on -debug-addr (so a -quiet run still populates
-// /metrics while streaming).
-func collectReports(ch <-chan tagbreathe.TagReport, listenFor time.Duration, o runOptions) []tagbreathe.TagReport {
-	var mon *tagbreathe.Monitor
+// /metrics while streaming). mon may be nil (see newLiveMonitor); when
+// set, collectReports owns its shutdown.
+func collectReports(ch <-chan tagbreathe.TagReport, listenFor time.Duration, o runOptions, mon *tagbreathe.Monitor) []tagbreathe.TagReport {
 	monDone := make(chan struct{})
-	close(monDone)
-	if !o.quiet || o.metrics != nil {
-		mon = tagbreathe.NewMonitor(tagbreathe.MonitorConfig{
-			Pipeline:     tagbreathe.Config{MotionRejection: o.motion, Filter: o.filter},
-			UpdateEvery:  5 * time.Second,
-			Metrics:      tagbreathe.NewMonitorMetrics(o.metrics),
-			Tracer:       o.tracer,
-			StalenessSLO: o.staleAfter,
-		})
-		if o.dbg != nil && o.staleAfter > 0 {
-			// /healthz degrades to 503 while any user's freshest
-			// estimate is older than the SLO — the wall-clock signal
-			// that survives transport outages, when stream-time ticks
-			// stop entirely.
-			o.dbg.AddHealthCheck("estimate_freshness", mon.FreshnessCheck())
-		}
-		monDone = make(chan struct{})
+	if mon == nil {
+		close(monDone)
+	} else {
 		go func() {
 			defer close(monDone)
 			if !o.quiet {
@@ -481,6 +556,7 @@ collect:
 		mon.CloseInput()
 	}
 	<-monDone
+	printDegradation(mon)
 	return reports
 }
 

@@ -13,6 +13,7 @@ package chaos
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -154,8 +155,53 @@ type Step struct {
 // RunScript plays a scenario schedule against the proxy, blocking
 // until the last step has fired, ctx ends, or the proxy closes.
 func (p *Proxy) RunScript(ctx context.Context, steps []Step) error {
+	return p.runPass(ctx, steps, 0, nil)
+}
+
+// Loop configures RunScriptLoop's repetition and timing randomness.
+type Loop struct {
+	// Passes is how many times to play the schedule; <= 0 loops until
+	// ctx ends or the proxy closes.
+	Passes int
+	// Jitter scales each step's After by a uniform factor in
+	// [1-Jitter, 1+Jitter], so repeated passes don't phase-lock with
+	// periodic behavior (ticks, keepalives) in the system under test.
+	// Zero plays the schedule verbatim.
+	Jitter float64
+	// Seed selects the jitter stream; zero uses a fixed default, so
+	// soak runs are reproducible unless a run asks to differ.
+	Seed int64
+}
+
+// RunScriptLoop plays a scenario schedule repeatedly — the long-soak
+// driver. It blocks until the configured passes complete, ctx ends, or
+// the proxy closes; an endless loop (Passes <= 0) therefore always
+// returns a non-nil error, normally ctx.Err().
+func (p *Proxy) RunScriptLoop(ctx context.Context, steps []Step, loop Loop) error {
+	seed := loop.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for pass := 1; ; pass++ {
+		if err := p.runPass(ctx, steps, loop.Jitter, rng); err != nil {
+			return err
+		}
+		if loop.Passes > 0 && pass >= loop.Passes {
+			return nil
+		}
+	}
+}
+
+// runPass plays the schedule once. rng, when non-nil, jitters each
+// step's pause by ±jitter; it is only touched from this goroutine.
+func (p *Proxy) runPass(ctx context.Context, steps []Step, jitter float64, rng *rand.Rand) error {
 	for i, s := range steps {
-		t := time.NewTimer(s.After)
+		after := s.After
+		if rng != nil && jitter > 0 && after > 0 {
+			after = time.Duration(float64(after) * (1 + jitter*(2*rng.Float64()-1)))
+		}
+		t := time.NewTimer(after)
 		select {
 		case <-t.C:
 		case <-ctx.Done():

@@ -212,6 +212,57 @@ func TestProxyRunScript(t *testing.T) {
 	}
 }
 
+// TestProxyRunScriptLoopRepeats plays a one-step schedule for a fixed
+// number of jittered passes and counts the firings.
+func TestProxyRunScriptLoopRepeats(t *testing.T) {
+	p := newTestProxy(t, echoServer(t))
+	fired := make(chan struct{}, 16)
+	err := p.RunScriptLoop(context.Background(), []Step{
+		{After: time.Millisecond, Act: func(*Proxy) { fired <- struct{}{} }},
+	}, Loop{Passes: 3, Jitter: 0.5})
+	if err != nil {
+		t.Fatalf("loop: %v", err)
+	}
+	if got := len(fired); got != 3 {
+		t.Fatalf("step fired %d times, want 3", got)
+	}
+}
+
+// TestProxyRunScriptLoopEndless: with Passes <= 0 the loop runs until
+// its context ends, and reports that as the error.
+func TestProxyRunScriptLoopEndless(t *testing.T) {
+	p := newTestProxy(t, echoServer(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	fired := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- p.RunScriptLoop(ctx, []Step{
+			{After: time.Millisecond, Act: func(*Proxy) {
+				mu.Lock()
+				fired++
+				if fired == 5 {
+					cancel()
+				}
+				mu.Unlock()
+			}},
+		}, Loop{})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("endless loop returned nil, want the context error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("loop did not stop after cancel")
+	}
+	mu.Lock()
+	if fired < 5 {
+		t.Fatalf("step fired %d times before cancel, want >= 5", fired)
+	}
+	mu.Unlock()
+}
+
 func TestProxyRunScriptContextCancel(t *testing.T) {
 	p := newTestProxy(t, echoServer(t))
 	ctx, cancel := context.WithCancel(context.Background())

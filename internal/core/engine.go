@@ -783,6 +783,26 @@ func (e *Engine) recomputeUpdate(a *antennaState, v vantage, asOf float64) (Rate
 
 // ResetTickStats clears the per-tick §IV-D.3 selection stats so the
 // next tick scores only the stream since this one.
+// CloseVantage retires a (reader, antenna) vantage's phase streams:
+// quality-aware shedding has stopped forwarding its reports, and an
+// open stream that will never read again would pin the finality
+// horizon (EarliestOpenStream) for MaxPhaseGap — stalling every chain
+// this user owns, the selected vantage's included. Deleting the
+// streams lets finality advance on the surviving vantages
+// immediately; held fusion samples settle (their displacements are
+// already differenced). The vantage's accumulated state stays: if the
+// gate reopens, its streams re-prime on the next report.
+func (e *Engine) CloseVantage(readerID string, port int) {
+	for k := range e.df.last {
+		if k.reader == readerID && k.antenna == port {
+			delete(e.df.last, k)
+		}
+	}
+	if a, ok := e.ants[vantage{reader: readerID, port: port}]; ok {
+		a.fuser.SettleBefore(math.Inf(1))
+	}
+}
+
 func (e *Engine) ResetTickStats() {
 	for _, a := range e.ants {
 		a.reads = 0

@@ -70,6 +70,33 @@ type MonitorMetrics struct {
 	// fill fraction (0..1) across the worker's streaming filter
 	// chains; 1 once every chain is past its group delay.
 	EngineFilterWarmup *obs.GaugeVec
+	// TickStretch is each shard worker's current tick-stretch factor
+	// (1 = full cadence): the live position of the degradation ladder,
+	// per worker. Constant 1 when the controller is disabled.
+	TickStretch *obs.GaugeVec
+	// TickStretchPeak is the highest stretch any worker has reached
+	// over the monitor's lifetime — the ladder's high-water mark.
+	TickStretchPeak *obs.Gauge
+	// DegradedWorkers counts shard workers currently above 1× stretch.
+	// Zero means every worker is at full cadence; after recovery the
+	// hysteresis must bring it back to zero (the soak asserts this).
+	DegradedWorkers *obs.Gauge
+	// TicksSkipped counts per-worker tick deliveries skipped under
+	// tick stretch. Against Ticks × ShardWorkers it is the
+	// degraded-tick occupancy the capacity model records.
+	TicksSkipped *obs.Counter
+	// ShedByClass partitions Dropped by shed class (unknown, primary,
+	// redundant): quality-aware shedding's proof that redundant
+	// vantages are sacrificed before primary data.
+	ShedByClass *obs.CounterVec
+	// VantageGates counts (user, vantage) gates currently closed by
+	// quality-aware shedding: whole vantages silenced coherently so
+	// their half-starved streams cannot pin the finality horizon.
+	VantageGates *obs.Gauge
+	// VantageGateCloses counts gate-close transitions over the
+	// monitor's lifetime (each one retires the vantage's phase
+	// streams via a tombstone).
+	VantageGateCloses *obs.Counter
 	// StaleUsers counts users whose last emitted update is older than
 	// MonitorConfig.StalenessSLO — the estimate-freshness SLO gauge.
 	StaleUsers *obs.Gauge
@@ -123,6 +150,22 @@ func NewMonitorMetrics(r *obs.Registry) *MonitorMetrics {
 		EngineFilterWarmup: r.GaugeVec("tagbreathe_engine_filter_warmup_ratio",
 			"Smallest streaming-filter warmup fill fraction (0..1) across a shard worker's engines.",
 			"worker"),
+		TickStretch: r.GaugeVec("tagbreathe_monitor_tick_stretch",
+			"Current tick-stretch factor (1 = full cadence), per shard worker.",
+			"worker"),
+		TickStretchPeak: r.Gauge("tagbreathe_monitor_tick_stretch_peak",
+			"Highest tick-stretch factor any shard worker has reached."),
+		DegradedWorkers: r.Gauge("tagbreathe_monitor_degraded_workers",
+			"Shard workers currently above 1x tick stretch."),
+		TicksSkipped: r.Counter("tagbreathe_monitor_ticks_skipped_total",
+			"Per-worker tick deliveries skipped under tick stretch."),
+		ShedByClass: r.CounterVec("tagbreathe_monitor_reports_shed_by_class_total",
+			"Reports shed by the demux, partitioned by vantage class (unknown, primary, redundant).",
+			"class"),
+		VantageGates: r.Gauge("tagbreathe_monitor_vantage_gates_closed",
+			"(user, vantage) gates currently closed by quality-aware shedding."),
+		VantageGateCloses: r.Counter("tagbreathe_monitor_vantage_gate_closes_total",
+			"Vantage-gate close transitions (each retires the vantage's phase streams)."),
 		StaleUsers: r.Gauge("tagbreathe_monitor_stale_users",
 			"Users whose last emitted update is older than the staleness SLO."),
 		OldestUpdateAge: r.Gauge("tagbreathe_monitor_oldest_update_age_seconds",

@@ -61,8 +61,22 @@ type MonitorConfig struct {
 	ShardWorkers int
 	// Overload selects the demux policy when a shard worker's queue is
 	// full: OverloadBlock (default, lossless backpressure) or
-	// OverloadDropNewest (shed the report, count it).
+	// OverloadDropNewest (shed the report, count it). Under
+	// OverloadDropNewest the demux sheds quality-aware: once a queue
+	// nears capacity, reports from non-selected (reader, antenna)
+	// vantages are sacrificed first, so redundant oversampling is lost
+	// before the data the estimate is computed from (per-class
+	// accounting in ShedByClass / Monitor.ShedByClass).
 	Overload OverloadPolicy
+	// Degrade configures the per-worker adaptive tick-rate controller
+	// (DESIGN.md §13): under sustained queue pressure a worker
+	// stretches its effective tick interval (1×→2×→4×… UpdateEvery,
+	// hysteresis on recovery) instead of letting queue depth or shed
+	// counts climb, and every RateUpdate carries the stretch so
+	// consumers see degraded cadence, never silently stale numbers.
+	// The zero value disables the controller (full-cadence ticks,
+	// bit-identical to the pre-ladder monitor).
+	Degrade DegradeConfig
 	// Metrics receives the monitor's instrumentation (see
 	// NewMonitorMetrics). Nil builds private, unexposed instruments —
 	// the monitor always counts (DroppedReports reads the drop
@@ -75,6 +89,16 @@ type MonitorConfig struct {
 	// attributable; untraced reports may begin a trace at ingest. Nil
 	// traces nothing: the per-report cost is two predictable branches.
 	Tracer *obs.Tracer
+	// testTickWork (tests only, hence unexported) adds this much wall
+	// time of artificial work to every analyzed tick on every worker:
+	// deterministic, machine-independent overload for the degradation
+	// tests. Zero — always, outside package-internal tests — costs one
+	// predictable branch per tick.
+	testTickWork time.Duration
+	// testForceStretch (tests only) pins every worker's governor at a
+	// fixed stretch factor, bypassing the closed loop: the cadence the
+	// stretch-equivalence tests compare against full rate.
+	testForceStretch int
 	// StalenessSLO is the estimate-freshness objective: a user whose
 	// last emitted update is older than this much wall time counts as
 	// stale in StaleUsers, the tagbreathe_monitor_stale_users gauge,
@@ -128,6 +152,14 @@ type RateUpdate struct {
 	// Pauses holds detected breathing pauses within the window when
 	// MonitorConfig.ApneaAlarmSec is set — the realtime apnea alarm.
 	Pauses [][2]float64
+	// TickStretch is the shard worker's tick-stretch factor when this
+	// update was computed: 1 means full cadence; k > 1 means the
+	// degradation ladder is engaged and this user's updates arrive
+	// every k × UpdateEvery of stream time (DESIGN.md §13).
+	TickStretch int
+	// Degraded mirrors TickStretch > 1 — the quality flag consumers
+	// check so a degraded cadence is never mistaken for fresh data.
+	Degraded bool
 }
 
 // Monitor is the streaming TagBreathe pipeline: feed it the reader's
@@ -179,6 +211,12 @@ type Monitor struct {
 	lastMu   sync.Mutex
 	last     map[uint64]RateUpdate
 	lastWall map[uint64]int64
+	// primary mirrors each user's currently selected (reader, antenna)
+	// vantage, written by the collector from every emitted update. The
+	// demux consults it — only on the shed path — to classify reports
+	// as primary (selected vantage) or redundant (any other), so
+	// quality-aware shedding sacrifices redundant data first.
+	primary map[uint64]vantage
 }
 
 // NewMonitor starts a streaming monitor. Callers must eventually call
@@ -192,6 +230,7 @@ func NewMonitor(cfg MonitorConfig) *Monitor {
 		metrics: cfg.Metrics,
 		tracer:  cfg.Tracer,
 		last:    make(map[uint64]RateUpdate),
+		primary: make(map[uint64]vantage),
 	}
 	if cfg.StalenessSLO > 0 {
 		m.lastWall = make(map[uint64]int64)
@@ -262,6 +301,66 @@ func (m *Monitor) ProcessedReports() uint64 {
 	return m.metrics.Processed.Value()
 }
 
+// VantageClass classifies a (reader, antenna) vantage for uid against
+// the user's currently selected vantage: ShedPrimary if it is the
+// selected one, ShedRedundant otherwise, ShedUnknown before the user
+// has ever emitted an update. It is the classification quality-aware
+// shedding uses (demux near-full path, and — via a fleet classifier
+// hook — the fleet merge). Safe to call concurrently.
+func (m *Monitor) VantageClass(uid uint64, readerID string, port int) ShedClass {
+	m.lastMu.Lock() //tagbreathe:allow hotpath taken only on the demux shed path, when the queue is already near capacity and reports are being sacrificed
+	v, ok := m.primary[uid]
+	m.lastMu.Unlock()
+	if !ok {
+		return ShedUnknown
+	}
+	if v.reader == readerID && v.port == port {
+		return ShedPrimary
+	}
+	return ShedRedundant
+}
+
+// ShedByClass returns the demux's per-class shed totals under
+// quality-aware OverloadDropNewest shedding. The classes partition
+// DroppedReports: unknown + primary + redundant = dropped.
+func (m *Monitor) ShedByClass() map[string]uint64 {
+	out := make(map[string]uint64, 3)
+	for _, c := range []ShedClass{ShedUnknown, ShedPrimary, ShedRedundant} {
+		out[c.String()] = m.metrics.ShedByClass.With(c.String()).Value()
+	}
+	return out
+}
+
+// DegradedWorkers returns how many shard workers are currently above
+// 1× tick stretch — the live width of the degradation ladder. Zero
+// whenever the controller is disabled or the system is keeping up.
+func (m *Monitor) DegradedWorkers() int {
+	return int(m.metrics.DegradedWorkers.Value())
+}
+
+// SkippedTicks returns how many per-worker tick deliveries were
+// skipped under tick stretch. With Ticks × ShardWorkers as the
+// denominator it yields the degraded-tick occupancy the capacity
+// model records per point.
+func (m *Monitor) SkippedTicks() uint64 {
+	return m.metrics.TicksSkipped.Value()
+}
+
+// PeakTickStretch returns the highest stretch factor any worker has
+// reached over the monitor's lifetime (1 when the ladder never
+// engaged).
+func (m *Monitor) PeakTickStretch() int {
+	if p := int(m.metrics.TickStretchPeak.Value()); p > 1 {
+		return p
+	}
+	return 1
+}
+
+// Ticks returns how many analysis ticks the demux has broadcast.
+func (m *Monitor) Ticks() uint64 {
+	return m.metrics.Ticks.Value()
+}
+
 // LastUpdates snapshots the most recent rate update per user. It is a
 // read-side window onto the stream — consuming Updates is still how
 // the data leaves the monitor — kept for operators and fault-tolerance
@@ -328,6 +427,27 @@ type shardResult struct {
 type shardInput struct {
 	report reader.TagReport
 	tick   *monitorTick
+	// occ is the worker's queue occupancy sampled by the demux at tick
+	// broadcast (tick entries only): the backlog queued ahead of the
+	// tick. Sampled at dequeue it would under-read — the worker drains
+	// the queue ahead of the tick before observing it — so the demux
+	// records the pressure the tick was born under.
+	occ int
+	// closeVantage marks this entry as a vantage-gate tombstone: the
+	// demux has stopped forwarding the report's (reader, antenna)
+	// vantage for this user, and the worker must retire its phase
+	// streams (Engine.CloseVantage) instead of feeding the report. An
+	// open stream that will never read again pins the finality horizon
+	// for MaxPhaseGap and stalls the user's whole chain — coherent
+	// shedding must close what it silences.
+	closeVantage bool
+}
+
+// gateKey identifies one user's (reader, antenna) vantage gate in the
+// demux's quality-aware shedding state.
+type gateKey struct {
+	uid uint64
+	v   vantage
 }
 
 // demuxLoop is the routing stage: it owns the user→worker assignment
@@ -363,6 +483,54 @@ func (m *Monitor) demuxLoop(ticks chan<- *monitorTick) {
 	var nextUpdate time.Duration
 	started := false
 
+	// Quality-aware shedding (OverloadDropNewest only): once a queue is
+	// near capacity, redundant-vantage reports are shed proactively so
+	// the remaining slots carry primary data; hard-full drops are
+	// classified the same way. Without the ladder the watermark sits at
+	// the last eighth of the queue. With the ladder it sits midway
+	// between the engage mark and capacity: strictly above engage,
+	// because shedding redundant vantages is the rung AFTER tick
+	// stretching (DESIGN.md §13) — were the marks equal, watermark
+	// shedding would clamp broadcast-time occupancy just below engage
+	// and the ladder could never climb — while the half-queue of
+	// headroom above it absorbs the primary-vantage inflow that lands
+	// while the gates close. Counter handles are resolved once — the
+	// per-shed cost is one atomic increment.
+	shedMark := m.cfg.ShardQueue - m.cfg.ShardQueue/8
+	if m.cfg.Degrade.enabled() {
+		d := m.cfg.Degrade
+		d.fillDefaults()
+		engage := int(float64(m.cfg.ShardQueue) * d.EngageFraction)
+		shedMark = (engage + m.cfg.ShardQueue) / 2
+	}
+	if shedMark < 1 {
+		shedMark = 1
+	}
+	//tagbreathe:allow hotpath three class counter handles resolved once before the loop
+	shedBy := [...]*obs.Counter{
+		ShedUnknown:   m.metrics.ShedByClass.With(ShedUnknown.String()),
+		ShedPrimary:   m.metrics.ShedByClass.With(ShedPrimary.String()),
+		ShedRedundant: m.metrics.ShedByClass.With(ShedRedundant.String()),
+	}
+	shed := func(r reader.TagReport, cls ShedClass) {
+		m.tracer.Abort(r.TraceID) // shed with the report
+		m.metrics.Dropped.Inc()
+		shedBy[cls].Inc()
+	}
+
+	// Redundant vantages are shed coherently, not report-by-report: the
+	// differencer's streams are per (vantage, channel), and a stream
+	// that keeps receiving occasional reads while its siblings starve
+	// pins the finality horizon (EarliestOpenStream) for MaxPhaseGap —
+	// stalling the user's primary chain too. So the first redundant
+	// report shed for a vantage closes a gate: that report travels to
+	// the worker as a tombstone (Engine.CloseVantage retires the phase
+	// streams), everything after it is shed at the door, and the gate
+	// reopens — streams re-prime naturally — once the queue drains to
+	// half the shed watermark or the vantage stops being redundant.
+	reopenMark := shedMark / 2
+	gated := make(map[gateKey]struct{}) //tagbreathe:allow hotpath gate set built once before the loop; entries churn only on shed transitions
+
 	broadcast := func(asOf time.Duration) {
 		// One descriptor per tick (1/UpdateEvery), not per report: the
 		// clock read here is the tick's cached wall time and the result
@@ -375,7 +543,9 @@ func (m *Monitor) demuxLoop(ticks chan<- *monitorTick) {
 			wall:    time.Now(),
 		}
 		for i := range workers {
-			workers[i].q <- shardInput{tick: tick} // ticks always block; they are rare
+			// Ticks always block; they are rare. occ is the backlog ahead
+			// of this tick — the governor's pressure signal.
+			workers[i].q <- shardInput{tick: tick, occ: len(workers[i].q)}
 		}
 		m.metrics.Ticks.Inc()
 		ticks <- tick
@@ -402,12 +572,40 @@ func (m *Monitor) demuxLoop(ticks chan<- *monitorTick) {
 		}
 		w := &workers[wi]
 		if m.cfg.Overload == OverloadDropNewest {
-			select {
-			case w.q <- shardInput{report: r}:
-				m.tracer.Stamp(r.TraceID, obs.StageDemux)
-			default:
-				m.tracer.Abort(r.TraceID) // shed with the report
-				m.metrics.Dropped.Inc()
+			gk := gateKey{uid: uid, v: vantage{reader: r.ReaderID, port: r.AntennaPort}}
+			_, closed := gated[gk]
+			if closed && len(w.q) > reopenMark && m.VantageClass(uid, r.ReaderID, r.AntennaPort) == ShedRedundant {
+				// Gate held closed: the whole vantage stays silent until
+				// pressure clears (or selection moves onto it).
+				shed(r, ShedRedundant)
+			} else {
+				if closed {
+					delete(gated, gk)
+					m.metrics.VantageGates.Set(float64(len(gated)))
+				}
+				if len(w.q) >= shedMark && m.VantageClass(uid, r.ReaderID, r.AntennaPort) == ShedRedundant {
+					// Near-full: sacrifice redundant oversampling before
+					// the queue can reject primary data. The report is
+					// shed, but it travels as a tombstone so the worker
+					// retires the vantage's phase streams.
+					select {
+					case w.q <- shardInput{report: r, closeVantage: true}:
+						gated[gk] = struct{}{}
+						m.metrics.VantageGates.Set(float64(len(gated)))
+						m.metrics.VantageGateCloses.Inc()
+					default:
+						// No room for the tombstone; the gate stays open
+						// and the next redundant report retries.
+					}
+					shed(r, ShedRedundant)
+				} else {
+					select {
+					case w.q <- shardInput{report: r}:
+						m.tracer.Stamp(r.TraceID, obs.StageDemux)
+					default:
+						shed(r, m.VantageClass(uid, r.ReaderID, r.AntennaPort))
+					}
+				}
 			}
 		} else {
 			w.q <- shardInput{report: r}
@@ -455,6 +653,21 @@ func (m *Monitor) workerLoop(wi int, q <-chan shardInput) {
 	gPending := m.metrics.EngineBinsPending.With(lbl)
 	gHeldAge := m.metrics.EngineHeldFloorAge.With(lbl)
 	gWarmup := m.metrics.EngineFilterWarmup.With(lbl)
+	gStretch := m.metrics.TickStretch.With(lbl)
+
+	// The degradation governor (DESIGN.md §13): nil when the ladder is
+	// disabled, otherwise this worker's private closed loop — observed
+	// at every tick delivery, never touched by another goroutine.
+	var gov *tickGovernor
+	degraded := false
+	if m.cfg.Degrade.enabled() {
+		gov = newTickGovernor(m.cfg.Degrade, m.cfg.ShardQueue) //tagbreathe:allow hotpath one governor per worker lifetime, built before the loop
+		gStretch.Set(1)
+	}
+	if m.cfg.testForceStretch > 1 {
+		gov = newForcedGovernor(m.cfg.testForceStretch) //tagbreathe:allow hotpath test-only fixed-cadence governor, built before the loop
+		gStretch.Set(float64(gov.stretch))
+	}
 
 	// open holds the sampled traces of reports fed since the last tick;
 	// the collector completes them when that tick's updates emit. Fixed
@@ -465,6 +678,28 @@ func (m *Monitor) workerLoop(wi int, q <-chan shardInput) {
 	for in := range q {
 		if in.tick != nil {
 			tick := in.tick
+			occ := 0
+			stretch := 1
+			if gov != nil {
+				// Occupancy as sampled by the demux when it broadcast this
+				// tick: the backlog that was queued ahead of it — near zero
+				// for a worker that keeps up, the accrued backlog when it
+				// does not.
+				occ = in.occ
+				if !gov.tick(occ) {
+					// Skipped under stretch: reply immediately (empty) so
+					// the collector's tick barrier never stalls; fed
+					// traces stay open until the next analyzed tick.
+					m.metrics.TicksSkipped.Inc()
+					m.publishDegrade(gov, &degraded, gStretch)
+					tick.results <- shardResult{}
+					continue
+				}
+				stretch = gov.stretch
+			}
+			if m.cfg.testTickWork > 0 {
+				time.Sleep(m.cfg.testTickWork) // test-only deterministic overload; zero outside package tests
+			}
 			asOf := tick.asOf.Seconds()
 			evict := (tick.asOf - m.cfg.Window).Seconds()
 			var ups []RateUpdate //tagbreathe:allow hotpath per-tick result batch (1/UpdateEvery); freshly allocated because the collector reads it after the worker moves on
@@ -475,6 +710,8 @@ func (m *Monitor) workerLoop(wi int, q <-chan shardInput) {
 				start := time.Now() //tagbreathe:allow hotpath per-(user, tick) instrumentation feeding the capacity model's tick p99; reports are the per-event unit
 				if up, ok := eng.TickUpdate(asOf); ok {
 					up.Time = tick.asOf
+					up.TickStretch = stretch
+					up.Degraded = stretch > 1
 					ups = append(ups, up)
 				}
 				m.metrics.ShardTickSeconds.Observe(time.Since(start).Seconds()) //tagbreathe:allow hotpath per-(user, tick) instrumentation, paired with the clock read above
@@ -496,6 +733,14 @@ func (m *Monitor) workerLoop(wi int, q <-chan shardInput) {
 			gPending.Set(float64(pending))
 			gHeldAge.Set(heldAge)
 			gWarmup.Set(warmFill)
+			if gov != nil {
+				perUser := 0.0
+				if n := len(order); n > 0 {
+					perUser = float64(pending) / float64(n)
+				}
+				gov.settle(occ, perUser)
+				m.publishDegrade(gov, &degraded, gStretch)
+			}
 			res := shardResult{ups: ups}
 			if len(open) > 0 {
 				res.traces = append([]uint64(nil), open...) //tagbreathe:allow hotpath per-tick copy of at most maxOpenTraces sampled IDs, handed to the collector
@@ -505,6 +750,16 @@ func (m *Monitor) workerLoop(wi int, q <-chan shardInput) {
 			continue
 		}
 		r := in.report
+		if in.closeVantage {
+			// Vantage-gate tombstone: the demux silenced this (reader,
+			// antenna) vantage; retire its phase streams so they cannot
+			// pin the finality horizon. The report itself was already
+			// counted shed.
+			if eng, ok := engines[r.EPC.UserID()]; ok {
+				eng.CloseVantage(r.ReaderID, r.AntennaPort)
+			}
+			continue
+		}
 		m.tracer.Stamp(r.TraceID, obs.StageWorker) // dequeue: queue wait ends here
 		uid := r.EPC.UserID()
 		eng, ok := engines[uid]
@@ -532,6 +787,32 @@ func (m *Monitor) workerLoop(wi int, q <-chan shardInput) {
 				m.tracer.Abort(r.TraceID)
 			}
 		}
+	}
+	if degraded {
+		// Shutdown hygiene: a worker exiting mid-degradation must not
+		// leave the shared degraded-workers gauge pinned above zero.
+		m.metrics.DegradedWorkers.Add(-1)
+		gStretch.Set(1)
+	}
+}
+
+// publishDegrade mirrors one worker's governor state into the shared
+// instruments: the per-worker stretch gauge, the process-wide peak,
+// and the degraded-workers gauge (delta-updated, so concurrent
+// workers compose without coordination).
+//
+//tagbreathe:hotpath runs on every tick delivery of a degradation-enabled worker; three atomics, no locks
+func (m *Monitor) publishDegrade(gov *tickGovernor, degraded *bool, gStretch *obs.Gauge) {
+	gStretch.Set(float64(gov.stretch))
+	m.metrics.TickStretchPeak.SetMax(float64(gov.stretch))
+	now := gov.stretch > 1
+	if now != *degraded {
+		if now {
+			m.metrics.DegradedWorkers.Add(1)
+		} else {
+			m.metrics.DegradedWorkers.Add(-1)
+		}
+		*degraded = now
 	}
 }
 
@@ -563,6 +844,7 @@ func (m *Monitor) collectLoop(ticks <-chan *monitorTick) {
 			wall := time.Now().UnixNano()
 			for _, u := range ups {
 				m.last[u.UserID] = u
+				m.primary[u.UserID] = vantage{reader: u.ReaderID, port: u.AntennaPort}
 				if m.lastWall != nil {
 					m.lastWall[u.UserID] = wall
 				}

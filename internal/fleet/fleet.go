@@ -17,6 +17,18 @@
 // single slow path can wedge the fleet. A reader that stalls or dies
 // simply stops producing; its session reconnects with backoff while
 // the other readers' streams keep flowing.
+//
+// Shedding is quality-aware when Config.ShedClass is set: a pump under
+// pressure sacrifices reports from non-selected (reader, antenna)
+// vantages before primary data, and it does so coherently — once a
+// redundant vantage is shed, a per-pump gate silences the whole
+// vantage until pressure clears. Thinning a vantage report-by-report
+// would leave some of its per-channel phase streams half-alive, and a
+// stream that keeps receiving occasional reads pins the pipeline's
+// finality horizon for MaxPhaseGap, stalling the user's primary chain
+// too; full silence expires cleanly. Every shed is partitioned by
+// class in Metrics.ReaderShedByClass, session-level drop-oldest
+// evictions included (llrp.SessionConfig.OnShed).
 package fleet
 
 import (
@@ -25,6 +37,7 @@ import (
 	"sort"
 	"sync"
 
+	"tagbreathe/internal/core"
 	"tagbreathe/internal/llrp"
 	"tagbreathe/internal/obs"
 	"tagbreathe/internal/reader"
@@ -63,6 +76,15 @@ type Config struct {
 	// absorbs N readers' bursts, so it defaults deeper than one
 	// session's buffer).
 	ReportBuffer int
+	// ShedClass classifies a report's vantage for quality-aware
+	// shedding — typically core.Monitor.VantageClass adapted by the
+	// caller. When set, pumps shed redundant-vantage reports first
+	// (coherently, per-vantage gates) as the merged channel nears
+	// capacity, and every shed — merge-level or session drop-oldest —
+	// is counted by class. It is called from pump and session
+	// goroutines concurrently and must be safe and cheap. Nil sheds
+	// classlessly (all sheds count as unknown).
+	ShedClass func(r reader.TagReport) core.ShedClass
 	// Metrics receives the fleet's instrumentation (see NewMetrics).
 	// Nil builds private, unexposed instruments.
 	Metrics *Metrics
@@ -79,6 +101,7 @@ type entry struct {
 
 	received *obs.Counter
 	shed     *obs.Counter
+	shedBy   [3]*obs.Counter // indexed by core.ShedClass
 	stateG   *obs.Gauge
 	reconG   *obs.Gauge
 
@@ -93,9 +116,10 @@ type entry struct {
 // owns no goroutine past Close (project style: no fire-and-forget
 // goroutines).
 type Fleet struct {
-	tmpl    llrp.SessionConfig
-	metrics *Metrics
-	tracer  *obs.Tracer
+	tmpl     llrp.SessionConfig
+	metrics  *Metrics
+	tracer   *obs.Tracer
+	classify func(r reader.TagReport) core.ShedClass
 
 	reports chan reader.TagReport
 	ctx     context.Context
@@ -123,13 +147,14 @@ func Start(ctx context.Context, cfg Config) (*Fleet, error) {
 	}
 	fctx, cancel := context.WithCancel(ctx)
 	f := &Fleet{
-		tmpl:    cfg.Session,
-		metrics: cfg.Metrics,
-		tracer:  cfg.Session.Tracer,
-		reports: make(chan reader.TagReport, cfg.ReportBuffer),
-		ctx:     fctx,
-		cancel:  cancel,
-		entries: make(map[string]*entry),
+		tmpl:     cfg.Session,
+		metrics:  cfg.Metrics,
+		tracer:   cfg.Session.Tracer,
+		classify: cfg.ShedClass,
+		reports:  make(chan reader.TagReport, cfg.ReportBuffer),
+		ctx:      fctx,
+		cancel:   cancel,
+		entries:  make(map[string]*entry),
 	}
 	for _, rc := range cfg.Readers {
 		if err := f.Add(rc); err != nil {
@@ -181,14 +206,9 @@ func (f *Fleet) Add(rc ReaderConfig) error {
 	if rc.rospecSet() {
 		scfg.ROSpec = rc.ROSpec
 	}
-	sess, err := llrp.StartSession(f.ctx, scfg)
-	if err != nil {
-		return fmt.Errorf("fleet: reader %q: %w", rc.Name, err)
-	}
 	lbl := readerLabel(rc.Name)
 	e := &entry{
 		cfg:      rc,
-		sess:     sess,
 		smetrics: scfg.Metrics,
 		received: f.metrics.ReaderReports.With(lbl),
 		shed:     f.metrics.ReaderShed.With(lbl),
@@ -196,6 +216,18 @@ func (f *Fleet) Add(rc ReaderConfig) error {
 		reconG:   f.metrics.ReaderReconnects.With(lbl),
 		done:     make(chan struct{}),
 	}
+	for cls := core.ShedUnknown; cls <= core.ShedRedundant; cls++ {
+		e.shedBy[cls] = f.metrics.ReaderShedByClass.With(lbl, cls.String()) //tagbreathe:allow metrichygiene cls ranges over the three fixed ShedClass values
+	}
+	// Session-level drop-oldest evictions join the same per-class
+	// accounting as merge-level sheds; the hook runs on the session's
+	// forward pump, so it only classifies and counts.
+	scfg.OnShed = func(r reader.TagReport) { e.shedBy[f.class(r)].Inc() }
+	sess, err := llrp.StartSession(f.ctx, scfg)
+	if err != nil {
+		return fmt.Errorf("fleet: reader %q: %w", rc.Name, err)
+	}
+	e.sess = sess
 	f.entries[rc.Name] = e
 	f.metrics.Added.Inc()
 	f.metrics.Readers.Set(float64(len(f.entries)))
@@ -236,13 +268,64 @@ func (f *Fleet) Reconfigure(rc ReaderConfig) error {
 	return f.Add(rc)
 }
 
+// class classifies a report for shed accounting: the configured
+// classifier, or unknown without one.
+func (f *Fleet) class(r reader.TagReport) core.ShedClass {
+	if f.classify == nil {
+		return core.ShedUnknown
+	}
+	return f.classify(r)
+}
+
 // pump forwards one reader's session stream onto the merged channel,
 // shedding (never blocking) when the channel is full, until the
-// session's Reports channel closes.
+// session's Reports channel closes. With a classifier configured the
+// shedding is quality-aware: as the channel nears capacity the pump
+// sheds redundant-vantage reports first, and it silences a shed
+// vantage coherently (per-pump gate, reopened when pressure clears or
+// selection moves onto the vantage) — see the package comment for why
+// report-by-report thinning would stall the pipeline's finality
+// horizon. Gates are per pump: a vantage belongs to exactly one
+// reader, so no cross-pump state is needed.
 func (f *Fleet) pump(e *entry) {
 	defer f.pumps.Done()
 	defer close(e.done)
+	shedMark := cap(f.reports) - cap(f.reports)/8
+	if shedMark < 1 {
+		shedMark = 1
+	}
+	reopenMark := shedMark / 2
+	// gateKey omits the reader: every report in this pump shares one.
+	type gateKey struct {
+		uid  uint64
+		port int
+	}
+	var gated map[gateKey]struct{} // allocated on first gate close
+	shed := func(r reader.TagReport, cls core.ShedClass) {
+		e.shed.Inc()
+		e.shedBy[cls].Inc()
+		f.tracer.Abort(r.TraceID)
+	}
 	for r := range e.sess.Reports() {
+		if f.classify != nil {
+			gk := gateKey{uid: r.EPC.UserID(), port: r.AntennaPort}
+			_, closed := gated[gk]
+			if closed {
+				if len(f.reports) > reopenMark && f.classify(r) == core.ShedRedundant {
+					shed(r, core.ShedRedundant)
+					continue
+				}
+				delete(gated, gk)
+			}
+			if len(f.reports) >= shedMark && f.classify(r) == core.ShedRedundant {
+				if gated == nil {
+					gated = make(map[gateKey]struct{})
+				}
+				gated[gk] = struct{}{}
+				shed(r, core.ShedRedundant)
+				continue
+			}
+		}
 		select {
 		case f.reports <- r:
 			e.received.Inc()
@@ -253,8 +336,7 @@ func (f *Fleet) pump(e *entry) {
 			// Merged channel full: shed this report rather than let a
 			// stalled consumer backpressure the whole fleet through one
 			// pump. Counted per reader; the trace (if sampled) ends here.
-			e.shed.Inc()
-			f.tracer.Abort(r.TraceID)
+			shed(r, f.class(r))
 		}
 	}
 }
@@ -282,6 +364,9 @@ type ReaderStatus struct {
 	// reports dropped at the full merged channel.
 	Reports uint64 `json:"reports"`
 	Shed    uint64 `json:"shed"`
+	// ShedByClass splits Shed (plus session drop-oldest evictions) by
+	// vantage class; zero classes are omitted.
+	ShedByClass map[string]uint64 `json:"shed_by_class,omitempty"`
 }
 
 // Status snapshots every registered reader, sorted by name. As a side
@@ -301,6 +386,14 @@ func (f *Fleet) Status() []ReaderStatus {
 			WatchdogTrips: e.smetrics.WatchdogTrips.Value(),
 			Reports:       e.received.Value(),
 			Shed:          e.shed.Value(),
+		}
+		for cls := core.ShedUnknown; cls <= core.ShedRedundant; cls++ {
+			if n := e.shedBy[cls].Value(); n > 0 {
+				if s.ShedByClass == nil {
+					s.ShedByClass = make(map[string]uint64, 3)
+				}
+				s.ShedByClass[cls.String()] = n
+			}
 		}
 		if err := e.sess.Err(); err != nil {
 			s.Err = err.Error()

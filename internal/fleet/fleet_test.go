@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"tagbreathe/internal/core"
 	"tagbreathe/internal/epc"
 	"tagbreathe/internal/fleet"
 	"tagbreathe/internal/llrp"
@@ -324,6 +325,58 @@ func TestFleetShedsAtFullMergedChannel(t *testing.T) {
 	}
 	if st := f.Status(); len(st) != 1 || st[0].Shed == 0 {
 		t.Errorf("Status shed accounting = %+v, want Shed > 0", st)
+	}
+}
+
+// TestFleetQualityAwareShedding: with a vantage classifier configured
+// and a stalled consumer, sheds are split by class, the redundant
+// vantage (antenna 2) is gated coherently, and the gate reopens —
+// both antennas flow again — once the consumer drains the backlog.
+func TestFleetQualityAwareShedding(t *testing.T) {
+	m := fleet.NewMetrics(nil)
+	f := startFleetTest(t, fleet.Config{
+		Readers:      []fleet.ReaderConfig{{Name: "solo", Addr: startServer(t)}},
+		Session:      sessionTemplate(),
+		ReportBuffer: 8,
+		Metrics:      m,
+		ShedClass: func(r reader.TagReport) core.ShedClass {
+			if r.AntennaPort == 2 {
+				return core.ShedRedundant
+			}
+			return core.ShedPrimary
+		},
+	})
+
+	// No consumer: the channel fills, the watermark gates antenna 2,
+	// and the full channel eventually sheds primaries too — each
+	// counted under its class.
+	redundant := m.ReaderShedByClass.With("solo", "redundant")
+	deadline := time.Now().Add(10 * time.Second)
+	for redundant.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no redundant-class sheds with a full merged channel (state %+v)", f.Status())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := f.Status()
+	if len(st) != 1 || st[0].ShedByClass["redundant"] == 0 {
+		t.Fatalf("Status.ShedByClass = %+v, want redundant > 0", st)
+	}
+
+	// Resume consumption: the backlog drains past the reopen mark, the
+	// gate lifts, and antenna 2 reports reach the merged channel again.
+	seen := map[int]bool{}
+	deadline = time.Now().Add(10 * time.Second)
+	for !seen[1] || !seen[2] {
+		select {
+		case r, ok := <-f.Reports():
+			if !ok {
+				t.Fatal("merged channel closed mid-test")
+			}
+			seen[r.AntennaPort] = true
+		case <-time.After(time.Until(deadline)):
+			t.Fatalf("gate never reopened: antennas seen = %v", seen)
+		}
 	}
 }
 

@@ -116,6 +116,13 @@ type SessionConfig struct {
 	// Metrics receives the session's instrumentation (see
 	// NewSessionMetrics). Nil builds private, unexposed instruments.
 	Metrics *SessionMetrics
+	// OnShed, when set, observes every report the ReportsDropOldest
+	// policy evicts (the evicted report, not the incoming one) — the
+	// session-level overload hook quality-aware shedding hangs off.
+	// It runs on the session's forward pump goroutine: keep it cheap
+	// and non-blocking (classify and count, nothing more). Nil
+	// observes nothing.
+	OnShed func(r reader.TagReport)
 	// Tracer samples end-to-end pipeline traces across reconnects: each
 	// client stamps obs.StageRead at frame decode and the forward pump
 	// stamps obs.StageForward, so reader-side queue wait is visible.
@@ -516,6 +523,9 @@ func (s *Session) send(ctx context.Context, r reader.TagReport) bool {
 		case old := <-s.reports:
 			s.cfg.Tracer.Abort(old.TraceID)
 			s.cfg.Metrics.ReportsShed.Inc()
+			if s.cfg.OnShed != nil {
+				s.cfg.OnShed(old)
+			}
 		default:
 		}
 	}

@@ -54,6 +54,14 @@ type Options struct {
 	// shed probe: ingest never blocks and the drop fraction records
 	// how far past its limit the pipeline was pushed.
 	Overload core.OverloadPolicy
+	// Degrade passes the graceful-degradation ladder through to the
+	// monitor (zero value = disabled). The sweep arms it only on the
+	// shed probe: under a paced overload the ladder stretches tick
+	// cadence before the watermark sheds, so the probe's stretch
+	// figures record where real-time load first forces the monitor to
+	// trade update cadence for losslessness. Block points never carry
+	// it — the capacity measurement stays full-cadence.
+	Degrade core.DegradeConfig
 	// Seed keys the synthetic stream.
 	Seed int64
 	// Pace replays the stream against the wall clock: 1 delivers each
@@ -144,6 +152,15 @@ type Point struct {
 	// Goroutines is the process goroutine count at steady state —
 	// the worker-pool invariant makes it O(ShardWorkers), not O(Users).
 	Goroutines int `json:"goroutines"`
+	// PeakStretch is the highest tick-stretch rung any worker reached
+	// during the point (1 = the degradation ladder never engaged or
+	// was disabled).
+	PeakStretch int `json:"peak_stretch"`
+	// DegradedTickFrac is the degraded-tick occupancy: per-worker tick
+	// deliveries skipped under stretch over total deliveries
+	// (SkippedTicks / (Ticks × ShardWorkers)). 0 with the ladder
+	// disabled.
+	DegradedTickFrac float64 `json:"degraded_tick_frac"`
 }
 
 // RunPoint measures one capacity point in-process.
@@ -184,6 +201,7 @@ func RunPoint(opts Options) (Point, error) {
 		ShardQueue:   opts.ShardQueue,
 		ShardWorkers: opts.ShardWorkers,
 		Overload:     opts.Overload,
+		Degrade:      opts.Degrade,
 		Metrics:      mm,
 		Tracer:       tracer,
 	})
@@ -263,6 +281,10 @@ func RunPoint(opts Options) (Point, error) {
 		TickP50Micros: mm.ShardTickSeconds.Quantile(0.50) * 1e6,
 		TickP99Micros: mm.ShardTickSeconds.Quantile(0.99) * 1e6,
 		Goroutines:    goroutines,
+		PeakStretch:   m.PeakTickStretch(),
+	}
+	if deliveries := m.Ticks() * uint64(effectiveWorkers(opts)); deliveries > 0 {
+		p.DegradedTickFrac = float64(m.SkippedTicks()) / float64(deliveries)
 	}
 	if n := tracer.Completed(); n > 0 {
 		p.E2EP50Micros = tracer.EndToEnd().Quantile(0.50) * 1e6

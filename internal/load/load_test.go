@@ -141,6 +141,36 @@ func TestDropAccountingAtSaturation(t *testing.T) {
 	// with a realistic stream. This test's contract is the accounting.
 }
 
+// TestProbeDegradationFigures: an unpaced flood through small queues
+// with the ladder armed must engage tick stretch and record a non-zero
+// degraded-tick occupancy — the columns the capacity model's probe
+// rows carry — while the admitted = processed + dropped accounting
+// stays exact under stretch.
+func TestProbeDegradationFigures(t *testing.T) {
+	p, err := RunPoint(Options{
+		Users:      500,
+		ShardQueue: 64,
+		Overload:   core.OverloadDropNewest,
+		Degrade:    core.DegradeConfig{MaxStretch: 8},
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PeakStretch < 2 {
+		t.Errorf("peak stretch %d under an unpaced flood, want >= 2 (ladder never engaged)", p.PeakStretch)
+	}
+	if p.DegradedTickFrac <= 0 {
+		t.Errorf("degraded-tick occupancy %.4f, want > 0", p.DegradedTickFrac)
+	}
+	if p.Processed+p.Dropped != uint64(p.Reports) {
+		t.Errorf("accounting broken under stretch: processed %d + dropped %d != %d admitted",
+			p.Processed, p.Dropped, p.Reports)
+	}
+	t.Logf("peak stretch %d×, degraded-tick occupancy %.2f%%, drop frac %.2f%%",
+		p.PeakStretch, 100*p.DegradedTickFrac, 100*p.DropFrac)
+}
+
 // TestWirePointSmall drives a small load over the loopback LLRP path:
 // real framing, real socket, zero loss, live updates.
 func TestWirePointSmall(t *testing.T) {

@@ -25,6 +25,13 @@ type SweepPoint struct {
 	// OverloadDropNewest pass — the shed-probe column. The first user
 	// count with a non-zero value is the model's drop onset.
 	ProbeDropFrac float64 `json:"probe_drop_frac"`
+	// ProbePeakStretch and ProbeDegradedTickFrac are the probe pass's
+	// degradation figures when base.Degrade arms the ladder: the
+	// highest stretch rung reached and the fraction of tick deliveries
+	// skipped. Stretch engaging before drops (onset at a lower user
+	// count) is the graceful-degradation contract in model form.
+	ProbePeakStretch      int     `json:"probe_peak_stretch,omitempty"`
+	ProbeDegradedTickFrac float64 `json:"probe_degraded_tick_frac,omitempty"`
 }
 
 // Model is the BENCH_capacity.json document.
@@ -35,8 +42,17 @@ type Model struct {
 	// DropOnsetUsers is the smallest swept user count whose
 	// OverloadDropNewest probe shed reports; 0 means no onset within
 	// the sweep.
-	DropOnsetUsers int          `json:"drop_onset_users"`
-	Points         []SweepPoint `json:"points"`
+	DropOnsetUsers int `json:"drop_onset_users"`
+	// DegradeOnsetUsers is the smallest swept user count whose probe
+	// engaged the tick-stretch ladder (peak stretch > 1); 0 means the
+	// ladder never engaged (or base.Degrade left it disabled). It can
+	// sit above DropOnsetUsers: small-K probe drops are transient
+	// bursts overflowing a queue between tick broadcasts, which the
+	// broadcast-time governor rightly ignores — degrade onset marks
+	// where overload becomes *sustained*, the regime the ladder
+	// answers with cadence instead of data.
+	DegradeOnsetUsers int          `json:"degrade_onset_users"`
+	Points            []SweepPoint `json:"points"`
 }
 
 // CurrentEnvironment describes this process's machine.
@@ -63,13 +79,19 @@ func Sweep(counts []int, base Options, probePace float64, progress func(string))
 			"demux/worker-pool/collector in-process. Block points measure sustained " +
 			"capacity (backpressured, unpaced, lossless); probe points offer the same " +
 			"stream paced at real time under OverloadDropNewest, so drop onset marks " +
-			"the user count where real-time load no longer fits.",
+			"the user count where real-time load no longer fits. Probes arm the " +
+			"tick-stretch ladder when configured, so degrade onset marks where the " +
+			"monitor first trades update cadence for report coverage.",
 		Environment: CurrentEnvironment(),
 	}
 	for _, users := range counts {
 		opts := base
 		opts.Users = users
 		opts.Overload = core.OverloadBlock
+		// The block pass is the pure capacity measurement: a stretched
+		// cadence under the backpressured flood would understate tick
+		// cost, so the ladder stays off regardless of base.Degrade.
+		opts.Degrade = core.DegradeConfig{}
 		start := time.Now()
 		p, err := RunPoint(opts)
 		if err != nil {
@@ -83,16 +105,25 @@ func Sweep(counts []int, base Options, probePace float64, progress func(string))
 		if err != nil {
 			return nil, fmt.Errorf("drop probe at %d users: %w", users, err)
 		}
-		sp := SweepPoint{Point: p, ProbeDropFrac: pp.DropFrac}
+		sp := SweepPoint{
+			Point:                 p,
+			ProbeDropFrac:         pp.DropFrac,
+			ProbePeakStretch:      pp.PeakStretch,
+			ProbeDegradedTickFrac: pp.DegradedTickFrac,
+		}
 		model.Points = append(model.Points, sp)
 		if pp.Dropped > 0 && model.DropOnsetUsers == 0 {
 			model.DropOnsetUsers = users
 		}
+		if pp.PeakStretch > 1 && model.DegradeOnsetUsers == 0 {
+			model.DegradeOnsetUsers = users
+		}
 		if progress != nil {
 			progress(fmt.Sprintf(
-				"users=%-7d %9.0f reports/s  %6.0f B/user  tick p99 %6.1f µs  goroutines %-4d probe drops %.3f%%  (%.1fs)",
+				"users=%-7d %9.0f reports/s  %6.0f B/user  tick p99 %6.1f µs  goroutines %-4d probe drops %.3f%% stretch %d× degraded %.1f%%  (%.1fs)",
 				users, p.ReportsPerSec, p.BytesPerUser, p.TickP99Micros,
-				p.Goroutines, 100*pp.DropFrac, time.Since(start).Seconds()))
+				p.Goroutines, 100*pp.DropFrac, pp.PeakStretch,
+				100*pp.DegradedTickFrac, time.Since(start).Seconds()))
 		}
 	}
 	return model, nil

@@ -101,6 +101,7 @@ func RunWirePoint(opts Options) (Point, error) {
 		ShardQueue:   opts.ShardQueue,
 		ShardWorkers: opts.ShardWorkers,
 		Overload:     opts.Overload,
+		Degrade:      opts.Degrade,
 		Metrics:      mm,
 		Tracer:       tracer,
 	})
@@ -198,6 +199,10 @@ pump:
 		TickP50Micros: mm.ShardTickSeconds.Quantile(0.50) * 1e6,
 		TickP99Micros: mm.ShardTickSeconds.Quantile(0.99) * 1e6,
 		Goroutines:    goroutines,
+		PeakStretch:   m.PeakTickStretch(),
+	}
+	if deliveries := m.Ticks() * uint64(effectiveWorkers(opts)); deliveries > 0 {
+		p.DegradedTickFrac = float64(m.SkippedTicks()) / float64(deliveries)
 	}
 	if n := tracer.Completed(); n > 0 {
 		p.E2EP50Micros = tracer.EndToEnd().Quantile(0.50) * 1e6

@@ -1,0 +1,44 @@
+package soak_test
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"tagbreathe/internal/soak"
+)
+
+// TestSoakCompressed is the CI smoke soak: the compressed profile —
+// tens of minutes of stream under a minute of wall clock — must pass
+// every graceful-degradation invariant under the race detector. Set
+// TAGBREATHE_SOAK=realtime to run the manual/nightly 1× profile
+// instead (allow over an hour; see `make soak-full`).
+func TestSoakCompressed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: skipped in -short mode")
+	}
+	p := soak.Compressed()
+	if os.Getenv("TAGBREATHE_SOAK") == "realtime" {
+		p = soak.Realtime()
+	}
+	wall := time.Duration(float64(p.StreamDuration) / p.Speed)
+	ctx, cancel := context.WithTimeout(context.Background(), wall+3*time.Minute)
+	defer cancel()
+
+	res, err := soak.Run(ctx, p)
+	if err != nil {
+		t.Fatalf("soak run: %v", err)
+	}
+	for _, violation := range res.Verify() {
+		t.Error(violation)
+	}
+	t.Logf("%s soak: %.0f s stream in %.0f s wall, peak stretch %d, skipped ticks %d, conns %d, reconnects %d",
+		res.Profile, res.StreamSeconds, res.WallSeconds, res.PeakStretch, res.SkippedTicks, res.Conns, res.Reconnects)
+	t.Logf("shed by class: monitor %v, fleet %v; heap %d → %d bytes",
+		res.MonitorShed, res.FleetShed, res.HeapEarlyBytes, res.HeapLateBytes)
+	for _, u := range res.Users {
+		t.Logf("user %d: truth %.1f final %.2f bpm, %d updates, max gap %.1f s, stretch %d",
+			u.UserID, u.TruthBPM, u.FinalBPM, u.Updates, u.MaxGapS, u.FinalStretch)
+	}
+}

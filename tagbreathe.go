@@ -78,6 +78,15 @@ type (
 	// OverloadPolicy selects what the monitor does when a shard
 	// worker's queue overflows (see MonitorConfig.Overload).
 	OverloadPolicy = core.OverloadPolicy
+	// DegradeConfig tunes the monitor's graceful-degradation ladder —
+	// the per-worker controller that stretches tick cadence under
+	// sustained overload before any data is shed (see
+	// MonitorConfig.Degrade). The zero value disables it.
+	DegradeConfig = core.DegradeConfig
+	// ShedClass ranks a report's vantage quality for quality-aware
+	// load shedding (see Monitor.VantageClass and
+	// FleetConfig.ShedClass).
+	ShedClass = core.ShedClass
 	// FilterMode selects the stage engine's band-pass implementation
 	// (see Config.Filter).
 	FilterMode = core.FilterMode
@@ -108,6 +117,17 @@ const (
 	// OverloadDropNewest sheds the incoming report for a full shard
 	// queue and counts it (Monitor.DroppedReports).
 	OverloadDropNewest = core.OverloadDropNewest
+)
+
+// Vantage classes for quality-aware shedding (ShedClass values, worst
+// to shed first: redundant, then unknown, then primary).
+const (
+	// ShedUnknown: the user has no selected vantage yet.
+	ShedUnknown = core.ShedUnknown
+	// ShedPrimary: the report is from the user's selected vantage.
+	ShedPrimary = core.ShedPrimary
+	// ShedRedundant: the report is from a non-selected vantage.
+	ShedRedundant = core.ShedRedundant
 )
 
 // Reader-facing types.
