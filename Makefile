@@ -41,6 +41,8 @@ soak-smoke:
 	$(GO) test -race -count=1 -run TestSoakCompressed -v ./internal/soak/
 
 # soak-full replays the same schedule at real time (~1 h wall) —
-# manual or nightly, not part of per-push CI.
+# manual or nightly, not part of per-push CI. The nightly-soak workflow
+# runs it with TAGBREATHE_SOAK_TREND=BENCH_soak_trend.json to append
+# the run's degradation summary to the checked-in trend history.
 soak-full:
 	TAGBREATHE_SOAK=realtime $(GO) test -race -count=1 -timeout 2h -run TestSoakCompressed -v ./internal/soak/

@@ -4,17 +4,22 @@
 //	go run ./cmd/tagbreathe-lint ./...
 //
 // It prints one file:line:col: [analyzer] message per finding and
-// exits 1 when anything is found, 0 when the tree is clean. CI runs it
+// exits 1 when anything is found, 0 when the tree is clean;
+// -format=json emits the findings as a JSON array and -format=github
+// emits GitHub Actions workflow commands so CI renders them as inline
+// annotations (exit codes are identical in every format). CI runs it
 // as a required job; lint-clean is part of tier-1 (see CONTRIBUTING
 // and DESIGN.md §10 for the analyzer catalog and the //tagbreathe:
 // annotation grammar).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"tagbreathe/internal/analyzers"
 	"tagbreathe/internal/lint"
@@ -23,8 +28,9 @@ import (
 func main() {
 	help := flag.Bool("help", false, "print the analyzer catalog and exit")
 	dir := flag.String("C", "", "module root to lint (default: walk up from the current directory)")
+	format := flag.String("format", "text", "output format: text, json, or github")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tagbreathe-lint [-C dir] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: tagbreathe-lint [-C dir] [-format text|json|github] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "Runs the TagBreathe analyzer suite over the given package patterns\n")
 		fmt.Fprintf(os.Stderr, "(default ./...) and exits 1 on findings.\n\n")
 		flag.PrintDefaults()
@@ -34,14 +40,18 @@ func main() {
 		printCatalog()
 		return
 	}
+	switch *format {
+	case "text", "json", "github":
+	default:
+		fmt.Fprintf(os.Stderr, "tagbreathe-lint: unknown -format %q (want text, json, or github)\n", *format)
+		os.Exit(2)
+	}
 	diags, err := run(*dir, flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tagbreathe-lint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Printf("%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
-	}
+	printDiags(*format, diags)
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "tagbreathe-lint: %d finding(s)\n", len(diags))
 		os.Exit(1)
@@ -57,7 +67,65 @@ func run(dir string, patterns []string) ([]lint.Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
-	return lint.Run(loader.Fset, pkgs, analyzers.All)
+	return lint.Run(loader.Universe(), pkgs, analyzers.All)
+}
+
+// jsonDiag is the -format=json row, stable for machine consumers.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func printDiags(format string, diags []lint.Diagnostic) {
+	switch format {
+	case "json":
+		rows := make([]jsonDiag, len(diags))
+		for i, d := range diags {
+			rows[i] = jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rows)
+	case "github":
+		// GitHub Actions workflow-command syntax: one ::error line per
+		// finding renders as an inline annotation on the PR diff.
+		for _, d := range diags {
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=tagbreathe-lint %s::%s\n",
+				ghEscapeProp(d.Pos.Filename), d.Pos.Line, d.Pos.Column,
+				ghEscapeProp(d.Analyzer), ghEscapeData(d.Message))
+		}
+	default:
+		for _, d := range diags {
+			fmt.Printf("%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+}
+
+// ghEscapeData escapes a workflow-command message per the Actions
+// runner's rules.
+func ghEscapeData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// ghEscapeProp escapes a workflow-command property value, which also
+// reserves ':' and ','.
+func ghEscapeProp(s string) string {
+	s = ghEscapeData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
 }
 
 func printCatalog() {

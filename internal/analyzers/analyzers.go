@@ -9,4 +9,8 @@ var All = []*lint.Analyzer{
 	GoroutineLeak,
 	MetricHygiene,
 	FloatCmp,
+	SingleWriter,
+	CtxFlow,
+	ErrWrap,
+	ChanDir,
 }

@@ -1,0 +1,163 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tagbreathe/internal/lint"
+)
+
+// ChanDir enforces channel-direction discipline on the stage-engine
+// and fleet plumbing:
+//
+//   - function parameters of bidirectional channel type must declare a
+//     direction (<-chan for consumers, chan<- for producers) — a
+//     bidirectional parameter lets a stage accidentally read its own
+//     output or close its input;
+//
+//   - exported struct fields of bidirectional channel type must
+//     declare a direction too — outside the owning package only one
+//     end is ever legitimate;
+//
+//   - a send on a channel observed to be unbuffered, sitting inside a
+//     loop, is a blocking handoff in what is probably a supervision
+//     or pump loop: it needs a buffer, a select with a default, or an
+//     explicit //tagbreathe:allow chandir stating why blocking is the
+//     intended backpressure.
+var ChanDir = &lint.Analyzer{
+	Name: "chandir",
+	Doc: "require directional channel types on parameters and exported struct fields; " +
+		"flag unbuffered sends inside loops",
+	Run: runChanDir,
+}
+
+func runChanDir(pass *lint.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	bidi := func(t types.Type) bool {
+		ch, ok := t.Underlying().(*types.Chan)
+		return ok && ch.Dir() == types.SendRecv
+	}
+	unbuffered := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				recordChanMakes(pass.TypesInfo, as, unbuffered)
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, fld := range st.Fields.List {
+						for _, name := range fld.Names {
+							if !name.IsExported() {
+								continue
+							}
+							if obj := pass.TypesInfo.Defs[name]; obj != nil && bidi(obj.Type()) {
+								pass.Reportf(name.Pos(), "exported field %s.%s is a bidirectional channel; declare a direction or unexport it",
+									ts.Name.Name, name.Name)
+							}
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if fd := d; fd.Type.Params != nil {
+					for _, p := range fd.Type.Params.List {
+						for _, name := range p.Names {
+							if obj := pass.TypesInfo.Defs[name]; obj != nil && bidi(obj.Type()) {
+								pass.Reportf(name.Pos(), "parameter %s of %s is a bidirectional channel; declare a direction (<-chan or chan<-)",
+									name.Name, funcDisplayName(fd))
+							}
+						}
+					}
+				}
+				if d.Body != nil {
+					checkLoopSends(pass, d, unbuffered)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkLoopSends flags sends on known-unbuffered channels inside
+// loops, unless the send sits in a select containing a default clause
+// (a non-blocking offer).
+func checkLoopSends(pass *lint.Pass, fd *ast.FuncDecl, unbuffered map[types.Object]bool) {
+	var visit func(n ast.Node, inLoop, nonBlocking bool)
+	visit = func(n ast.Node, inLoop, nonBlocking bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.ForStmt:
+			visitChildren(n.Body, visit, true, false)
+			return
+		case *ast.RangeStmt:
+			visitChildren(n.Body, visit, true, false)
+			return
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			for _, c := range n.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if cc.Comm != nil {
+					visit(cc.Comm, inLoop, hasDefault)
+				}
+				for _, stmt := range cc.Body {
+					visit(stmt, inLoop, false)
+				}
+			}
+			return
+		case *ast.SendStmt:
+			if !inLoop || nonBlocking {
+				break
+			}
+			if obj := lhsObject(pass.TypesInfo, n.Chan); obj != nil && unbuffered[obj] {
+				pass.Reportf(n.Pos(), "send on unbuffered channel %s inside a loop in %s; "+
+					"buffer it, use a select with default, or allow with a reason", obj.Name(), funcDisplayName(fd))
+			}
+			return
+		case *ast.FuncLit:
+			// A literal's body runs in whatever loop context it is
+			// *called* from; reset.
+			visitChildren(n.Body, visit, false, false)
+			return
+		}
+		visitChildren(n, visit, inLoop, nonBlocking)
+	}
+	visitChildren(fd.Body, visit, false, false)
+}
+
+// visitChildren applies visit to each direct child of n, threading the
+// loop/non-blocking context.
+func visitChildren(n ast.Node, visit func(ast.Node, bool, bool), inLoop, nonBlocking bool) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == n {
+			return true
+		}
+		if child != nil {
+			visit(child, inLoop, nonBlocking)
+		}
+		return false
+	})
+}

@@ -1,0 +1,201 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tagbreathe/internal/lint"
+)
+
+// CtxFlow enforces context propagation through the supervision tree:
+//
+//   - context.Background() and context.TODO() belong in package main
+//     and tests only — library code receives its context from the
+//     caller, so cancellation reaches every loop from one root. An
+//     annotated //tagbreathe:allow ctxflow marks the rare legitimate
+//     detached root (a study harness, a protocol-mandated fresh
+//     context).
+//
+//   - A function that spawns a long-lived goroutine — one whose body
+//     loops forever, ranges over a channel, or blocks in a select —
+//     must expose a way to stop or join it: a context.Context
+//     parameter, a receiver/result struct carrying a Context,
+//     CancelFunc, channel, or WaitGroup (the supervisor's handle), or
+//     an in-function WaitGroup.Wait (structured join before return).
+//     Bounded spawns (one-shot sends, slice-range workers) pass
+//     untouched.
+var CtxFlow = &lint.Analyzer{
+	Name: "ctxflow",
+	Doc: "forbid context.Background/TODO outside main and tests; require functions " +
+		"spawning supervised loops to accept or carry a cancellation path",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *lint.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	// Rule 1: no fresh root contexts in library code.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lint.CalleeFunc(pass.TypesInfo, call)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+				(fn.Name() == "Background" || fn.Name() == "TODO") {
+				pass.Reportf(call.Pos(), "context.%s() in library code; thread the caller's context instead", fn.Name())
+			}
+			return true
+		})
+	}
+
+	// Rule 2: spawning a supervised loop requires a cancellation path.
+	closures := make(map[types.Object]*ast.FuncLit)
+	declByObj := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if obj := pass.TypesInfo.Defs[n.Name]; obj != nil {
+					declByObj[obj] = n
+				}
+			case *ast.AssignStmt:
+				recordClosures(pass.TypesInfo, n, closures)
+			}
+			return true
+		})
+	}
+	spawnedBody := func(call *ast.CallExpr) *ast.BlockStmt {
+		if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+			return lit.Body
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if lit, ok := closures[pass.TypesInfo.Uses[id]]; ok {
+				return lit.Body
+			}
+		}
+		if fn := lint.CalleeFunc(pass.TypesInfo, call); fn != nil {
+			if decl, ok := declByObj[fn.Origin()]; ok {
+				return decl.Body
+			}
+		}
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var spawns []*ast.GoStmt
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					if body := spawnedBody(g.Call); body != nil && hasSupervisedLoop(pass.TypesInfo, body) {
+						spawns = append(spawns, g)
+					}
+				}
+				return true
+			})
+			if len(spawns) == 0 || cancellable(pass, fd) {
+				continue
+			}
+			for _, g := range spawns {
+				pass.Reportf(g.Pos(), "%s spawns a supervised loop but has no cancellation path "+
+					"(context parameter, supervisor struct, or in-function Wait)", funcDisplayName(fd))
+			}
+		}
+	}
+	return nil
+}
+
+// hasSupervisedLoop reports whether a goroutine body contains an
+// unbounded loop: `for {}`, a range over a channel, or a loop with a
+// select inside. Plain bounded iteration (counting loops, slice
+// ranges) does not make a goroutine supervised.
+func hasSupervisedLoop(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.Types[n.X].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.SelectStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// cancellable reports whether fd exposes a way for its spawned loops
+// to be stopped or joined.
+func cancellable(pass *lint.Pass, fd *ast.FuncDecl) bool {
+	sig, ok := pass.TypesInfo.Defs[fd.Name].Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if lint.IsNamed(sig.Params().At(i).Type(), "context", "Context") {
+			return true
+		}
+	}
+	if recv := sig.Recv(); recv != nil && supervisorStruct(recv.Type()) {
+		return true
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if supervisorStruct(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	// Structured join: the function itself waits for the goroutines it
+	// spawned before returning.
+	joined := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := lint.CalleeFunc(pass.TypesInfo, call); fn != nil && fn.Name() == "Wait" {
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil &&
+				lint.IsNamed(recv.Type(), "sync", "WaitGroup") {
+				joined = true
+			}
+		}
+		return !joined
+	})
+	return joined
+}
+
+// supervisorStruct reports whether t (after pointer indirection) is a
+// struct carrying a cancellation or lifecycle handle: a
+// context.Context, context.CancelFunc, channel, or sync.WaitGroup
+// field.
+func supervisorStruct(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if lint.IsNamed(ft, "context", "Context") || lint.IsNamed(ft, "context", "CancelFunc") ||
+			lint.IsNamed(ft, "sync", "WaitGroup") {
+			return true
+		}
+		if _, isChan := ft.Underlying().(*types.Chan); isChan {
+			return true
+		}
+	}
+	return false
+}

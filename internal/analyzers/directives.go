@@ -2,6 +2,7 @@ package analyzers
 
 import (
 	"go/ast"
+	"strings"
 
 	"tagbreathe/internal/lint"
 )
@@ -10,8 +11,10 @@ import (
 // known directive names, allow directives naming a real check with a
 // mandatory reason and an attachable statement, hotpath only on
 // function doc comments, labelvalue only on functions or struct
-// fields. Without this, a typo'd suppression would silently suppress
-// nothing (or worse, a bare allow would ship with no rationale).
+// fields, owner only on struct fields with every named owner resolving
+// to a function declared in the package. Without this, a typo'd
+// suppression would silently suppress nothing (or worse, a bare allow
+// would ship with no rationale).
 var Directives = &lint.Analyzer{
 	Name: "directives",
 	Doc:  "validate //tagbreathe: annotation grammar (known names, mandatory reasons, sane attachment)",
@@ -24,9 +27,14 @@ var checkNames = map[string]bool{
 	GoroutineLeak.Name: true,
 	MetricHygiene.Name: true,
 	FloatCmp.Name:      true,
+	SingleWriter.Name:  true,
+	CtxFlow.Name:       true,
+	ErrWrap.Name:       true,
+	ChanDir.Name:       true,
 }
 
 func runDirectives(pass *lint.Pass) error {
+	var funcNames map[string]bool // built on first owner directive
 	for _, dir := range pass.Dirs.All {
 		switch dir.Name {
 		case "":
@@ -54,6 +62,32 @@ func runDirectives(pass *lint.Pass) error {
 			case *ast.FuncDecl, *ast.Field:
 			default:
 				pass.Reportf(dir.Pos, "//tagbreathe:labelvalue must annotate a function or struct field")
+			}
+		case "owner":
+			if _, ok := dir.Node.(*ast.Field); !ok {
+				pass.Reportf(dir.Pos, "//tagbreathe:owner must annotate a struct field")
+				continue
+			}
+			names := strings.Fields(dir.Reason)
+			if len(names) == 0 {
+				pass.Reportf(dir.Pos, "//tagbreathe:owner names no owning function")
+				continue
+			}
+			if funcNames == nil {
+				funcNames = make(map[string]bool)
+				for _, f := range pass.Files {
+					for _, d := range f.Decls {
+						if fd, ok := d.(*ast.FuncDecl); ok {
+							funcNames[fd.Name.Name] = true
+							funcNames[funcDisplayName(fd)] = true
+						}
+					}
+				}
+			}
+			for _, n := range names {
+				if !funcNames[n] {
+					pass.Reportf(dir.Pos, "//tagbreathe:owner names %q, which is not a function declared in this package", n)
+				}
 			}
 		default:
 			pass.Reportf(dir.Pos, "unknown directive //tagbreathe:%s", dir.Name)

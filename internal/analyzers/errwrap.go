@@ -1,0 +1,112 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"tagbreathe/internal/lint"
+)
+
+// ErrWrap enforces the repository's error-wrapping conventions at
+// every fmt.Errorf call site in library code:
+//
+//   - an error argument is wrapped with %w, not flattened through
+//     %v/%s — callers must be able to errors.Is/As through the chain
+//     (an allow covers deliberate opacity, e.g. hiding an internal
+//     error type at an API boundary);
+//
+//   - a %w wrap inside an exported function carries the package's
+//     component prefix ("llrp: ", "fleet: ", ...) so an operator
+//     reading a wrapped chain can tell which subsystem each layer
+//     came from. Unexported helpers stay prefix-free — their exported
+//     callers add the component exactly once.
+//
+// The component name is the last element of the package import path,
+// matching the obs component naming in DESIGN.md §7.
+var ErrWrap = &lint.Analyzer{
+	Name: "errwrap",
+	Doc: "require fmt.Errorf to wrap error arguments with %w and, in exported " +
+		"functions, to prefix the message with the package component",
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *lint.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	component := pass.Pkg.Path()
+	if i := strings.LastIndex(component, "/"); i >= 0 {
+		component = component[i+1:]
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			exported := exportedFunc(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := lint.CalleeFunc(pass.TypesInfo, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" || len(call.Args) == 0 {
+					return true
+				}
+				tv := pass.TypesInfo.Types[call.Args[0]]
+				if tv.Value == nil || tv.Value.Kind() != constant.String {
+					return true // dynamic format; nothing to prove
+				}
+				format := constant.StringVal(tv.Value)
+				wraps := strings.Contains(format, "%w")
+				if !wraps {
+					for _, arg := range call.Args[1:] {
+						if t := pass.TypesInfo.Types[arg].Type; t != nil && types.Implements(t, errType.Underlying().(*types.Interface)) {
+							pass.Reportf(call.Pos(), "fmt.Errorf flattens an error with %%v/%%s; wrap it with %%w so callers can errors.Is/As")
+							break
+						}
+					}
+					return true
+				}
+				if exported && !strings.HasPrefix(format, component+": ") {
+					pass.Reportf(call.Pos(), "wrapped error in exported %s should start with the %q component prefix",
+						funcDisplayName(fd), component+": ")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// exportedFunc reports whether fd is part of the package's exported
+// surface: an exported function, or an exported method on an exported
+// type.
+func exportedFunc(pass *lint.Pass, fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil {
+		return true
+	}
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return true
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return true
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Exported()
+	}
+	return true
+}

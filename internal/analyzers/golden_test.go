@@ -51,6 +51,20 @@ func TestGoroutineLeakGolden(t *testing.T) {
 func TestMetricHygieneGolden(t *testing.T) { runGolden(t, analyzers.MetricHygiene, "metricdata") }
 func TestFloatCmpGolden(t *testing.T)      { runGolden(t, analyzers.FloatCmp, "floatcmpdata") }
 func TestDirectivesGolden(t *testing.T)    { runGolden(t, analyzers.Directives, "directivedata") }
+func TestSingleWriterGolden(t *testing.T) {
+	runGolden(t, analyzers.SingleWriter, "singlewriterdata")
+}
+func TestCtxFlowGolden(t *testing.T) { runGolden(t, analyzers.CtxFlow, "ctxflowdata") }
+func TestErrWrapGolden(t *testing.T) { runGolden(t, analyzers.ErrWrap, "errwrapdata") }
+func TestChanDirGolden(t *testing.T) { runGolden(t, analyzers.ChanDir, "chandirdata") }
+
+// TestHotPathCrossPackageGolden pins the module-wide descent: the root
+// package's hot functions call into a sibling testdata package, and
+// violations inside the callee (and inside closures handed across the
+// boundary) are reported at the callee's source positions.
+func TestHotPathCrossPackageGolden(t *testing.T) {
+	runGolden(t, analyzers.HotPath, "hotpathxroot", "hotpathxcallee")
+}
 
 // TestRepoLintClean runs the full suite over the module — the same
 // gate as `make lint` and CI — and demands zero findings. Reintroduce
@@ -64,7 +78,7 @@ func TestRepoLintClean(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loading module: %v", err)
 	}
-	diags, err := lint.Run(l.Fset, pkgs, analyzers.All)
+	diags, err := lint.Run(l.Universe(), pkgs, analyzers.All)
 	if err != nil {
 		t.Fatalf("running analyzers: %v", err)
 	}
@@ -73,21 +87,38 @@ func TestRepoLintClean(t *testing.T) {
 	}
 }
 
-func runGolden(t *testing.T, a *lint.Analyzer, pkgName string) {
+// runGolden checks one analyzer against testdata/src/<pkgName>. extra
+// names further testdata packages to register first (cross-package
+// callees); their files' want comments are asserted too, since the
+// walk may land findings there.
+func runGolden(t *testing.T, a *lint.Analyzer, pkgName string, extra ...string) {
 	l := goldenLoader(t)
+	const prefix = "tagbreathe/internal/analyzers/testdata/src/"
+	wantFiles := []string(nil)
+	for _, name := range extra {
+		dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := l.LoadSynthetic(prefix+name, dir)
+		if err != nil {
+			t.Fatalf("loading %s: %v", name, err)
+		}
+		wantFiles = append(wantFiles, p.GoFiles...)
+	}
 	dir, err := filepath.Abs(filepath.Join("testdata", "src", pkgName))
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkg, err := l.LoadSynthetic("tagbreathe/internal/analyzers/testdata/src/"+pkgName, dir)
+	pkg, err := l.LoadSynthetic(prefix+pkgName, dir)
 	if err != nil {
 		t.Fatalf("loading %s: %v", pkgName, err)
 	}
-	diags, err := lint.Run(l.Fset, []*lint.Package{pkg}, []*lint.Analyzer{a})
+	diags, err := lint.Run(l.Universe(), []*lint.Package{pkg}, []*lint.Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
-	wants := parseWants(t, pkg.GoFiles)
+	wants := parseWants(t, append(append([]string(nil), pkg.GoFiles...), wantFiles...))
 
 	for _, d := range diags {
 		claimed := false

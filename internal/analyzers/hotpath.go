@@ -1,8 +1,12 @@
-// Package analyzers is TagBreathe's custom lint suite: four analyzers
-// (plus a directive-grammar validator) that mechanically enforce the
-// invariants the pipeline's real-time behaviour rests on. They run on
-// the internal/lint framework via cmd/tagbreathe-lint; see DESIGN.md
-// §10 for the catalog and annotation grammar.
+// Package analyzers is TagBreathe's custom lint suite: nine analyzers
+// that mechanically enforce the invariants the pipeline's real-time
+// behaviour rests on — allocation-free hot paths (walked across
+// package boundaries), lifecycle-tied goroutines, single-writer field
+// ownership, context propagation, wrapped-error conventions, channel
+// direction discipline, metric hygiene, float comparisons, and the
+// directive grammar itself. They run on the internal/lint framework
+// via cmd/tagbreathe-lint; see DESIGN.md §10 for the catalog and
+// annotation grammar.
 package analyzers
 
 import (
@@ -16,32 +20,97 @@ import (
 
 // HotPath enforces the streaming pipeline's per-event discipline on
 // functions marked //tagbreathe:hotpath and everything they call
-// within their package: no map allocation, no make with a runtime
+// anywhere in the module: no map allocation, no make with a runtime
 // size, no time.Now/time.Since, no fmt/log/slog calls, no mutex
 // acquisition, no goroutine spawns, and no sends on channels known to
-// be unbuffered. Cold branches inside a hot function (one-time wiring,
+// be unbuffered. The walk descends through module-internal call edges
+// — including method values and closures passed as arguments across
+// packages — and stops only at standard-library or annotated
+// boundaries. Cold branches inside a hot function (one-time wiring,
 // per-tick bookkeeping) carry //tagbreathe:allow hotpath suppressions
-// with reasons, which also prune the call-graph walk.
+// with reasons, which also prune the walk; suppressions for findings
+// in a callee package live in that package, next to the code they
+// excuse.
 var HotPath = &lint.Analyzer{
 	Name: "hotpath",
 	Doc: "reject allocations, clock reads, formatting, locks, and unbuffered sends " +
-		"in //tagbreathe:hotpath functions and their intra-package callees",
+		"in //tagbreathe:hotpath functions and their module-wide callees",
 	Run: runHotPath,
 }
 
-// hotWalker carries one package's state through the hot-path walk.
-type hotWalker struct {
-	pass *lint.Pass
+// hotState is the universe-wide walk state, shared across every target
+// package of a run: per-package call-graph indexes built on demand,
+// plus a module-wide map of channels observed being made unbuffered
+// (a channel created in one package and sent on from another is still
+// a blocking handoff).
+type hotState struct {
+	u     *lint.Universe
+	units map[*lint.Package]*hotUnit
+	// unbuffered holds objects (vars and fields) observed being
+	// assigned a make(chan T) with no capacity argument, module-wide.
+	unbuffered map[types.Object]bool
+}
+
+// hotUnit is one package's slice of the walk state.
+type hotUnit struct {
+	pkg  *lint.Package
+	dirs *lint.Directives
 	// decls maps package-level function objects to their declarations.
 	decls map[types.Object]*ast.FuncDecl
 	// closures maps single-assignment local variables to the function
 	// literals they hold, so `name := func(...){...}; name()` walks
 	// into the literal.
 	closures map[types.Object]*ast.FuncLit
-	// unbuffered holds objects (vars and fields) observed being
-	// assigned a make(chan T) with no capacity argument.
-	unbuffered map[types.Object]bool
-	visited    map[ast.Node]bool
+}
+
+func hotStateFor(u *lint.Universe) *hotState {
+	return u.Cached("hotpath:state", func() any {
+		s := &hotState{
+			u:          u,
+			units:      make(map[*lint.Package]*hotUnit),
+			unbuffered: make(map[types.Object]bool),
+		}
+		for _, p := range u.Packages() {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if as, ok := n.(*ast.AssignStmt); ok {
+						recordChanMakes(p.Info, as, s.unbuffered)
+					}
+					return true
+				})
+			}
+		}
+		return s
+	}).(*hotState)
+}
+
+// unit lazily builds one package's function and closure indexes.
+func (s *hotState) unit(p *lint.Package) *hotUnit {
+	un, ok := s.units[p]
+	if ok {
+		return un
+	}
+	un = &hotUnit{
+		pkg:      p,
+		dirs:     s.u.Directives(p),
+		decls:    make(map[types.Object]*ast.FuncDecl),
+		closures: make(map[types.Object]*ast.FuncLit),
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if obj := p.Info.Defs[n.Name]; obj != nil {
+					un.decls[obj] = n
+				}
+			case *ast.AssignStmt:
+				recordClosures(p.Info, n, un.closures)
+			}
+			return true
+		})
+	}
+	s.units[p] = un
+	return un
 }
 
 func runHotPath(pass *lint.Pass) error {
@@ -49,39 +118,32 @@ func runHotPath(pass *lint.Pass) error {
 	if len(roots) == 0 {
 		return nil
 	}
+	if pass.Uni == nil {
+		return fmt.Errorf("hotpath needs the shared universe (run via lint.Run)")
+	}
+	self := pass.Uni.Package(pass.Pkg.Path())
+	if self == nil {
+		return fmt.Errorf("target package %s missing from universe", pass.Pkg.Path())
+	}
+	st := hotStateFor(pass.Uni)
 	w := &hotWalker{
-		pass:       pass,
-		decls:      make(map[types.Object]*ast.FuncDecl),
-		closures:   make(map[types.Object]*ast.FuncLit),
-		unbuffered: make(map[types.Object]bool),
-		visited:    make(map[ast.Node]bool),
+		pass:    pass,
+		st:      st,
+		visited: make(map[*ast.BlockStmt]bool),
 	}
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.FuncDecl:
-				if obj := pass.TypesInfo.Defs[n.Name]; obj != nil {
-					w.decls[obj] = n
-				}
-			case *ast.AssignStmt:
-				w.recordChanMakes(n)
-				w.recordClosures(n)
-			}
-			return true
-		})
-	}
+	un := st.unit(self)
 	for _, fd := range roots {
 		if pass.Dirs.FuncAllowed("hotpath", fd) {
 			continue
 		}
-		w.walk(fd.Body, funcDisplayName(fd))
+		w.walk(un, fd.Body, funcDisplayName(fd))
 	}
 	return nil
 }
 
 // recordChanMakes notes variables and fields assigned an unbuffered
 // channel, the targets of the hot-path send check.
-func (w *hotWalker) recordChanMakes(as *ast.AssignStmt) {
+func recordChanMakes(info *types.Info, as *ast.AssignStmt, unbuffered map[types.Object]bool) {
 	if len(as.Lhs) != len(as.Rhs) {
 		return
 	}
@@ -92,20 +154,20 @@ func (w *hotWalker) recordChanMakes(as *ast.AssignStmt) {
 		}
 		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "make" {
 			continue
-		} else if _, isBuiltin := w.pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		} else if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
 			continue
 		}
-		if _, isChan := w.pass.TypesInfo.Types[call].Type.Underlying().(*types.Chan); !isChan {
+		if _, isChan := info.Types[call].Type.Underlying().(*types.Chan); !isChan {
 			continue
 		}
-		if obj := w.lhsObject(as.Lhs[i]); obj != nil {
-			w.unbuffered[obj] = true
+		if obj := lhsObject(info, as.Lhs[i]); obj != nil {
+			unbuffered[obj] = true
 		}
 	}
 }
 
 // recordClosures notes `name := func(...){...}` definitions.
-func (w *hotWalker) recordClosures(as *ast.AssignStmt) {
+func recordClosures(info *types.Info, as *ast.AssignStmt, closures map[types.Object]*ast.FuncLit) {
 	if as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
 		return
 	}
@@ -115,28 +177,41 @@ func (w *hotWalker) recordClosures(as *ast.AssignStmt) {
 			continue
 		}
 		if id, ok := as.Lhs[i].(*ast.Ident); ok {
-			if obj := w.pass.TypesInfo.Defs[id]; obj != nil {
-				w.closures[obj] = lit
+			if obj := info.Defs[id]; obj != nil {
+				closures[obj] = lit
 			}
 		}
 	}
 }
 
-func (w *hotWalker) lhsObject(e ast.Expr) types.Object {
+func lhsObject(info *types.Info, e ast.Expr) types.Object {
 	switch e := ast.Unparen(e).(type) {
 	case *ast.Ident:
-		return w.pass.ObjectOf(e)
+		if o := info.Defs[e]; o != nil {
+			return o
+		}
+		return info.Uses[e]
 	case *ast.SelectorExpr:
-		if sel, ok := w.pass.TypesInfo.Selections[e]; ok {
+		if sel, ok := info.Selections[e]; ok {
 			return sel.Obj()
 		}
 	}
 	return nil
 }
 
-// walk checks one function body reached from the hot root named by
-// root, descending into same-package callees.
-func (w *hotWalker) walk(body *ast.BlockStmt, root string) {
+// hotWalker carries one target package's walk through the shared
+// state. visited spans packages: a callee checked once per pass stays
+// checked.
+type hotWalker struct {
+	pass    *lint.Pass
+	st      *hotState
+	visited map[*ast.BlockStmt]bool
+}
+
+// walk checks one function body (belonging to un's package) reached
+// from the hot root named by root, descending into module-internal
+// callees.
+func (w *hotWalker) walk(un *hotUnit, body *ast.BlockStmt, root string) {
 	if body == nil || w.visited[body] {
 		return
 	}
@@ -145,52 +220,57 @@ func (w *hotWalker) walk(body *ast.BlockStmt, root string) {
 		switch n := n.(type) {
 		case *ast.FuncLit:
 			// Literals run when called, not where written; the walk
-			// enters them through closure-variable calls.
+			// enters them through closure-variable calls and
+			// function-valued arguments.
 			return false
 		case *ast.GoStmt:
 			w.pass.Reportf(n.Pos(), "hot path %s spawns a goroutine", root)
 			return false
 		case *ast.CompositeLit:
-			if t := w.pass.TypesInfo.Types[n].Type; t != nil {
+			if t := un.pkg.Info.Types[n].Type; t != nil {
 				if _, isMap := t.Underlying().(*types.Map); isMap {
 					w.pass.Reportf(n.Pos(), "hot path %s allocates a map literal", root)
 				}
 			}
 		case *ast.SendStmt:
-			if obj := w.lhsObject(n.Chan); obj != nil && w.unbuffered[obj] {
+			if obj := lhsObject(un.pkg.Info, n.Chan); obj != nil && w.st.unbuffered[obj] {
 				w.pass.Reportf(n.Pos(), "hot path %s sends on unbuffered channel %s (blocking handoff)", root, obj.Name())
 			}
 		case *ast.CallExpr:
-			w.checkCall(n, root)
+			w.checkCall(un, n, root)
 		}
 		return true
 	})
 }
 
 // checkCall judges one call in a hot function: forbidden stdlib calls,
-// allocating builtins, lock acquisitions, and the descent into
-// same-package callees.
-func (w *hotWalker) checkCall(call *ast.CallExpr, root string) {
-	// Builtins: make is the allocation gate.
+// allocating builtins, lock acquisitions, the descent into
+// module-internal callees, and function values handed across the call.
+func (w *hotWalker) checkCall(un *hotUnit, call *ast.CallExpr, root string) {
+	info := un.pkg.Info
+	// An allow on the call site prunes the whole call: the descent and
+	// any function-valued arguments.
+	allowed := un.dirs.Allowed("hotpath", call.Pos())
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
-		if _, isBuiltin := w.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
 			if id.Name == "make" {
-				w.checkMake(call, root)
+				w.checkMake(un, call, root)
 			}
 			return
 		}
 		// Closure-variable call: walk into the literal.
-		if obj := w.pass.ObjectOf(id); obj != nil {
-			if lit, ok := w.closures[obj]; ok && !w.allowedAt(call.Pos()) {
-				w.walk(lit.Body, root)
+		if obj := lhsObject(info, id); obj != nil {
+			if lit, ok := un.closures[obj]; ok && !allowed {
+				w.walk(un, lit.Body, root)
 			}
 		}
 	}
-	fn := lint.CalleeFunc(w.pass.TypesInfo, call)
-	if fn == nil {
-		return
+	// Immediately-invoked literal: func(){...}() runs right here.
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok && !allowed {
+		w.walk(un, lit.Body, root)
 	}
-	if fn.Pkg() != nil {
+	fn := lint.CalleeFunc(info, call)
+	if fn != nil && fn.Pkg() != nil {
 		switch fn.Pkg().Path() {
 		case "time":
 			if fn.Name() == "Now" || fn.Name() == "Since" {
@@ -205,30 +285,82 @@ func (w *hotWalker) checkCall(call *ast.CallExpr, root string) {
 			return
 		}
 	}
-	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
-		if lint.IsNamed(recv.Type(), "sync", "Mutex") || lint.IsNamed(recv.Type(), "sync", "RWMutex") {
-			if fn.Name() == "Lock" || fn.Name() == "RLock" {
-				w.pass.Reportf(call.Pos(), "hot path %s acquires a %s.%s", root, types.TypeString(recv.Type(), nil), fn.Name())
+	if fn != nil {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			if lint.IsNamed(recv.Type(), "sync", "Mutex") || lint.IsNamed(recv.Type(), "sync", "RWMutex") {
+				if fn.Name() == "Lock" || fn.Name() == "RLock" {
+					w.pass.Reportf(call.Pos(), "hot path %s acquires a %s.%s", root, types.TypeString(recv.Type(), nil), fn.Name())
+				}
+				return
 			}
-			return
 		}
 	}
-	// Descend into same-package callees (the intra-package call-graph
-	// walk); an allow on the call site prunes the descent.
-	if fn.Pkg() != nil && fn.Pkg().Path() == w.pass.Pkg.Path() && !w.allowedAt(call.Pos()) {
-		if decl, ok := w.decls[fn]; ok && !w.pass.Dirs.FuncAllowed("hotpath", decl) {
-			w.walk(decl.Body, root)
+	if !allowed {
+		w.descend(fn, root)
+		w.walkFuncArgs(un, call, root)
+	}
+}
+
+// descend walks into a module-internal callee, wherever in the module
+// it is declared. A function-scoped allow in the callee's own package
+// prunes the descent (the callee vouches for itself); stdlib and
+// unresolved callees stop the walk.
+func (w *hotWalker) descend(fn *types.Func, root string) {
+	if fn == nil {
+		return
+	}
+	fn = fn.Origin() // generic instantiations share one declaration
+	if fn.Pkg() == nil {
+		return
+	}
+	callee := w.st.u.Package(fn.Pkg().Path())
+	if callee == nil {
+		return
+	}
+	cu := w.st.unit(callee)
+	decl, ok := cu.decls[fn]
+	if !ok || cu.dirs.FuncAllowed("hotpath", decl) {
+		return
+	}
+	w.walk(cu, decl.Body, root)
+}
+
+// walkFuncArgs treats function values passed as call arguments —
+// literals, closure variables, named functions, and method values —
+// as called on the hot path, including across package boundaries.
+func (w *hotWalker) walkFuncArgs(un *hotUnit, call *ast.CallExpr, root string) {
+	info := un.pkg.Info
+	for _, arg := range call.Args {
+		switch a := ast.Unparen(arg).(type) {
+		case *ast.FuncLit:
+			w.walk(un, a.Body, root)
+		case *ast.Ident:
+			obj := info.Uses[a]
+			if lit, ok := un.closures[obj]; ok {
+				w.walk(un, lit.Body, root)
+			} else if fn, ok := obj.(*types.Func); ok {
+				w.descend(fn, root)
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[a]; ok {
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					w.descend(fn, root) // method value
+				}
+			} else if fn, ok := info.Uses[a.Sel].(*types.Func); ok {
+				w.descend(fn, root) // package-qualified function value
+			}
 		}
 	}
 }
 
 // checkMake flags make calls whose element kind or runtime size breaks
 // the no-allocation contract.
-func (w *hotWalker) checkMake(call *ast.CallExpr, root string) {
+func (w *hotWalker) checkMake(un *hotUnit, call *ast.CallExpr, root string) {
 	if len(call.Args) == 0 {
 		return
 	}
-	t := w.pass.TypesInfo.Types[call].Type
+	info := un.pkg.Info
+	t := info.Types[call].Type
 	if t == nil {
 		return
 	}
@@ -237,15 +369,11 @@ func (w *hotWalker) checkMake(call *ast.CallExpr, root string) {
 		return
 	}
 	for _, arg := range call.Args[1:] {
-		if w.pass.TypesInfo.Types[arg].Value == nil {
-			w.pass.Reportf(call.Pos(), "hot path %s allocates with a non-constant size (%s)", root, types.TypeString(t, types.RelativeTo(w.pass.Pkg)))
+		if info.Types[arg].Value == nil {
+			w.pass.Reportf(call.Pos(), "hot path %s allocates with a non-constant size (%s)", root, types.TypeString(t, types.RelativeTo(un.pkg.Types)))
 			return
 		}
 	}
-}
-
-func (w *hotWalker) allowedAt(pos token.Pos) bool {
-	return w.pass.Dirs.Allowed("hotpath", pos)
 }
 
 // funcDisplayName renders a declaration as Recv.Name or Name for

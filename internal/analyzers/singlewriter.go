@@ -1,0 +1,197 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tagbreathe/internal/lint"
+)
+
+// SingleWriter enforces goroutine-ownership of struct fields marked
+// //tagbreathe:owner <func> [<func>...]: the field may only be written
+// from the owning set — the named functions plus every same-package
+// function reachable only from inside the set (the owning event
+// loop's private helpers). This is the monitor/governor discipline of
+// DESIGN.md §6 and §13 made mechanical: one goroutine writes, everyone
+// else reads through the published snapshot, and a drive-by write from
+// a new code path is a lint error instead of a data race the detector
+// may or may not catch.
+//
+// Composite-literal construction is not a write — building the struct
+// happens before the owning goroutine exists. Writes in a function
+// literal count against the function that lexically encloses it (the
+// loop body a worker runs is owned by the loop function that spawned
+// it). Element writes count too: m.state[k] = v mutates the container
+// the owned field holds.
+var SingleWriter = &lint.Analyzer{
+	Name: "singlewriter",
+	Doc: "restrict writes to //tagbreathe:owner fields to the owning " +
+		"goroutine's function set (named owners plus their exclusive same-package helpers)",
+	Run: runSingleWriter,
+}
+
+func runSingleWriter(pass *lint.Pass) error {
+	type ownedField struct {
+		names []string // declared owner function names
+	}
+	owned := make(map[types.Object]*ownedField)
+	for _, dir := range pass.Dirs.All {
+		if dir.Name != "owner" {
+			continue
+		}
+		fld, ok := dir.Node.(*ast.Field)
+		if !ok {
+			continue // directives analyzer flags the attachment
+		}
+		names := strings.Fields(dir.Reason)
+		if len(names) == 0 {
+			continue
+		}
+		for _, id := range fld.Names {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				owned[obj] = &ownedField{names: names}
+			}
+		}
+	}
+	if len(owned) == 0 {
+		return nil
+	}
+
+	// Index the package's function declarations and their same-package
+	// call edges.
+	decls := make(map[*ast.FuncDecl]bool)
+	declByObj := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				decls[fd] = true
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					declByObj[obj] = fd
+				}
+			}
+		}
+	}
+	callers := make(map[*ast.FuncDecl]map[*ast.FuncDecl]bool)
+	for fd := range decls {
+		if fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lint.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			callee, ok := declByObj[fn.Origin()]
+			if !ok {
+				return true
+			}
+			if callers[callee] == nil {
+				callers[callee] = make(map[*ast.FuncDecl]bool)
+			}
+			callers[callee][fd] = true
+			return true
+		})
+	}
+
+	// The owning set per field: named owners, then the fixed point of
+	// functions whose callers all already belong to the set. A helper
+	// called from both the owner loop and an outside path stays
+	// outside — it can run on either goroutine.
+	ownerSet := func(names []string) map[*ast.FuncDecl]bool {
+		set := make(map[*ast.FuncDecl]bool)
+		named := make(map[string]bool, len(names))
+		for _, n := range names {
+			named[n] = true
+		}
+		for fd := range decls {
+			if named[fd.Name.Name] || named[funcDisplayName(fd)] {
+				set[fd] = true
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for fd := range decls {
+				if set[fd] || len(callers[fd]) == 0 {
+					continue
+				}
+				all := true
+				for caller := range callers[fd] {
+					if !set[caller] {
+						all = false
+						break
+					}
+				}
+				if all {
+					set[fd] = true
+					changed = true
+				}
+			}
+		}
+		return set
+	}
+	sets := make(map[types.Object]map[*ast.FuncDecl]bool, len(owned))
+	for obj, of := range owned {
+		sets[obj] = ownerSet(of.names)
+	}
+
+	// Flag writes outside the owning set. enclosing tracks the
+	// FuncDecl a node lexically sits in.
+	fieldOf := func(e ast.Expr) types.Object {
+		e = ast.Unparen(e)
+		// A map or slice element write mutates the container the field
+		// holds; peel the index to reach the owned field itself.
+		for {
+			ix, ok := e.(*ast.IndexExpr)
+			if !ok {
+				break
+			}
+			e = ast.Unparen(ix.X)
+		}
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		if s, ok := pass.TypesInfo.Selections[sel]; ok {
+			return s.Obj()
+		}
+		return nil
+	}
+	report := func(pos interface{ Pos() token.Pos }, obj types.Object, fd *ast.FuncDecl) {
+		where := "package scope"
+		if fd != nil {
+			where = funcDisplayName(fd)
+		}
+		pass.Reportf(pos.Pos(), "field %s is owned by %s; written from %s",
+			obj.Name(), strings.Join(owned[obj].names, "/"), where)
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if obj := fieldOf(lhs); obj != nil && sets[obj] != nil && !sets[obj][fd] {
+							report(n, obj, fd)
+						}
+					}
+				case *ast.IncDecStmt:
+					if obj := fieldOf(n.X); obj != nil && sets[obj] != nil && !sets[obj][fd] {
+						report(n, obj, fd)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

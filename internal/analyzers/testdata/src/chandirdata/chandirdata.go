@@ -1,0 +1,56 @@
+// Package chandirdata is golden-test input for the chandir analyzer:
+// parameters and exported fields declare a channel direction, and
+// sends on unbuffered channels inside loops need a buffer, a default,
+// or an allow.
+package chandirdata
+
+// Exported's bidirectional field leaks both ends outside the package.
+type Exported struct {
+	Out  chan int // want `exported field Exported\.Out is a bidirectional channel`
+	In   <-chan int
+	next chan int // unexported: fine
+}
+
+// Pump's first parameter is bidirectional; the second declares its
+// direction.
+func Pump(in chan int, out chan<- int) { // want `parameter in of Pump is a bidirectional channel`
+	for v := range in {
+		out <- v // direction-typed param, bufferedness unknown: fine
+	}
+}
+
+func loopSends() {
+	u := make(chan int)
+	b := make(chan int, 4)
+	go drain(u)
+	go drain(b)
+	for i := 0; i < 8; i++ {
+		u <- i // want `send on unbuffered channel u inside a loop in loopSends`
+		b <- i // buffered: fine
+		select {
+		case u <- i: // non-blocking offer: fine
+		default:
+		}
+	}
+	u <- 9 // not in a loop: fine
+	//tagbreathe:allow chandir golden test: the blocking handoff is the backpressure
+	for i := 0; i < 8; i++ {
+		u <- i
+	}
+}
+
+// closures reset the loop context: a send inside a literal declared in
+// a loop runs in whatever loop its caller is in, not this one.
+func closureSend() {
+	u := make(chan int)
+	go drain(u)
+	for i := 0; i < 2; i++ {
+		f := func() { u <- 1 }
+		f()
+	}
+}
+
+func drain(ch <-chan int) {
+	for range ch {
+	}
+}

@@ -1,0 +1,87 @@
+// Package ctxflowdata is golden-test input for the ctxflow analyzer:
+// no fresh context roots in library code, and supervised-loop spawners
+// must have a cancellation path.
+package ctxflowdata
+
+import (
+	"context"
+	"sync"
+)
+
+func background() context.Context {
+	return context.Background() // want `context\.Background\(\) in library code`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context\.TODO\(\) in library code`
+}
+
+func allowedRoot() context.Context {
+	//tagbreathe:allow ctxflow golden test: annotated root
+	return context.Background()
+}
+
+// Spawn starts a supervised loop with no way to stop it.
+func Spawn(ch <-chan int) {
+	go func() { // want `Spawn spawns a supervised loop but has no cancellation path`
+		for range ch {
+		}
+	}()
+}
+
+// SpawnCtx threads the caller's context: fine.
+func SpawnCtx(ctx context.Context, ch <-chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ch:
+			}
+		}
+	}()
+}
+
+// SpawnJoin waits for the worker before returning: fine.
+func SpawnJoin(ch <-chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range ch {
+		}
+	}()
+	wg.Wait()
+}
+
+type supervisor struct {
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// Start hangs the loop off a supervisor struct — the CancelFunc field
+// is the cancellation path: fine.
+func (s *supervisor) Start(ch <-chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// SpawnAllowed is suppressed with a reason.
+func SpawnAllowed(ch <-chan int) {
+	//tagbreathe:allow ctxflow golden test: the loop is joined by the package's harness
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// SpawnBounded runs a plain counted loop, not a supervised one: fine.
+func SpawnBounded() {
+	go func() {
+		for i := 0; i < 4; i++ {
+			_ = i
+		}
+	}()
+}

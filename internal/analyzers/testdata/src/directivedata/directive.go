@@ -53,5 +53,25 @@ func hot() {}
 //tagbreathe:allow floatcmp golden test: well-formed suppression
 func ok() bool { return v == "x" }
 
+type owned struct {
+	// want+2 `names no owning function`
+	//
+	//tagbreathe:owner
+	x int
+	// want+2 `names "nosuchfunc", which is not a function declared in this package`
+	//
+	//tagbreathe:owner nosuchfunc
+	y int
+	// z's owner resolves to a declared function: no finding.
+	//
+	//tagbreathe:owner hot
+	z int
+}
+
+// want+2 `//tagbreathe:owner must annotate a struct field`
+//
+//tagbreathe:owner hot
+func h() {}
+
 //tagbreathe:allow hotpath dangling: nothing below to attach to
 // want-1 `not attached to any declaration or statement`

@@ -1,0 +1,42 @@
+// Package errwrapdata is golden-test input for the errwrap analyzer:
+// fmt.Errorf must wrap errors with %w, and exported functions must
+// prefix the wrap with the package's component name.
+package errwrapdata
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+// Flatten loses the error chain.
+func Flatten() error {
+	return fmt.Errorf("errwrapdata: op failed: %v", errBase) // want `flattens an error with %v/%s`
+}
+
+// BadPrefix wraps, but exports the error without the component prefix.
+func BadPrefix() error {
+	return fmt.Errorf("op failed: %w", errBase) // want `should start with the "errwrapdata: " component prefix`
+}
+
+// Good wraps with the prefix: fine.
+func Good() error {
+	return fmt.Errorf("errwrapdata: op failed: %w", errBase)
+}
+
+// internalWrap is unexported: no prefix demanded.
+func internalWrap() error {
+	return fmt.Errorf("op failed: %w", errBase)
+}
+
+// NoError formats only values: fine.
+func NoError(n int) error {
+	return fmt.Errorf("errwrapdata: %d widgets", n)
+}
+
+// Allowed flattens deliberately, with a reason.
+func Allowed() error {
+	//tagbreathe:allow errwrap golden test: the error text is context, not the cause chain
+	return fmt.Errorf("saw: %v", errBase)
+}

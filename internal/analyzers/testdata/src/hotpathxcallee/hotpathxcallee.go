@@ -1,0 +1,37 @@
+// Package hotpathxcallee is the cross-package half of the hotpath
+// golden test: hotpathxroot's hot functions call in here, and the
+// module-wide walk must surface these sins at their source positions.
+package hotpathxcallee
+
+import "time"
+
+// Accumulate is called from the root package's hot tick.
+func Accumulate(vals []float64) map[string]float64 {
+	out := make(map[string]float64) // want `allocates a map`
+	for _, v := range vals {
+		out["sum"] += v
+	}
+	return out
+}
+
+// Clock's Stamp is handed across the boundary as a method value.
+type Clock struct{}
+
+func (Clock) Stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now`
+}
+
+// ForEach hands each value back to fn — the closure's body is charged
+// to the hot root that passed it.
+func ForEach(vals []float64, fn func(float64)) {
+	for _, v := range vals {
+		fn(v)
+	}
+}
+
+// Cold is annotated at the boundary; the walk must stop here.
+//
+//tagbreathe:allow hotpath golden test: construction-only, called before steady state
+func Cold() {
+	_ = make([]byte, 1024)
+}

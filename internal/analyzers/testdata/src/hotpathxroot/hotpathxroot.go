@@ -1,0 +1,25 @@
+// Package hotpathxroot drives the cross-package hotpath descent: its
+// annotated root calls through the hotpathxcallee package, and the
+// callee's violations (plus a closure's, walked across the boundary)
+// must surface — see hotpathxcallee's want comments.
+package hotpathxroot
+
+import callee "tagbreathe/internal/analyzers/testdata/src/hotpathxcallee"
+
+//tagbreathe:hotpath golden-test root: the walk descends through the callee package
+func Tick(vals []float64) float64 {
+	m := callee.Accumulate(vals) // map alloc reported at the callee's position
+	var c callee.Clock
+	apply(c.Stamp) // method value handed across: Stamp's clock read surfaces too
+	total := 0.0
+	callee.ForEach(vals, func(v float64) {
+		buf := make([]float64, len(vals)) // want `non-constant size`
+		_ = buf
+		total += v
+	})
+	callee.Cold() // pruned at the annotated boundary
+	return m["sum"] + total
+}
+
+// apply is the indirection the method value travels through.
+func apply(f func() int64) { _ = f() }

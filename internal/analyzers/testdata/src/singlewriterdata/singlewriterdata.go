@@ -1,0 +1,53 @@
+// Package singlewriterdata is golden-test input for the singlewriter
+// analyzer: //tagbreathe:owner fields may only be written from the
+// owning set — the named functions plus every helper reachable only
+// from inside the set. Composite-literal construction is exempt;
+// element writes and writes inside function literals are not.
+package singlewriterdata
+
+type governor struct {
+	//tagbreathe:owner loop
+	rung int
+	//tagbreathe:owner loop NewGovernor
+	seen map[int]bool
+	open bool // unannotated: anyone may write
+}
+
+// NewGovernor builds the struct. The composite literal is not a write,
+// but the map assignment below needs the constructor named as an owner.
+func NewGovernor() *governor {
+	g := &governor{rung: 1} // composite construction: fine
+	g.seen = map[int]bool{} // fine: NewGovernor is a named owner of seen
+	return g
+}
+
+// loop is the owning event loop.
+func (g *governor) loop() {
+	g.rung = 2 // fine: named owner
+	step(g)
+	shared(g)
+	go func() {
+		g.rung++ // fine: the literal counts against loop
+	}()
+}
+
+// step is called only from loop, so the ownership fixed point pulls it
+// into the set.
+func step(g *governor) {
+	g.rung *= 2           // fine: exclusive helper of the owner
+	g.seen[g.rung] = true // fine: element write from the owning set
+}
+
+// shared is called from loop AND from Poke, so it can run on either
+// goroutine and stays outside the set.
+func shared(g *governor) {
+	g.rung = 0 // want `field rung is owned by loop; written from shared`
+}
+
+// Poke is an outside path.
+func (g *governor) Poke() {
+	g.rung = 9       // want `field rung is owned by loop; written from governor\.Poke`
+	g.seen[1] = true // want `field seen is owned by loop/NewGovernor; written from governor\.Poke`
+	g.open = true    // unannotated: fine
+	shared(g)
+}

@@ -89,10 +89,13 @@ type tickGovernor struct {
 	engage  int // occupancy >= engage escalates
 	release int // occupancy <= release counts toward recovery
 
-	stretch int  // current rung: analyze every stretch-th tick delivery
-	skip    int  // tick deliveries to skip before the next analysis
-	calm    int  // consecutive calm analyzed ticks (recovery progress)
-	forced  bool // tests only: the rung is pinned, the loop is open
+	//tagbreathe:owner workerLoop
+	stretch int // current rung: analyze every stretch-th tick delivery
+	//tagbreathe:owner workerLoop
+	skip int // tick deliveries to skip before the next analysis
+	//tagbreathe:owner workerLoop
+	calm   int  // consecutive calm analyzed ticks (recovery progress)
+	forced bool // tests only: the rung is pinned, the loop is open
 }
 
 func newTickGovernor(cfg DegradeConfig, queueCap int) *tickGovernor {

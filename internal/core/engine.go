@@ -546,6 +546,7 @@ func (e *Engine) observeQuality(a *antennaState, q AntennaQuality) {
 	if e.metrics == nil {
 		return
 	}
+	//tagbreathe:allow hotpath cold branch: vec resolution (format, registry lock, label copy) runs once per vantage lifetime; every later tick takes the cached-handle path below
 	if a.gRate == nil {
 		rdr := ReaderLabel(q.Reader)
 		ant := AntennaLabel(q.Antenna)

@@ -208,14 +208,18 @@ type Monitor struct {
 	// without consuming the update stream. lastWall records each
 	// user's last-update wall clock (UnixNano) when StalenessSLO is
 	// set; it feeds StaleUsers and the freshness gauges.
-	lastMu   sync.Mutex
-	last     map[uint64]RateUpdate
+	lastMu sync.Mutex
+	//tagbreathe:owner collectLoop NewMonitor
+	last map[uint64]RateUpdate
+	//tagbreathe:owner collectLoop NewMonitor
 	lastWall map[uint64]int64
 	// primary mirrors each user's currently selected (reader, antenna)
 	// vantage, written by the collector from every emitted update. The
 	// demux consults it — only on the shed path — to classify reports
 	// as primary (selected vantage) or redundant (any other), so
 	// quality-aware shedding sacrifices redundant data first.
+	//
+	//tagbreathe:owner collectLoop NewMonitor
 	primary map[uint64]vantage
 }
 
@@ -470,6 +474,7 @@ func (m *Monitor) demuxLoop(ticks chan<- *monitorTick) {
 	workers := make([]monitorWorker, m.cfg.ShardWorkers)
 	for i := range workers {
 		q := make(chan shardInput, m.cfg.ShardQueue) //tagbreathe:allow hotpath pool queues built once at startup, before any report flows
+		//tagbreathe:allow hotpath per-worker gauge handles resolve once at pool construction, before any report flows
 		workers[i] = monitorWorker{
 			q:  q,
 			hw: m.metrics.WorkerQueueHighWater.With(WorkerLabel(i)),
@@ -650,10 +655,13 @@ func (m *Monitor) workerLoop(wi int, q <-chan shardInput) {
 	// Per-worker lag gauge handles, resolved once (Vec.With takes the
 	// family lock; the Set calls below are single atomics).
 	lbl := WorkerLabel(wi)
-	gPending := m.metrics.EngineBinsPending.With(lbl)
-	gHeldAge := m.metrics.EngineHeldFloorAge.With(lbl)
-	gWarmup := m.metrics.EngineFilterWarmup.With(lbl)
-	gStretch := m.metrics.TickStretch.With(lbl)
+	//tagbreathe:allow hotpath per-worker gauge handles resolve once before the loop; only the atomic Sets run per tick
+	var (
+		gPending = m.metrics.EngineBinsPending.With(lbl)
+		gHeldAge = m.metrics.EngineHeldFloorAge.With(lbl)
+		gWarmup  = m.metrics.EngineFilterWarmup.With(lbl)
+		gStretch = m.metrics.TickStretch.With(lbl)
+	)
 
 	// The degradation governor (DESIGN.md §13): nil when the ladder is
 	// disabled, otherwise this worker's private closed loop — observed

@@ -130,6 +130,7 @@ func runShards(shards []userShard, t0, t1 float64, cfg Config) []*UserEstimate {
 			}()
 		}
 		for i := range shards {
+			//tagbreathe:allow chandir the unbuffered handoff is the backpressure: producers block until a worker frees, bounding in-flight shards to the pool
 			jobs <- i
 		}
 		close(jobs)

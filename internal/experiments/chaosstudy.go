@@ -85,7 +85,7 @@ func ChaosStudy(o Options) ([]ChaosPoint, error) {
 	for si, s := range scripts {
 		p, err := runChaosScript(o, int64(si), s.name, s.steps, watchdog)
 		if err != nil {
-			return nil, fmt.Errorf("chaos script %q: %w", s.name, err)
+			return nil, fmt.Errorf("experiments: chaos script %q: %w", s.name, err)
 		}
 		out = append(out, p)
 	}
@@ -136,6 +136,7 @@ func runChaosScript(o Options, seedOff int64, name string, steps []chaos.Step, w
 
 	smetrics := llrp.NewSessionMetrics(nil)
 	src.start = time.Now() // replay clock starts with the session
+	//tagbreathe:allow ctxflow self-contained study harness; the replay wall clock bounds the run and StopSession tears it down
 	sess, err := llrp.StartSession(context.Background(), llrp.SessionConfig{
 		Addr:        proxy.Addr(),
 		ROSpec:      llrp.ROSpecConfig{ROSpecID: 1, ReportEveryN: 8},
@@ -188,6 +189,7 @@ func runChaosScript(o Options, seedOff int64, name string, steps []chaos.Step, w
 		}
 	}()
 
+	//tagbreathe:allow ctxflow the script context is this study run's root; cancelScript fires at teardown below
 	scriptCtx, cancelScript := context.WithCancel(context.Background())
 	var script sync.WaitGroup
 	script.Add(1)

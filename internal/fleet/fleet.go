@@ -454,7 +454,7 @@ func (f *Fleet) ReaderHealth(name string) func() error {
 			return fmt.Errorf("fleet: reader %q not registered", name)
 		}
 		if err := e.sess.Healthy(); err != nil {
-			return fmt.Errorf("reader %s: %w", name, err)
+			return fmt.Errorf("fleet: reader %s: %w", name, err)
 		}
 		return nil
 	}

@@ -34,6 +34,122 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
+// Universe is the shared world of one analysis run: every module
+// package with retained syntax and type information, indexed so
+// analyzers can resolve a *types.Func to its declaration (and its
+// package's directives) across package boundaries. All passes of a
+// Run share one Universe.
+type Universe struct {
+	Fset *token.FileSet
+
+	pkgs   map[string]*Package
+	order  []*Package
+	byFile map[string]*Package
+	dirs   map[*Package]*Directives
+
+	funcs map[*types.Func]FuncSrc // built on first FuncSrc call
+
+	caches map[string]any
+}
+
+// FuncSrc locates one function declaration in its defining package.
+type FuncSrc struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+}
+
+// NewUniverse indexes the given packages (those without retained
+// syntax are skipped) into a shared analysis world.
+func NewUniverse(fset *token.FileSet, pkgs []*Package) *Universe {
+	u := &Universe{
+		Fset:   fset,
+		pkgs:   make(map[string]*Package, len(pkgs)),
+		byFile: make(map[string]*Package),
+		dirs:   make(map[*Package]*Directives, len(pkgs)),
+		caches: make(map[string]any),
+	}
+	for _, p := range pkgs {
+		if p.Info == nil {
+			continue
+		}
+		u.pkgs[p.ImportPath] = p
+		u.order = append(u.order, p)
+		for _, fn := range p.GoFiles {
+			u.byFile[fn] = p
+		}
+	}
+	return u
+}
+
+// Package returns the module package with the given import path, or
+// nil for paths outside the universe (stdlib, unloaded).
+func (u *Universe) Package(path string) *Package { return u.pkgs[path] }
+
+// Packages lists every package in the universe, ordered by import
+// path.
+func (u *Universe) Packages() []*Package { return u.order }
+
+// PackageAt returns the package owning the file pos falls in, or nil.
+func (u *Universe) PackageAt(pos token.Pos) *Package {
+	if !pos.IsValid() {
+		return nil
+	}
+	f := u.Fset.File(pos)
+	if f == nil {
+		return nil
+	}
+	return u.byFile[f.Name()]
+}
+
+// Directives returns pkg's parsed //tagbreathe: annotations, cached
+// per package so every analyzer and every cross-package walk shares
+// one parse.
+func (u *Universe) Directives(pkg *Package) *Directives {
+	d, ok := u.dirs[pkg]
+	if !ok {
+		d = ParseDirectives(u.Fset, pkg.Files)
+		u.dirs[pkg] = d
+	}
+	return d
+}
+
+// FuncSrc resolves a function or method object to its declaration and
+// defining package, anywhere in the universe. The index is built once,
+// lazily.
+func (u *Universe) FuncSrc(fn *types.Func) (FuncSrc, bool) {
+	if u.funcs == nil {
+		u.funcs = make(map[*types.Func]FuncSrc)
+		for _, p := range u.order {
+			for _, f := range p.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+						u.funcs[obj] = FuncSrc{Pkg: p, Decl: fd}
+					}
+				}
+			}
+		}
+	}
+	src, ok := u.funcs[fn]
+	return src, ok
+}
+
+// Cached memoizes an arbitrary per-universe computation (analyzer
+// indexes that should survive across target packages, like hotpath's
+// per-package call-graph state). Not safe for concurrent use — a Run
+// is single-threaded by design.
+func (u *Universe) Cached(key string, build func() any) any {
+	v, ok := u.caches[key]
+	if !ok {
+		v = build()
+		u.caches[key] = v
+	}
+	return v
+}
+
 // Pass carries one package's syntax and types through one analyzer.
 type Pass struct {
 	Analyzer  *Analyzer
@@ -44,15 +160,27 @@ type Pass struct {
 	// Dirs indexes the package's //tagbreathe: annotations; Reportf
 	// consults it, so analyzers rarely need to.
 	Dirs *Directives
+	// Uni is the shared universe of module packages, for analyzers
+	// that walk across package boundaries. Nil in minimal harnesses.
+	Uni *Universe
 
 	diags *[]Diagnostic
 }
 
 // Reportf records a finding at pos unless an allow directive covering
-// pos suppresses this analyzer.
+// pos suppresses this analyzer. Findings a cross-package walk lands in
+// a foreign package consult that package's directives, so an allow
+// always lives next to the code it excuses.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	if p.Dirs != nil && p.Dirs.Allowed(p.Analyzer.Name, pos) {
 		return
+	}
+	if p.Uni != nil {
+		if owner := p.Uni.PackageAt(pos); owner != nil && owner.Types != p.Pkg {
+			if p.Uni.Directives(owner).Allowed(p.Analyzer.Name, pos) {
+				return
+			}
+		}
 	}
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:      p.Fset.Position(pos),
@@ -69,28 +197,31 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 	return p.TypesInfo.Uses[id]
 }
 
-// Run executes every analyzer over every package and returns the
-// findings sorted by position. Packages without retained syntax (out
-// of the main module) are skipped.
-func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// Run executes every analyzer over every target package inside the
+// shared universe and returns the findings sorted by position.
+// Packages without retained syntax (out of the main module) are
+// skipped; exact-duplicate findings (two targets descending into the
+// same foreign statement) collapse to one.
+func Run(u *Universe, targets []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	for _, pkg := range targets {
 		if pkg.Info == nil {
 			continue
 		}
-		dirs := ParseDirectives(fset, pkg.Files)
+		dirs := u.Directives(pkg)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
-				Fset:      fset,
+				Fset:      u.Fset,
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
 				Dirs:      dirs,
+				Uni:       u,
 				diags:     &diags,
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.ImportPath, err)
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
 			}
 		}
 	}
@@ -105,9 +236,19 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnos
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags, nil
+	dedup := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		dedup = append(dedup, d)
+	}
+	return dedup, nil
 }
 
 // IsNamed reports whether t (after pointer indirection) is the named

@@ -16,7 +16,8 @@ import (
 //
 //	//tagbreathe:allow <check> <reason>
 //	    Suppresses one check ("hotpath", "goroutineleak",
-//	    "metrichygiene", "floatcmp") for the annotated scope: the whole
+//	    "metrichygiene", "floatcmp", "singlewriter", "ctxflow",
+//	    "errwrap", "chandir") for the annotated scope: the whole
 //	    function when placed in a function doc comment, otherwise the
 //	    single statement the comment is attached to (trailing on the
 //	    statement's first line, or on its own line directly above).
@@ -27,6 +28,14 @@ import (
 //	    On a function or struct-field doc comment: values produced by
 //	    this function (or held in this field) are approved metric label
 //	    values — the reason must say why their cardinality is bounded.
+//
+//	//tagbreathe:owner <func> [<func>...]
+//	    On a struct field (doc or trailing comment): the field is
+//	    single-writer state owned by the named functions' goroutine.
+//	    The singlewriter analyzer rejects writes from any function
+//	    outside the owning set — the named functions plus every
+//	    same-package function called only from within the set (the
+//	    owning event loop's helpers).
 //
 // Directives are ordinary line comments with no space after `//`, the
 // same shape as go:build or go:generate, so gofmt leaves them alone.

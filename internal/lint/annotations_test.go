@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// The suppression-span tests pin the attachment rules the analyzers
+// lean on: a directive in a grouped var/const declaration's doc covers
+// every spec in the group, stacked directive comments each attach to
+// the statement below them, and a statement-scoped allow covers a
+// method value handed out on that statement — but nothing before or
+// after it.
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, *ast.File, *Directives) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing test source: %v", err)
+	}
+	return fset, f, ParseDirectives(fset, []*ast.File{f})
+}
+
+// posOf returns the position of the n-th (0-based) occurrence of
+// needle in src.
+func posOf(t *testing.T, fset *token.FileSet, f *ast.File, src, needle string, n int) token.Pos {
+	t.Helper()
+	off := -1
+	for i := 0; i <= n; i++ {
+		next := strings.Index(src[off+1:], needle)
+		if next < 0 {
+			t.Fatalf("occurrence %d of %q not found", n, needle)
+		}
+		off += 1 + next
+	}
+	return fset.File(f.Pos()).Pos(off)
+}
+
+func TestAllowCoversGroupedVarDecl(t *testing.T) {
+	src := `package p
+
+//tagbreathe:allow hotpath handles resolved once at package init
+var (
+	a = expensive()
+	b = expensive()
+)
+
+var c = expensive()
+
+func f() {
+	//tagbreathe:allow hotpath handles resolved before the loop starts
+	var (
+		d = expensive()
+		e = expensive()
+	)
+	g := expensive()
+	_, _, _ = d, e, g
+}
+
+func expensive() int { return 0 }
+`
+	fset, f, dirs := parseSrc(t, src)
+	for _, name := range []string{"a = ", "b = ", "d = ", "e = "} {
+		if !dirs.Allowed("hotpath", posOf(t, fset, f, src, name, 0)) {
+			t.Errorf("spec %q not covered by its group's allow", name)
+		}
+	}
+	for _, name := range []string{"c = ", "g := "} {
+		if dirs.Allowed("hotpath", posOf(t, fset, f, src, name, 0)) {
+			t.Errorf("%q outside the group is covered; spans leak", name)
+		}
+	}
+}
+
+func TestAllowCoversGroupedConstDecl(t *testing.T) {
+	src := `package p
+
+//tagbreathe:allow floatcmp thresholds are exact by construction
+const (
+	x = 1.5
+	y = 2.5
+)
+
+const z = 3.5
+`
+	fset, f, dirs := parseSrc(t, src)
+	for _, name := range []string{"x = ", "y = "} {
+		if !dirs.Allowed("floatcmp", posOf(t, fset, f, src, name, 0)) {
+			t.Errorf("const spec %q not covered by its group's allow", name)
+		}
+	}
+	if dirs.Allowed("floatcmp", posOf(t, fset, f, src, "z = ", 0)) {
+		t.Error("const z outside the group is covered; spans leak")
+	}
+}
+
+// TestStackedAllowsAttachIndependently pins the load-harness idiom:
+// two directive lines in one comment group, each suppressing a
+// different check on the same go statement.
+func TestStackedAllowsAttachIndependently(t *testing.T) {
+	src := `package p
+
+func f(ch chan int) {
+	//tagbreathe:allow goroutineleak joined by the receive below
+	//tagbreathe:allow ctxflow lifetime bounded by Stop, not a context
+	go func() {
+		for range ch {
+		}
+	}()
+}
+`
+	fset, f, dirs := parseSrc(t, src)
+	goPos := posOf(t, fset, f, src, "go func()", 0)
+	if !dirs.Allowed("goroutineleak", goPos) {
+		t.Error("first stacked allow did not attach to the go statement")
+	}
+	if !dirs.Allowed("ctxflow", goPos) {
+		t.Error("second stacked allow did not attach to the go statement")
+	}
+	if dirs.Allowed("hotpath", goPos) {
+		t.Error("unrelated check suppressed by the stack")
+	}
+}
+
+// TestAllowCoversMethodValueCallSite pins statement scope on method
+// values: the allow covers the t.M handed out on the annotated
+// statement, and only that one.
+func TestAllowCoversMethodValueCallSite(t *testing.T) {
+	src := `package p
+
+type T struct{}
+
+func (T) M() int { return 0 }
+
+func use(f func() int) { _ = f() }
+
+func f(t T) {
+	//tagbreathe:allow hotpath the method value runs on the cold path only
+	use(t.M)
+	use(t.M)
+}
+`
+	fset, f, dirs := parseSrc(t, src)
+	if !dirs.Allowed("hotpath", posOf(t, fset, f, src, "t.M", 0)) {
+		t.Error("method value on the annotated statement not covered")
+	}
+	if dirs.Allowed("hotpath", posOf(t, fset, f, src, "t.M", 1)) {
+		t.Error("method value on the following statement covered; spans leak")
+	}
+}
+
+func TestFuncAllowedRequiresDocScope(t *testing.T) {
+	src := `package p
+
+// doc carries the function-scoped allow.
+//
+//tagbreathe:allow hotpath cold constructor
+func cold() {}
+
+func warm() {
+	//tagbreathe:allow hotpath one statement only
+	x := 0
+	_ = x
+}
+`
+	fset, f, dirs := parseSrc(t, src)
+	var coldFn, warmFn *ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			switch fd.Name.Name {
+			case "cold":
+				coldFn = fd
+			case "warm":
+				warmFn = fd
+			}
+		}
+	}
+	if !dirs.FuncAllowed("hotpath", coldFn) {
+		t.Error("doc-comment allow not function-scoped")
+	}
+	if dirs.FuncAllowed("hotpath", warmFn) {
+		t.Error("statement allow inside the body promoted to function scope")
+	}
+	if !dirs.Allowed("hotpath", posOf(t, fset, f, src, "x := 0", 0)) {
+		t.Error("statement allow inside warm does not cover its statement")
+	}
+}

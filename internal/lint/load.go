@@ -1,30 +1,39 @@
 // Package lint is a self-contained static-analysis framework in the
 // spirit of golang.org/x/tools/go/analysis, built only on the standard
 // library so the repository stays dependency-free. It loads packages by
-// shelling out to `go list` for metadata and type-checking every
-// package — standard library included — from source, then runs
-// Analyzer passes over the target packages' syntax and type
-// information.
+// shelling out to `go list` for metadata, type-checks every package in
+// the main module from source, imports everything else from the
+// compiler's export data (falling back to source when export data is
+// unavailable), and runs Analyzer passes over the target packages'
+// syntax and type information — sharing one Universe of type-checked
+// module packages so analyzers can walk call edges across package
+// boundaries.
 //
 // The framework exists to mechanically enforce the invariants the
 // TagBreathe pipeline's performance and correctness rest on (see
 // internal/analyzers and DESIGN.md §10): allocation-free hot paths,
-// lifecycle-tied goroutines, a disciplined metric catalog, and
-// epsilon-aware float comparisons.
+// lifecycle-tied goroutines, single-writer field ownership, context
+// propagation, a disciplined metric catalog, and epsilon-aware float
+// comparisons.
 package lint
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
+	"io"
+	"io/fs"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 )
 
@@ -37,6 +46,7 @@ type listPackage struct {
 	Imports    []string
 	ImportMap  map[string]string
 	Standard   bool
+	Export     string
 	Module     *listModule
 	Error      *listError
 }
@@ -65,8 +75,12 @@ type Package struct {
 }
 
 // Loader loads and type-checks packages. It caches by import path, so
-// one Loader instance amortizes the standard-library type-check across
-// every target package of a run.
+// one Loader instance amortizes the dependency load across every
+// target package of a run. Non-module packages import from compiler
+// export data when `go list -export` can supply it, so the standard
+// library is not re-type-checked from source on every run; the raw
+// `go list` output itself is cached on disk keyed by a fingerprint of
+// the module's sources (disable with TAGBREATHE_LINT_NOCACHE=1).
 type Loader struct {
 	Fset *token.FileSet
 	// Dir is the module root directory `go list` runs in.
@@ -77,6 +91,16 @@ type Loader struct {
 	// checking guards against import cycles (a loader bug or a
 	// truly broken package — either way, fail loudly).
 	checking map[string]bool
+	// expImporter reads gc export data for non-module packages; one
+	// instance per loader keeps every imported package in a single
+	// identity space.
+	expImporter types.Importer
+	// synthetic maps registered testdata import paths to their source
+	// directories so synthetic packages can import one another (the
+	// cross-package golden tests need callee packages `go list` cannot
+	// resolve).
+	synthetic   map[string]string
+	fingerprint string // lazily computed module source fingerprint
 }
 
 // NewLoader builds a loader rooted at dir (the module root; "" means
@@ -100,36 +124,140 @@ func NewLoader(dir string) (*Loader, error) {
 		}
 	}
 	return &Loader{
-		Fset:     token.NewFileSet(),
-		Dir:      dir,
-		meta:     make(map[string]*listPackage),
-		pkgs:     make(map[string]*Package),
-		checking: make(map[string]bool),
+		Fset:      token.NewFileSet(),
+		Dir:       dir,
+		meta:      make(map[string]*listPackage),
+		pkgs:      make(map[string]*Package),
+		checking:  make(map[string]bool),
+		synthetic: make(map[string]string),
 	}, nil
 }
 
-// goList runs `go list -deps -json` over args and folds the results
-// into the metadata cache. CGO is disabled so every package resolves
-// to its pure-Go file set, which the source type-checker can handle.
-func (l *Loader) goList(args []string) ([]string, error) {
-	cmd := exec.Command("go", append([]string{
-		"list", "-deps",
-		"-json=ImportPath,Dir,Name,GoFiles,Imports,ImportMap,Standard,Module,Error",
-	}, args...)...)
+// listCmd runs one `go list` invocation and returns its stdout,
+// consulting the on-disk cache first. tag namespaces the cache entry
+// (the -deps and plain listings of the same patterns differ).
+func (l *Loader) listCmd(tag string, args []string) ([]byte, error) {
+	key := l.cacheKey(tag, args)
+	if out, ok := readListCache(key); ok {
+		return out, nil
+	}
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
 	cmd.Dir = l.Dir
 	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
 	var out, errb bytes.Buffer
 	cmd.Stdout = &out
 	cmd.Stderr = &errb
 	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+		return nil, fmt.Errorf("lint: go list %s: %w\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	writeListCache(key, out.Bytes())
+	return out.Bytes(), nil
+}
+
+// cacheKey fingerprints one `go list` invocation: the toolchain, the
+// module's go.mod, and every .go file's path/size/mtime under the
+// module root. Any source change invalidates the whole cache, which is
+// the cheap-and-safe trade for a lint driver.
+func (l *Loader) cacheKey(tag string, args []string) string {
+	if l.fingerprint == "" {
+		h := sha256.New()
+		fmt.Fprintln(h, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+		if mod, err := os.ReadFile(filepath.Join(l.Dir, "go.mod")); err == nil {
+			h.Write(mod)
+		}
+		var lines []string
+		filepath.WalkDir(l.Dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return nil
+			}
+			if d.IsDir() {
+				if name := d.Name(); name == ".git" || name == ".claude" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			if info, err := d.Info(); err == nil {
+				lines = append(lines, fmt.Sprintf("%s %d %d", path, info.Size(), info.ModTime().UnixNano()))
+			}
+			return nil
+		})
+		sort.Strings(lines)
+		for _, ln := range lines {
+			fmt.Fprintln(h, ln)
+		}
+		l.fingerprint = fmt.Sprintf("%x", h.Sum(nil)[:12])
+	}
+	h := sha256.Sum256([]byte(l.fingerprint + "\x00" + tag + "\x00" + strings.Join(args, "\x00")))
+	return fmt.Sprintf("%x", h[:16])
+}
+
+// listCacheDir returns the go-list cache directory, or "" when caching
+// is disabled or no cache location exists.
+func listCacheDir() string {
+	if os.Getenv("TAGBREATHE_LINT_NOCACHE") != "" {
+		return ""
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "tagbreathe-lint")
+}
+
+func readListCache(key string) ([]byte, bool) {
+	dir := listCacheDir()
+	if dir == "" {
+		return nil, false
+	}
+	out, err := os.ReadFile(filepath.Join(dir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	return out, true
+}
+
+// writeListCache stores one listing best-effort: a cache write failure
+// only costs the next run a `go list` re-exec.
+func writeListCache(key string, out []byte) {
+	dir := listCacheDir()
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	tmp := filepath.Join(dir, key+".tmp")
+	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+		return
+	}
+	os.Rename(tmp, filepath.Join(dir, key+".json"))
+}
+
+// goList runs `go list -deps -export -json` over args and folds the
+// results into the metadata cache. CGO is disabled so every package
+// resolves to its pure-Go file set; -export records each dependency's
+// compiled export data so non-module packages need no source
+// type-check. When the exporting listing fails (eg. a tree that does
+// not build), it retries without -export and everything falls back to
+// the source path.
+func (l *Loader) goList(args []string) ([]string, error) {
+	const fields = "-json=ImportPath,Dir,Name,GoFiles,Imports,ImportMap,Standard,Export,Module,Error"
+	out, err := l.listCmd("deps-export", append([]string{"-deps", "-export", fields}, args...))
+	if err != nil {
+		out, err = l.listCmd("deps", append([]string{"-deps", fields}, args...))
+		if err != nil {
+			return nil, err
+		}
 	}
 	var roots []string
-	dec := json.NewDecoder(&out)
+	dec := json.NewDecoder(bytes.NewReader(out))
 	for dec.More() {
 		var p listPackage
 		if err := dec.Decode(&p); err != nil {
-			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
 		}
 		if p.Error != nil {
 			return nil, fmt.Errorf("lint: go list: %s: %s", p.ImportPath, p.Error.Err)
@@ -158,15 +286,11 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	// `go list -deps` emits dependencies before dependents; the last
 	// mention of each root pattern match is what we return. Distinguish
 	// matches from mere deps: re-list without -deps.
-	cmd := exec.Command("go", append([]string{"list"}, patterns...)...)
-	cmd.Dir = l.Dir
-	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
-	var out bytes.Buffer
-	cmd.Stdout = &out
-	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("lint: go list %s: %v", strings.Join(patterns, " "), err)
+	out, err := l.listCmd("match", patterns)
+	if err != nil {
+		return nil, err
 	}
-	matched := strings.Fields(out.String())
+	matched := strings.Fields(string(out))
 	isMatch := make(map[string]bool, len(matched))
 	for _, m := range matched {
 		isMatch[m] = true
@@ -198,6 +322,9 @@ func (l *Loader) ensure(path string) (*Package, error) {
 	if l.checking[path] {
 		return nil, fmt.Errorf("lint: import cycle through %s", path)
 	}
+	if dir, ok := l.synthetic[path]; ok {
+		return l.checkSynthetic(path, dir)
+	}
 	meta, ok := l.meta[path]
 	if !ok {
 		// A path outside any previous -deps closure (synthetic
@@ -214,6 +341,17 @@ func (l *Loader) ensure(path string) (*Package, error) {
 	defer delete(l.checking, path)
 
 	inModule := meta.Module != nil && meta.Module.Main
+	if !inModule && meta.Export != "" {
+		// Outside the module no analyzer needs syntax: import the
+		// compiler's export data instead of re-type-checking from
+		// source. Any failure (stale build cache, format skew) falls
+		// through to the source path below.
+		if tpkg, err := l.importExport(path); err == nil {
+			p := &Package{ImportPath: path, Dir: meta.Dir, Types: tpkg}
+			l.pkgs[path] = p
+			return p, nil
+		}
+	}
 	files := make([]string, len(meta.GoFiles))
 	for i, f := range meta.GoFiles {
 		files[i] = filepath.Join(meta.Dir, f)
@@ -224,6 +362,23 @@ func (l *Loader) ensure(path string) (*Package, error) {
 	}
 	l.pkgs[path] = pkg
 	return pkg, nil
+}
+
+// importExport imports one package from gc export data. A single
+// importer instance serves the whole loader so every export-imported
+// package lands in one shared identity space, consistent with the
+// source-checked module packages that reference them.
+func (l *Loader) importExport(path string) (*types.Package, error) {
+	if l.expImporter == nil {
+		l.expImporter = importer.ForCompiler(l.Fset, "gc", func(p string) (io.ReadCloser, error) {
+			m, ok := l.meta[p]
+			if !ok || m.Export == "" {
+				return nil, fmt.Errorf("lint: no export data for %q", p)
+			}
+			return os.Open(m.Export)
+		})
+	}
+	return l.expImporter.Import(path)
 }
 
 // goVersionFor picks the language version for type-checking a package:
@@ -252,7 +407,7 @@ func (l *Loader) check(path, name, dir string, filenames []string, importMap map
 	for _, fn := range filenames {
 		f, err := parser.ParseFile(l.Fset, fn, nil, mode)
 		if err != nil {
-			return nil, fmt.Errorf("lint: parse %s: %v", fn, err)
+			return nil, fmt.Errorf("lint: parse %s: %w", fn, err)
 		}
 		files = append(files, f)
 	}
@@ -281,7 +436,7 @@ func (l *Loader) check(path, name, dir string, filenames []string, importMap map
 	}
 	tpkg, err := cfg.Check(path, l.Fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("lint: type-check %s: %v", path, err)
+		return nil, fmt.Errorf("lint: type-check %s: %w", path, err)
 	}
 	if name != "" && tpkg.Name() != name {
 		return nil, fmt.Errorf("lint: package %s has name %q, go list says %q", path, tpkg.Name(), name)
@@ -300,14 +455,34 @@ func (l *Loader) check(path, name, dir string, filenames []string, importMap map
 	return p, nil
 }
 
+// RegisterSynthetic maps an import path to a source directory outside
+// `go list`'s world (testdata packages). Registered paths resolve like
+// any other import, so one synthetic package can import another — the
+// cross-package hotpath goldens depend on this.
+func (l *Loader) RegisterSynthetic(importPath, dir string) {
+	l.synthetic[importPath] = dir
+}
+
 // LoadSynthetic parses dir's .go files as a standalone package under
 // the given import path and type-checks it against the loader's world
 // — the golden-test harness uses this to check testdata packages that
-// import real module packages.
+// import real module packages (and other registered synthetics).
 func (l *Loader) LoadSynthetic(importPath, dir string) (*Package, error) {
+	l.RegisterSynthetic(importPath, dir)
+	return l.ensure(importPath)
+}
+
+// checkSynthetic loads one registered synthetic package, caching it
+// like a listed package so it joins the Universe.
+func (l *Loader) checkSynthetic(path, dir string) (*Package, error) {
+	if l.checking[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("lint: read testdata dir: %v", err)
+		return nil, fmt.Errorf("lint: read testdata dir: %w", err)
 	}
 	var filenames []string
 	for _, e := range entries {
@@ -318,7 +493,27 @@ func (l *Loader) LoadSynthetic(importPath, dir string) (*Package, error) {
 	if len(filenames) == 0 {
 		return nil, fmt.Errorf("lint: no .go files in %s", dir)
 	}
-	return l.check(importPath, "", dir, filenames, nil, goVersionFor(&listPackage{}), true)
+	pkg, err := l.check(path, "", dir, filenames, nil, goVersionFor(&listPackage{}), true)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Universe snapshots every module package the loader has type-checked
+// (synthetic packages included) into one shared universe for
+// cross-package analysis. Call it after Load; a later Load extends the
+// loader, so build a fresh Universe per Run.
+func (l *Loader) Universe() *Universe {
+	var pkgs []*Package
+	for _, p := range l.pkgs {
+		if p.Info != nil {
+			pkgs = append(pkgs, p)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return NewUniverse(l.Fset, pkgs)
 }
 
 // importerFunc adapts a function to types.Importer.

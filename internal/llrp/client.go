@@ -52,6 +52,7 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 // NewClientMetrics). A nil metrics value builds private, unexposed
 // instruments.
 func DialWithMetrics(addr string, timeout time.Duration, m *ClientMetrics) (*Client, error) {
+	//tagbreathe:allow ctxflow timeout-only convenience constructor; context-threading callers use DialContext/DialContextTraced
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc

@@ -142,6 +142,7 @@ type serverConn struct {
 }
 
 func newServerConn(raw net.Conn, queue int, metrics *ServerMetrics) *serverConn {
+	//tagbreathe:allow ctxflow per-connection root; cancel is stored on the conn and fired on close or first write error
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &serverConn{
 		Conn:    raw,

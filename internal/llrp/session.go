@@ -272,9 +272,9 @@ func (s *Session) Healthy() error {
 		return nil
 	}
 	if err := s.Err(); err != nil {
-		return fmt.Errorf("session %s: %w", st, err)
+		return fmt.Errorf("llrp: session %s: %w", st, err)
 	}
-	return fmt.Errorf("session %s", st)
+	return fmt.Errorf("llrp: session %s", st)
 }
 
 // WaitUp blocks until the session reaches SessionUp, ctx ends, or the

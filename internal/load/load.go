@@ -207,6 +207,7 @@ func RunPoint(opts Options) (Point, error) {
 	})
 	done := make(chan int)
 	//tagbreathe:allow goroutineleak exits when Updates closes after CloseInput, and RunPoint always receives from done
+	//tagbreathe:allow ctxflow the collector is joined by the done receive below; Monitor.Stop bounds its life, not a context
 	go func() {
 		n := 0
 		for range m.Updates() {

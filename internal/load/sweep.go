@@ -95,7 +95,7 @@ func Sweep(counts []int, base Options, probePace float64, progress func(string))
 		start := time.Now()
 		p, err := RunPoint(opts)
 		if err != nil {
-			return nil, fmt.Errorf("block point at %d users: %w", users, err)
+			return nil, fmt.Errorf("load: block point at %d users: %w", users, err)
 		}
 		probe := base
 		probe.Users = users
@@ -103,7 +103,7 @@ func Sweep(counts []int, base Options, probePace float64, progress func(string))
 		probe.Pace = probePace
 		pp, err := RunPoint(probe)
 		if err != nil {
-			return nil, fmt.Errorf("drop probe at %d users: %w", users, err)
+			return nil, fmt.Errorf("load: drop probe at %d users: %w", users, err)
 		}
 		sp := SweepPoint{
 			Point:                 p,

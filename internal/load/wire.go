@@ -107,6 +107,7 @@ func RunWirePoint(opts Options) (Point, error) {
 	})
 	done := make(chan int)
 	//tagbreathe:allow goroutineleak exits when Updates closes after CloseInput, and RunWirePoint always receives from done
+	//tagbreathe:allow ctxflow the collector is joined by the done receive below; Monitor.Stop bounds its life, not a context
 	go func() {
 		n := 0
 		for range m.Updates() {
@@ -118,6 +119,7 @@ func RunWirePoint(opts Options) (Point, error) {
 	// Traced dial: sampled reports are stamped at frame decode, so wire
 	// e2e latency includes the read→ingest hop the in-process path
 	// can't see.
+	//tagbreathe:allow ctxflow harness-local dial timeout; cancelDial fires immediately after the dial returns
 	dialCtx, cancelDial := context.WithTimeout(context.Background(), 10*time.Second)
 	c, err := llrp.DialContextTraced(dialCtx, ln.Addr().String(), nil, tracer)
 	cancelDial()
@@ -154,12 +156,14 @@ pump:
 			received++
 		case <-deadline:
 			m.Stop()
+			//tagbreathe:allow errwrap c.Err() is nil on a pure stall; the text is supplementary context, not the cause chain
 			return Point{}, fmt.Errorf("load: wire point stalled at %d/%d reports (client err: %v)",
 				received, total, c.Err())
 		}
 	}
 	if received != total {
 		m.Stop()
+		//tagbreathe:allow errwrap c.Err() may be nil when the stream closes cleanly short; the text is supplementary context
 		return Point{}, fmt.Errorf("load: wire stream ended at %d/%d reports (client err: %v)",
 			received, total, c.Err())
 	}

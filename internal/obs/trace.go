@@ -159,6 +159,8 @@ func NewTracer(r *Registry, cfg TracerConfig) *Tracer {
 // the sampling lottery, returning its trace ID (0 = untraced, the
 // overwhelmingly common case). With sampling off it returns 0 without
 // reading the clock.
+//
+//tagbreathe:allow hotpath clock read and slot lock run only for 1-in-every lottery winners; the untraced path is two branches
 func (t *Tracer) Begin(stage Stage) uint64 {
 	if t == nil || t.every == 0 {
 		return 0
@@ -191,6 +193,8 @@ func (t *Tracer) Begin(stage Stage) uint64 {
 
 // Stamp records the trace's arrival at a stage. id 0 (untraced) is an
 // immediate no-op — the hot-path common case costs two branches.
+//
+//tagbreathe:allow hotpath clock read and slot lock run only on sampled traces; id 0 returns before either
 func (t *Tracer) Stamp(id uint64, stage Stage) {
 	if t == nil || id == 0 {
 		return
@@ -206,6 +210,8 @@ func (t *Tracer) Stamp(id uint64, stage Stage) {
 
 // SetUser attaches the demuxed user ID to a trace for the exemplar
 // view.
+//
+//tagbreathe:allow hotpath slot lock runs only on sampled traces; id 0 returns first
 func (t *Tracer) SetUser(id, user uint64) {
 	if t == nil || id == 0 {
 		return
@@ -220,6 +226,8 @@ func (t *Tracer) SetUser(id, user uint64) {
 
 // SetReader attaches the originating reader's name to a trace for the
 // exemplar view — the fleet provenance a /debug/traces row shows.
+//
+//tagbreathe:allow hotpath slot lock runs only on sampled traces; id 0 returns first
 func (t *Tracer) SetReader(id uint64, reader string) {
 	if t == nil || id == 0 || reader == "" {
 		return
@@ -235,6 +243,8 @@ func (t *Tracer) SetReader(id uint64, reader string) {
 // Abort finalizes a trace that will never reach emit (its report was
 // shed, or a worker's open-trace list overflowed). The slot is freed
 // and the loss is counted.
+//
+//tagbreathe:allow hotpath slot lock runs only on sampled traces; id 0 returns first
 func (t *Tracer) Abort(id uint64) {
 	if t == nil || id == 0 {
 		return

@@ -41,4 +41,15 @@ func TestSoakCompressed(t *testing.T) {
 		t.Logf("user %d: truth %.1f final %.2f bpm, %d updates, max gap %.1f s, stretch %d",
 			u.UserID, u.TruthBPM, u.FinalBPM, u.Updates, u.MaxGapS, u.FinalStretch)
 	}
+
+	// Nightly trend capture: append this run's summary row to the
+	// checked-in history when asked (see BENCH_soak_trend.json and the
+	// nightly-soak workflow).
+	if path := os.Getenv("TAGBREATHE_SOAK_TREND"); path != "" {
+		if err := soak.AppendTrend(path, soak.NewTrendEntry(res, time.Now())); err != nil {
+			t.Errorf("appending soak trend: %v", err)
+		} else {
+			t.Logf("soak trend appended to %s", path)
+		}
+	}
 }

@@ -1,0 +1,119 @@
+package soak
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Trend capture: the nightly soak appends one summary row per run to a
+// checked-in JSON array (BENCH_soak_trend.json), so a slow regression
+// in degradation behaviour — peak stretch creeping up, shed counts
+// growing, heap drifting — shows as a trend across commits instead of
+// a single pass/fail bit. The file is the database: no external
+// storage, diffable in review, and the nightly workflow commits the
+// appended row back to the branch.
+
+// TrendEntry is one soak run's summary row.
+type TrendEntry struct {
+	// Time is the run's completion time, RFC 3339 UTC.
+	Time    string `json:"time"`
+	Profile string `json:"profile"`
+	// Commit is the git revision the run tested (empty when unknown —
+	// local runs; the nightly workflow sets it from GITHUB_SHA).
+	Commit        string  `json:"commit,omitempty"`
+	StreamSeconds float64 `json:"stream_seconds"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	// The degradation trend proper: ladder peak, skipped analysis
+	// ticks, and shed-by-class totals at both shedding sites.
+	PeakStretch  int               `json:"peak_stretch"`
+	SkippedTicks uint64            `json:"skipped_ticks"`
+	MonitorShed  map[string]uint64 `json:"monitor_shed,omitempty"`
+	FleetShed    map[string]uint64 `json:"fleet_shed,omitempty"`
+	// Transport churn and memory drift.
+	Conns          uint64 `json:"conns"`
+	Reconnects     uint64 `json:"reconnects"`
+	HeapEarlyBytes uint64 `json:"heap_early_bytes"`
+	HeapLateBytes  uint64 `json:"heap_late_bytes"`
+	// MaxUserGapS is the worst post-warmup update blackout any user
+	// saw, against the profile's GapLimitS budget.
+	MaxUserGapS float64 `json:"max_user_gap_s"`
+	GapLimitS   float64 `json:"gap_limit_s"`
+	// Violations counts failed soak invariants (0 on a green run; the
+	// nightly appends the row either way so a red night is visible in
+	// the trend, not just in the workflow log).
+	Violations int `json:"violations"`
+}
+
+// NewTrendEntry summarizes a soak result as a trend row.
+func NewTrendEntry(r Result, when time.Time) TrendEntry {
+	maxGap := 0.0
+	for _, u := range r.Users {
+		if u.MaxGapS > maxGap {
+			maxGap = u.MaxGapS
+		}
+	}
+	return TrendEntry{
+		Time:           when.UTC().Format(time.RFC3339),
+		Profile:        r.Profile,
+		Commit:         os.Getenv("TAGBREATHE_SOAK_COMMIT"),
+		StreamSeconds:  r.StreamSeconds,
+		WallSeconds:    r.WallSeconds,
+		PeakStretch:    r.PeakStretch,
+		SkippedTicks:   r.SkippedTicks,
+		MonitorShed:    r.MonitorShed,
+		FleetShed:      r.FleetShed,
+		Conns:          r.Conns,
+		Reconnects:     r.Reconnects,
+		HeapEarlyBytes: r.HeapEarlyBytes,
+		HeapLateBytes:  r.HeapLateBytes,
+		MaxUserGapS:    maxGap,
+		GapLimitS:      r.GapLimitS,
+		Violations:     len(r.Verify()),
+	}
+}
+
+// AppendTrend appends one row to the JSON array at path, creating the
+// file if needed. The write is atomic (temp file + rename) so a
+// crashed run cannot corrupt the history, and a malformed existing
+// file is an error, not a silent restart of the trend.
+func AppendTrend(path string, e TrendEntry) error {
+	var rows []TrendEntry
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &rows); err != nil {
+			return fmt.Errorf("soak: trend file %s is not a JSON array: %w", path, err)
+		}
+	case os.IsNotExist(err):
+		// First run: start the array.
+	default:
+		return fmt.Errorf("soak: reading trend file: %w", err)
+	}
+	rows = append(rows, e)
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return fmt.Errorf("soak: encoding trend: %w", err)
+	}
+	out = append(out, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".trend-*")
+	if err != nil {
+		return fmt.Errorf("soak: writing trend: %w", err)
+	}
+	if _, err := tmp.Write(out); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("soak: writing trend: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("soak: writing trend: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("soak: writing trend: %w", err)
+	}
+	return nil
+}

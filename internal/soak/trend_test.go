@@ -1,0 +1,66 @@
+package soak_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tagbreathe/internal/soak"
+)
+
+func TestAppendTrend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trend.json")
+	res := soak.Result{
+		Profile:       "compressed",
+		StreamSeconds: 2400,
+		WallSeconds:   60,
+		PeakStretch:   4,
+		SkippedTicks:  100,
+		MonitorShed:   map[string]uint64{"redundant": 7},
+		Users:         []soak.UserOutcome{{MaxGapS: 12.5}, {MaxGapS: 30.25}},
+		GapLimitS:     45,
+	}
+	e := soak.NewTrendEntry(res, time.Date(2026, 8, 8, 3, 0, 0, 0, time.UTC))
+	if e.MaxUserGapS != 30.25 {
+		t.Errorf("MaxUserGapS = %v, want the worst user's 30.25", e.MaxUserGapS)
+	}
+	if e.Time != "2026-08-08T03:00:00Z" {
+		t.Errorf("Time = %q, want RFC 3339 UTC", e.Time)
+	}
+
+	if err := soak.AppendTrend(path, e); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	e2 := e
+	e2.PeakStretch = 8
+	if err := soak.AppendTrend(path, e2); err != nil {
+		t.Fatalf("second append: %v", err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []soak.TrendEntry
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatalf("trend file is not a JSON array: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("len(rows) = %d, want 2", len(rows))
+	}
+	if rows[0].PeakStretch != 4 || rows[1].PeakStretch != 8 {
+		t.Errorf("rows out of order: %+v", rows)
+	}
+}
+
+func TestAppendTrendRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trend.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := soak.AppendTrend(path, soak.TrendEntry{}); err == nil {
+		t.Fatal("corrupt trend file accepted; history would be silently replaced")
+	}
+}

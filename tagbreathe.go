@@ -431,6 +431,7 @@ func DialLLRPWithMetrics(addr string, m *LLRPClientMetrics) (*LLRPClient, error)
 // end-to-end traces price the read→ingest hop too. A nil tracer
 // traces nothing.
 func DialLLRPTraced(addr string, m *LLRPClientMetrics, tr *Tracer) (*LLRPClient, error) {
+	//tagbreathe:allow ctxflow facade convenience dial with a fixed timeout; context callers use llrp.DialContextTraced
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	return llrp.DialContextTraced(ctx, addr, m, tr)
